@@ -1,0 +1,90 @@
+// Ablation A1: page→provider placement policy (DESIGN.md §4, paper §IV.B).
+//
+// The paper attributes BSFS's sustained write throughput to the provider
+// manager's load-balancing distribution and contrasts it with HDFS's
+// local-first policy. This ablation swaps only the placement policy inside
+// BSFS (same protocol, same network) for the 100-client write workload:
+//   kLeastLoaded — BlobSeer's default
+//   kRandomK     — power-of-d-choices sampling
+//   kRoundRobin  — oblivious rotation
+//   kLocalFirst  — HDFS-style: first replica on the writer's own node
+//
+// Two throughputs are reported: to-ack (provider RAM absorbed the pages —
+// local-first looks great here because its transfers are loopbacks) and
+// to-DURABLE (all pages flushed to disk — where concentrating each
+// client's 1 GB on one disk costs local-first dearly, the paper's point).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "sim/parallel.h"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+constexpr uint64_t kFileBytes = 1 * kGiB;
+constexpr uint32_t kClients = 100;
+
+const char* policy_name(blob::PlacementPolicy p) {
+  switch (p) {
+    case blob::PlacementPolicy::kLeastLoaded: return "least-loaded (BlobSeer)";
+    case blob::PlacementPolicy::kRandomK: return "random-k (d choices)";
+    case blob::PlacementPolicy::kRoundRobin: return "round-robin";
+    case blob::PlacementPolicy::kLocalFirst: return "local-first (HDFS-like)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A1: BSFS write throughput under different placement policies\n");
+  std::printf("(%u clients x 1 GB; only the provider manager policy changes)\n\n",
+              kClients);
+
+  Table table({"policy", "to-ack MB/s per client", "durable aggregate MB/s",
+               "time to durable (s)", "max/min provider load"});
+  for (auto policy :
+       {blob::PlacementPolicy::kLeastLoaded, blob::PlacementPolicy::kRandomK,
+        blob::PlacementPolicy::kRoundRobin,
+        blob::PlacementPolicy::kLocalFirst}) {
+    WorldOptions opt;
+    opt.placement = policy;
+    BsfsWorld world(opt);
+    std::vector<WriteTask> tasks;
+    for (uint32_t i = 0; i < kClients; ++i) {
+      WriteTask t;
+      t.node = client_node(world.options.cluster, i);
+      t.path = "/out/file-" + std::to_string(i);
+      t.bytes = kFileBytes;
+      t.seed = i;
+      tasks.push_back(std::move(t));
+    }
+    const double t0 = world.sim.now();
+    auto res = run_writes(world.sim, *world.fs, tasks);
+    // Durability: wait until every provider flushed its RAM buffer.
+    world.sim.spawn(world.blobs->drain_all());
+    world.sim.run();
+    const double durable_s = world.sim.now() - t0;
+    const double durable_agg =
+        static_cast<double>(kClients) * kFileBytes / durable_s / kMiB;
+    uint64_t min_load = UINT64_MAX, max_load = 0;
+    for (const auto& [node, bytes] :
+         world.blobs->provider_manager().load()) {
+      min_load = std::min(min_load, bytes);
+      max_load = std::max(max_load, bytes);
+    }
+    const double imbalance =
+        min_load == 0 ? 0.0
+                      : static_cast<double>(max_load) /
+                            static_cast<double>(min_load);
+    table.add_row({policy_name(policy),
+                   Table::num(res.per_client_mbps.mean()),
+                   Table::num(durable_agg), Table::num(durable_s),
+                   min_load == 0 ? "inf (some providers idle)"
+                                 : Table::num(imbalance, 2)});
+  }
+  table.print();
+  return 0;
+}

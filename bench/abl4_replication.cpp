@@ -1,0 +1,60 @@
+// Ablation A4: replication degree.
+//
+// The paper's microbenchmarks contrast placement policies with replication
+// in the picture (HDFS's 3-replica pipeline vs BlobSeer's page-level
+// replication). This sweep varies the replication degree for BOTH systems
+// on the 100-client write workload, showing how each pays for fault
+// tolerance: HDFS serializes a block through a deeper pipeline (and burns
+// cross-rack uplink), BlobSeer fans page replicas out in parallel but
+// multiplies network/RAM demand.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "sim/parallel.h"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+constexpr uint32_t kClients = 100;
+constexpr uint64_t kFileBytes = 1 * kGiB;
+
+template <typename World>
+ScenarioResult run_writers(World& world) {
+  std::vector<WriteTask> tasks;
+  for (uint32_t i = 0; i < kClients; ++i) {
+    WriteTask t;
+    t.node = client_node(world.options.cluster, i);
+    t.path = "/out/file-" + std::to_string(i);
+    t.bytes = kFileBytes;
+    t.seed = i;
+    tasks.push_back(std::move(t));
+  }
+  return run_writes(world.sim, *world.fs, tasks);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A4: replication degree vs write throughput "
+              "(%u clients x 1 GB)\n\n", kClients);
+  Table table({"replication", "BSFS MB/s per client", "HDFS MB/s per client"});
+  for (uint32_t r : {1u, 2u, 3u}) {
+    WorldOptions opt;
+    opt.bsfs_replication = r;
+    opt.hdfs_replication = r;
+    BsfsWorld bsfs_world(opt);
+    HdfsWorld hdfs_world(opt);
+    auto bsfs_res = run_writers(bsfs_world);
+    auto hdfs_res = run_writers(hdfs_world);
+    table.add_row({std::to_string(r),
+                   Table::num(bsfs_res.per_client_mbps.mean()),
+                   Table::num(hdfs_res.per_client_mbps.mean())});
+  }
+  table.print();
+  std::printf("\nshape: both systems pay for extra replicas; BlobSeer's\n"
+              "parallel page fan-out degrades more gracefully than the\n"
+              "serialized HDFS block pipeline\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "bench/harness.h"
+
+#include <numeric>
+
+#include "common/assert.h"
+#include "sim/parallel.h"
+
+namespace bs::bench {
+
+net::ClusterConfig paper_cluster() {
+  net::ClusterConfig cfg;
+  cfg.num_nodes = 270;
+  cfg.nodes_per_rack = 30;
+  // 32 Gb/s rack uplinks: the fabric is mildly oversubscribed but the
+  // aggregate ceiling stays above the sweep's total demand, so the curves
+  // are shaped by placement and per-stream behavior (as on Grid'5000), not
+  // by a hard fabric cap.
+  cfg.rack_uplink_bps = 4.0e9;
+  // One 2009-era stream tops out well under line rate.
+  cfg.per_stream_cap_bps = 0.65 * cfg.nic_bps;
+  return cfg;
+}
+
+std::vector<net::NodeId> storage_nodes(const net::ClusterConfig& cfg) {
+  std::vector<net::NodeId> nodes(cfg.num_nodes - 1);
+  std::iota(nodes.begin(), nodes.end(), 1);  // node 0 is the master
+  return nodes;
+}
+
+net::NodeId client_node(const net::ClusterConfig& cfg, uint32_t i) {
+  return 1 + (i % (cfg.num_nodes - 1));
+}
+
+BsfsWorld::BsfsWorld(const WorldOptions& opt)
+    : options(opt), net(sim, opt.cluster) {
+  blob::BlobSeerConfig bcfg;
+  bcfg.provider_nodes = storage_nodes(opt.cluster);
+  if (options.metadata_nodes == 0) {
+    bcfg.metadata_nodes = storage_nodes(opt.cluster);
+  } else {
+    for (uint32_t i = 0; i < options.metadata_nodes; ++i) {
+      bcfg.metadata_nodes.push_back(client_node(opt.cluster, i));
+    }
+  }
+  bcfg.version_manager_node = 0;
+  bcfg.provider_manager_node = 0;
+  bcfg.provider.ram_bytes = options.provider_ram;
+  bcfg.provider.read_cache = options.provider_read_cache;
+  bcfg.manager.policy = options.placement;
+  bcfg.dht.service_time_s = options.dht_service_time_s;
+  blobs = std::make_unique<blob::BlobSeerCluster>(sim, net, std::move(bcfg));
+  ns = std::make_unique<bsfs::NamespaceManager>(sim, net,
+                                                bsfs::NamespaceConfig{});
+  bsfs::BsfsConfig fcfg;
+  fcfg.block_size = options.block_size;
+  fcfg.page_size = options.page_size;
+  fcfg.replication = options.bsfs_replication;
+  fcfg.enable_cache = options.client_cache;
+  fs = std::make_unique<bsfs::Bsfs>(sim, net, *blobs, *ns, fcfg);
+}
+
+HdfsWorld::HdfsWorld(const WorldOptions& opt)
+    : options(opt), net(sim, opt.cluster) {
+  hdfs::HdfsConfig cfg;
+  cfg.namenode.node = 0;
+  cfg.namenode.block_size = options.block_size;
+  cfg.namenode.replication = options.hdfs_replication;
+  fs = std::make_unique<hdfs::Hdfs>(sim, net, cfg,
+                                    storage_nodes(opt.cluster));
+}
+
+sim::Task<void> put_file(fs::FileSystem& fs, net::NodeId node,
+                         std::string path, uint64_t bytes, uint64_t seed) {
+  auto client = fs.make_client(node);
+  auto writer = co_await client->create(path);
+  BS_CHECK_MSG(writer != nullptr, "setup create failed");
+  const uint64_t chunk = 8 * kMiB;
+  uint64_t done = 0;
+  while (done < bytes) {
+    const uint64_t n = std::min(chunk, bytes - done);
+    co_await writer->write(DataSpec::pattern(seed, done, n));
+    done += n;
+  }
+  const bool ok = co_await writer->close();
+  BS_CHECK(ok);
+}
+
+sim::Task<void> bsfs_stage_file(BsfsWorld& world, std::string path,
+                                uint64_t bytes, uint64_t seed) {
+  auto blob_client = world.blobs->make_client(0);
+  const auto desc = co_await blob_client->create(
+      world.options.page_size, world.options.bsfs_replication);
+  co_await blob_client->write(desc.id, 0, DataSpec::pattern(seed, 0, bytes));
+  bool ok = co_await world.ns->add_file(0, path, desc.id,
+                                        world.options.block_size);
+  BS_CHECK(ok);
+  ok = co_await world.ns->finalize(0, path);
+  BS_CHECK(ok);
+}
+
+namespace {
+
+struct ClientTiming {
+  double start = 0;
+  double end = 0;
+  uint64_t bytes = 0;
+};
+
+ScenarioResult summarize(const std::vector<ClientTiming>& timings,
+                         double t0) {
+  ScenarioResult out;
+  double last_end = t0;
+  uint64_t total = 0;
+  for (const auto& t : timings) {
+    const double secs = t.end - t.start;
+    BS_CHECK(secs > 0);
+    out.per_client_mbps.add(static_cast<double>(t.bytes) / secs / kMiB);
+    last_end = std::max(last_end, t.end);
+    total += t.bytes;
+  }
+  out.makespan_s = last_end - t0;
+  out.aggregate_mbps = static_cast<double>(total) / out.makespan_s / kMiB;
+  return out;
+}
+
+sim::Task<void> read_client(sim::Simulator* sim, fs::FileSystem* fs,
+                            ReadTask task, uint64_t request_size,
+                            ClientTiming* timing) {
+  auto client = fs->make_client(task.node);
+  auto reader = co_await client->open(task.path);
+  BS_CHECK_MSG(reader != nullptr, "bench read open failed");
+  timing->start = sim->now();
+  uint64_t done = 0;
+  while (done < task.bytes) {
+    const uint64_t n = std::min(request_size, task.bytes - done);
+    DataSpec chunk = co_await reader->read(task.offset + done, n);
+    BS_CHECK(chunk.size() == n);
+    done += n;
+  }
+  timing->end = sim->now();
+  timing->bytes = task.bytes;
+}
+
+sim::Task<void> write_client(sim::Simulator* sim, fs::FileSystem* fs,
+                             WriteTask task, uint64_t request_size,
+                             ClientTiming* timing) {
+  auto client = fs->make_client(task.node);
+  std::unique_ptr<fs::FsWriter> writer;
+  if (task.append) {
+    writer = co_await client->append(task.path);
+  } else {
+    writer = co_await client->create(task.path);
+  }
+  BS_CHECK_MSG(writer != nullptr, "bench write open failed");
+  timing->start = sim->now();
+  uint64_t done = 0;
+  while (done < task.bytes) {
+    const uint64_t n = std::min(request_size, task.bytes - done);
+    const bool ok = co_await writer->write(DataSpec::pattern(task.seed, done, n));
+    BS_CHECK(ok);
+    done += n;
+  }
+  const bool closed = co_await writer->close();
+  BS_CHECK(closed);
+  timing->end = sim->now();
+  timing->bytes = task.bytes;
+}
+
+}  // namespace
+
+ScenarioResult run_reads(sim::Simulator& sim, fs::FileSystem& fs,
+                         const std::vector<ReadTask>& tasks,
+                         uint64_t request_size) {
+  std::vector<ClientTiming> timings(tasks.size());
+  const double t0 = sim.now();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    sim.spawn(read_client(&sim, &fs, tasks[i], request_size, &timings[i]));
+  }
+  sim.run();
+  return summarize(timings, t0);
+}
+
+ScenarioResult run_writes(sim::Simulator& sim, fs::FileSystem& fs,
+                          const std::vector<WriteTask>& tasks,
+                          uint64_t request_size) {
+  std::vector<ClientTiming> timings(tasks.size());
+  const double t0 = sim.now();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    sim.spawn(write_client(&sim, &fs, tasks[i], request_size, &timings[i]));
+  }
+  sim.run();
+  return summarize(timings, t0);
+}
+
+}  // namespace bs::bench

@@ -1,0 +1,125 @@
+// Shared paper-scale bench harness.
+//
+// Reproduces the paper's Grid'5000 deployment: 270 nodes in 9 racks, node 0
+// is the dedicated master (NameNode / version manager / provider manager /
+// namespace manager), storage services on nodes 1..269, clients co-located
+// with the storage nodes, 1 GB of data per client, 1–250 concurrent
+// clients. Absolute numbers come from the simulated substrate (documented
+// in EXPERIMENTS.md); the reproduced claims are the *shapes*: who wins, by
+// what factor, and how throughput holds as the client count grows.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "fs/filesystem.h"
+#include "hdfs/hdfs.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace bs::bench {
+
+constexpr uint64_t kMiB = 1ULL << 20;
+constexpr uint64_t kGiB = 1ULL << 30;
+
+// The paper's sweep: 1 to 250 concurrent clients.
+inline std::vector<uint32_t> client_sweep() { return {1, 50, 100, 150, 200, 250}; }
+
+net::ClusterConfig paper_cluster();
+
+// Knobs a bench can tweak before building a world.
+struct WorldOptions {
+  net::ClusterConfig cluster = paper_cluster();
+  // BSFS knobs.
+  uint64_t page_size = 8 * kMiB;
+  uint64_t block_size = 64 * kMiB;
+  uint32_t bsfs_replication = 1;
+  bool client_cache = true;
+  bool provider_read_cache = true;  // reads run over freshly written data
+  uint64_t provider_ram = 2 * kGiB;
+  blob::PlacementPolicy placement = blob::PlacementPolicy::kLeastLoaded;
+  uint32_t metadata_nodes = 0;  // 0 = all storage nodes
+  double dht_service_time_s = 50e-6;
+  // HDFS knobs.
+  uint32_t hdfs_replication = 1;
+};
+
+// A full BSFS deployment over its own simulator.
+struct BsfsWorld {
+  explicit BsfsWorld(const WorldOptions& opt = WorldOptions{});
+
+  WorldOptions options;
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<blob::BlobSeerCluster> blobs;
+  std::unique_ptr<bsfs::NamespaceManager> ns;
+  std::unique_ptr<bsfs::Bsfs> fs;
+};
+
+// A full HDFS deployment over its own simulator.
+struct HdfsWorld {
+  explicit HdfsWorld(const WorldOptions& opt = WorldOptions{});
+
+  WorldOptions options;
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<hdfs::Hdfs> fs;
+};
+
+// Storage nodes (everything except the master, node 0).
+std::vector<net::NodeId> storage_nodes(const net::ClusterConfig& cfg);
+// The node a client with index i runs on.
+net::NodeId client_node(const net::ClusterConfig& cfg, uint32_t i);
+
+// --- setup helpers (simulated time advances; not part of measurements) ---
+
+// Creates `path` with `bytes` of pattern data through the normal FS write
+// path, from `node`. Returns once closed.
+sim::Task<void> put_file(fs::FileSystem& fs, net::NodeId node,
+                         std::string path, uint64_t bytes, uint64_t seed);
+
+// Fast-path for BSFS: one blob write for the whole file (one version) —
+// used to stage very large inputs without thousands of setup versions.
+sim::Task<void> bsfs_stage_file(BsfsWorld& world, std::string path,
+                                uint64_t bytes, uint64_t seed);
+
+// --- measurement ---
+
+struct ScenarioResult {
+  Summary per_client_mbps;  // one sample per client
+  double makespan_s = 0;
+  double aggregate_mbps = 0;
+};
+
+struct ReadTask {
+  net::NodeId node;
+  std::string path;
+  uint64_t offset;
+  uint64_t bytes;
+};
+
+// Runs all read tasks concurrently (sequential 1 MiB requests per client,
+// through each FS's client cache) and reports throughput.
+ScenarioResult run_reads(sim::Simulator& sim, fs::FileSystem& fs,
+                         const std::vector<ReadTask>& tasks,
+                         uint64_t request_size = kMiB);
+
+struct WriteTask {
+  net::NodeId node;
+  std::string path;
+  uint64_t bytes;
+  uint64_t seed;
+  bool append = false;  // append to an existing file instead of create
+};
+
+// Runs all write tasks concurrently (sequential 1 MiB writes per client).
+ScenarioResult run_writes(sim::Simulator& sim, fs::FileSystem& fs,
+                          const std::vector<WriteTask>& tasks,
+                          uint64_t request_size = kMiB);
+
+}  // namespace bs::bench

@@ -1,0 +1,203 @@
+// bsfs_shell — a `hadoop fs`-style command driver for BSFS.
+//
+// Runs a script of file-system commands against a simulated BSFS cluster
+// (the built-in demo script by default, or a script file passed as argv[1];
+// '-' reads stdin). Commands:
+//
+//   mkdir <dir>                 create a directory
+//   put <path> <text...>        create a file holding <text>
+//   append <path> <text...>     append to an existing file
+//   cat <path>                  print a file (supports /path@vN snapshots)
+//   ls <dir>                    list a directory
+//   stat <path>                 size/type of a path
+//   rm <path>                   delete a path
+//   snapshot <path>             print the file's current version number
+//   gc <path> <keep_version>    prune blob versions below <keep_version>
+//
+//   ./examples/bsfs_shell            # run the demo script
+//   ./examples/bsfs_shell script.txt
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blob/cluster.h"
+#include "blob/gc.h"
+#include "bsfs/bsfs.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+using namespace bs;
+
+namespace {
+
+const char* kDemoScript = R"(mkdir /data
+put /data/greeting hello blobseer world
+stat /data/greeting
+cat /data/greeting
+snapshot /data/greeting
+append /data/greeting and hello again
+cat /data/greeting
+cat /data/greeting@v1
+ls /data
+put /data/other another file
+ls /data
+rm /data/other
+ls /data
+gc /data/greeting 2
+cat /data/greeting
+stat /data/greeting
+)";
+
+struct ShellWorld {
+  sim::Simulator sim;
+  net::Network net;
+  blob::BlobSeerCluster blobs;
+  bsfs::NamespaceManager ns;
+  bsfs::Bsfs bsfs;
+
+  ShellWorld()
+      : net(sim,
+            [] {
+              net::ClusterConfig c;
+              c.num_nodes = 16;
+              c.nodes_per_rack = 4;
+              return c;
+            }()),
+        blobs(sim, net, {}), ns(sim, net, {}),
+        bsfs(sim, net, blobs, ns,
+             bsfs::BsfsConfig{.block_size = 4096, .page_size = 512,
+                              .replication = 1, .enable_cache = true}) {}
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string rest_of(const std::vector<std::string>& tokens, size_t from) {
+  std::string out;
+  for (size_t i = from; i < tokens.size(); ++i) {
+    if (i > from) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+sim::Task<void> execute(ShellWorld* w, fs::FsClient* client,
+                        std::vector<std::string> tokens) {
+  const std::string& cmd = tokens[0];
+  if (cmd == "mkdir") {
+    const bool ok = co_await w->ns.mkdir(client->node(), tokens.at(1));
+    std::printf("%s\n", ok ? "ok" : "mkdir: failed");
+  } else if (cmd == "put") {
+    auto writer = co_await client->create(tokens.at(1));
+    if (!writer) {
+      std::printf("put: cannot create %s\n", tokens.at(1).c_str());
+      co_return;
+    }
+    co_await writer->write(DataSpec::from_string(rest_of(tokens, 2)));
+    co_await writer->close();
+    std::printf("ok (%llu bytes)\n",
+                static_cast<unsigned long long>(writer->bytes_written()));
+  } else if (cmd == "append") {
+    auto writer = co_await client->append(tokens.at(1));
+    if (!writer) {
+      std::printf("append: cannot open %s\n", tokens.at(1).c_str());
+      co_return;
+    }
+    co_await writer->write(DataSpec::from_string(" " + rest_of(tokens, 2)));
+    co_await writer->close();
+    std::printf("ok\n");
+  } else if (cmd == "cat") {
+    auto reader = co_await client->open(tokens.at(1));
+    if (!reader) {
+      std::printf("cat: no such file: %s\n", tokens.at(1).c_str());
+      co_return;
+    }
+    auto data = co_await reader->read(0, reader->size());
+    auto bytes = data.materialize();
+    std::printf("%.*s\n", static_cast<int>(bytes.size()),
+                reinterpret_cast<const char*>(bytes.data()));
+  } else if (cmd == "ls") {
+    auto names = co_await client->list(tokens.at(1));
+    for (const auto& n : names) std::printf("%s\n", n.c_str());
+    if (names.empty()) std::printf("(empty)\n");
+  } else if (cmd == "stat") {
+    auto st = co_await client->stat(tokens.at(1));
+    if (!st) {
+      std::printf("stat: no such path: %s\n", tokens.at(1).c_str());
+    } else {
+      std::printf("%s  %s  %llu bytes\n", st->path.c_str(),
+                  st->is_dir ? "dir" : "file",
+                  static_cast<unsigned long long>(st->size));
+    }
+  } else if (cmd == "rm") {
+    const bool ok = co_await client->remove(tokens.at(1));
+    std::printf("%s\n", ok ? "ok" : "rm: failed");
+  } else if (cmd == "snapshot") {
+    const blob::Version v = co_await w->bsfs.snapshot(client->node(),
+                                                      tokens.at(1));
+    std::printf("%s is at version %u (read it as %s@v%u)\n",
+                tokens.at(1).c_str(), v, tokens.at(1).c_str(), v);
+  } else if (cmd == "gc") {
+    auto entry = co_await w->ns.lookup(client->node(), tokens.at(1));
+    if (!entry || entry->is_dir) {
+      std::printf("gc: no such file: %s\n", tokens.at(1).c_str());
+      co_return;
+    }
+    const auto keep = static_cast<blob::Version>(std::stoul(tokens.at(2)));
+    auto stats = co_await blob::collect_garbage(w->blobs, client->node(),
+                                                entry->blob, keep);
+    std::printf("gc: pruned versions < v%u; reclaimed %llu page replicas, "
+                "%llu metadata nodes, %llu bytes\n",
+                stats.pruned_below,
+                static_cast<unsigned long long>(stats.page_replicas_deleted),
+                static_cast<unsigned long long>(stats.meta_nodes_deleted),
+                static_cast<unsigned long long>(stats.bytes_reclaimed));
+  } else {
+    std::printf("unknown command: %s\n", cmd.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script = kDemoScript;
+  if (argc > 1) {
+    if (std::string(argv[1]) == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      script = buf.str();
+    } else {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open script: %s\n", argv[1]);
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      script = buf.str();
+    }
+  }
+
+  ShellWorld world;
+  auto client = world.bsfs.make_client(3);
+
+  std::istringstream lines(script);
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    std::printf("bsfs> %s\n", line.c_str());
+    world.sim.spawn(execute(&world, client.get(), std::move(tokens)));
+    world.sim.run();  // each command runs to completion, in order
+  }
+  std::printf("\n(simulated time: %.2f ms)\n", world.sim.now() * 1e3);
+  return 0;
+}

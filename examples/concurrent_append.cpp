@@ -1,0 +1,129 @@
+// Example: concurrent appends to a single file (the paper's §V extension).
+//
+// Eight writers append their chunk to ONE BSFS file at the same instant.
+// BlobSeer's version manager serializes them into a total order without any
+// writer-side locking; every chunk lands exactly once and each intermediate
+// version is a readable snapshot. The same operation on HDFS is refused
+// (write-once semantics) — shown at the end.
+//
+//   ./examples/concurrent_append
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "hdfs/hdfs.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+using namespace bs;
+
+namespace {
+
+constexpr int kWriters = 8;
+constexpr uint64_t kBlock = 4096;
+
+struct World {
+  sim::Simulator sim;
+  net::Network net;
+  blob::BlobSeerCluster blobs;
+  bsfs::NamespaceManager ns;
+  bsfs::Bsfs bsfs;
+
+  World()
+      : net(sim,
+            [] {
+              net::ClusterConfig c;
+              c.num_nodes = 16;
+              c.nodes_per_rack = 4;
+              return c;
+            }()),
+        blobs(sim, net, {}), ns(sim, net, {}),
+        bsfs(sim, net, blobs, ns,
+             bsfs::BsfsConfig{.block_size = kBlock, .page_size = kBlock / 4,
+                              .replication = 1, .enable_cache = true}) {}
+};
+
+sim::Task<void> appender(bsfs::Bsfs* fs, int id) {
+  auto client = fs->make_client(static_cast<net::NodeId>(1 + id));
+  auto writer = co_await client->append("/log");
+  // Each writer appends one block filled with its own marker byte.
+  co_await writer->write(
+      DataSpec::from_bytes(Bytes(kBlock, static_cast<uint8_t>('A' + id))));
+  co_await writer->close();
+  std::printf("  writer %c appended at t=%.3f ms\n", 'A' + id,
+              fs->simulator().now() * 1e3);
+}
+
+sim::Task<void> scenario(World* w) {
+  // Create the shared (initially empty-ish) log file.
+  auto client = w->bsfs.make_client(1);
+  auto writer = co_await client->create("/log");
+  co_await writer->write(DataSpec::from_bytes(Bytes(kBlock, '#')));
+  co_await writer->close();
+  std::printf("created /log with a %lu-byte header block\n\n",
+              static_cast<unsigned long>(kBlock));
+
+  // Launch all appenders at the same instant.
+  for (int i = 0; i < kWriters; ++i) {
+    w->sim.spawn(appender(&w->bsfs, i));
+  }
+}
+
+sim::Task<void> verify(World* w, bool* ok) {
+  auto client = w->bsfs.make_client(2);
+  auto reader = co_await client->open("/log");
+  std::printf("\nfinal size: %lu bytes (%d blocks)\n",
+              static_cast<unsigned long>(reader->size()),
+              static_cast<int>(reader->size() / kBlock));
+  auto all = co_await reader->read(0, reader->size());
+  auto bytes = all.materialize();
+  // Every marker must appear exactly once, each in a uniform block.
+  std::multiset<char> markers;
+  bool uniform = true;
+  for (uint64_t b = 1; b < reader->size() / kBlock; ++b) {
+    const char m = static_cast<char>(bytes[b * kBlock]);
+    markers.insert(m);
+    for (uint64_t i = 0; i < kBlock; ++i) {
+      uniform = uniform && bytes[b * kBlock + i] == static_cast<uint8_t>(m);
+    }
+  }
+  std::printf("append order observed: ");
+  for (uint64_t b = 1; b < reader->size() / kBlock; ++b) {
+    std::printf("%c", bytes[b * kBlock]);
+  }
+  std::printf("\n");
+  *ok = uniform && markers.size() == kWriters &&
+        std::set<char>(markers.begin(), markers.end()).size() == kWriters;
+  std::printf("every chunk exactly once, no interleaving corruption: %s\n",
+              *ok ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  World w;
+  w.sim.spawn(scenario(&w));
+  w.sim.run();
+  bool ok = false;
+  w.sim.spawn(verify(&w, &ok));
+  w.sim.run();
+
+  // Contrast: HDFS refuses the same operation.
+  hdfs::Hdfs hdfs_fs(w.sim, w.net, {});
+  bool refused = false;
+  auto probe = [](hdfs::Hdfs* h, bool* out) -> sim::Task<void> {
+    auto client = h->make_client(1);
+    auto writer = co_await client->create("/log");
+    co_await writer->write(DataSpec::from_string("x"));
+    co_await writer->close();
+    auto appender2 = co_await client->append("/log");
+    *out = appender2 == nullptr;
+  };
+  w.sim.spawn(probe(&hdfs_fs, &refused));
+  w.sim.run();
+  std::printf("\nHDFS append() on the same workload: %s\n",
+              refused ? "refused (write-once file system)" : "accepted!?");
+  return ok ? 0 : 1;
+}

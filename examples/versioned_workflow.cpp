@@ -1,0 +1,165 @@
+// Example: MapReduce workflows over snapshots of one dataset (paper §V).
+//
+// A dataset is written (version v1), then partially rewritten (v2) — the
+// two versions share every untouched page through BlobSeer's segment-tree
+// metadata. Two DistributedGrep jobs then run CONCURRENTLY, one per
+// snapshot, addressed as /data@v1 and /data@v2 through the unmodified
+// framework. Each job sees a consistent snapshot: the counts differ exactly
+// by the rewritten region's contents.
+//
+//   ./examples/versioned_workflow
+#include <cstdio>
+#include <string>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "common/rng.h"
+#include "common/wordlist.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+using namespace bs;
+
+namespace {
+
+constexpr uint64_t kBlock = 64 * 1024;
+
+struct World {
+  sim::Simulator sim;
+  net::Network net;
+  blob::BlobSeerCluster blobs;
+  bsfs::NamespaceManager ns;
+  bsfs::Bsfs bsfs;
+
+  World()
+      : net(sim,
+            [] {
+              net::ClusterConfig c;
+              c.num_nodes = 32;
+              c.nodes_per_rack = 8;
+              return c;
+            }()),
+        blobs(sim, net, {}), ns(sim, net, {}),
+        bsfs(sim, net, blobs, ns,
+             bsfs::BsfsConfig{.block_size = kBlock, .page_size = kBlock / 8,
+                              .replication = 1, .enable_cache = true}) {}
+};
+
+int count_occurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+// Snapshot A: corpus with "alpha" tokens planted; snapshot B rewrites the
+// first half, replacing them with "omega" tokens. Returns the two snapshot
+// version numbers (the BSFS writer commits one version per block, so the
+// dataset versions are captured via Bsfs::snapshot, not assumed to be 1/2).
+sim::Task<void> stage(World* w, blob::Version* snap_a, blob::Version* snap_b,
+                      int* alpha_a, int* alpha_b) {
+  Rng rng(99);
+  std::string first_half, second_half;
+  while (first_half.size() < 4 * kBlock) {
+    if (rng.chance(0.2)) {
+      first_half += "xx alpha yy\n";
+    } else {
+      first_half += random_sentence(rng, 6);
+    }
+  }
+  first_half.resize(4 * kBlock, ' ');  // may cut the trailing line
+  while (second_half.size() < 4 * kBlock) {
+    if (rng.chance(0.1)) {
+      second_half += "zz alpha ww\n";
+    } else {
+      second_half += random_sentence(rng, 6);
+    }
+  }
+
+  auto client = w->bsfs.make_client(1);
+  auto writer = co_await client->create("/data");
+  co_await writer->write(DataSpec::from_string(first_half + second_half));
+  co_await writer->close();
+  *snap_a = co_await w->bsfs.snapshot(1, "/data");
+
+  // Rewrite the first half: alphas there become omegas (the new snapshot).
+  std::string rewritten = first_half;
+  for (size_t pos = rewritten.find("alpha"); pos != std::string::npos;
+       pos = rewritten.find("alpha", pos)) {
+    rewritten.replace(pos, 5, "omega");
+  }
+  auto entry = co_await w->ns.lookup(1, "/data");
+  auto blob_client = w->blobs.make_client(1);
+  co_await blob_client->write(entry->blob, 0,
+                              DataSpec::from_string(rewritten));
+  *snap_b = co_await w->bsfs.snapshot(1, "/data");
+
+  *alpha_a = count_occurrences(first_half + second_half, "alpha");
+  *alpha_b = count_occurrences(rewritten + second_half, "alpha");
+}
+
+sim::Task<void> run_job(mr::MapReduceCluster* cluster, mr::JobConfig jc,
+                        mr::JobStats* out) {
+  *out = co_await cluster->run_job(std::move(jc));
+}
+
+uint64_t count_of(const mr::JobStats& stats) {
+  return stats.results.empty() ? 0 : std::stoull(stats.results[0].second);
+}
+
+}  // namespace
+
+int main() {
+  World w;
+  blob::Version snap_a = 0, snap_b = 0;
+  int alpha_a = 0, alpha_b = 0;
+  w.sim.spawn(stage(&w, &snap_a, &snap_b, &alpha_a, &alpha_b));
+  w.sim.run();
+  std::printf("snapshots: initial dataset = v%u, after rewrite = v%u\n\n",
+              snap_a, snap_b);
+
+  mr::DistributedGrep grep_a("alpha"), grep_b("alpha");
+  mr::MrConfig mcfg;
+  mcfg.heartbeat_s = 0.1;
+  mr::MapReduceCluster cluster_a(w.sim, w.net, w.bsfs, mcfg);
+  mr::MapReduceCluster cluster_b(w.sim, w.net, w.bsfs, mcfg);
+
+  auto job = [&](mr::MapReduceApp* app, std::string in, std::string out) {
+    mr::JobConfig jc;
+    jc.input_files = {std::move(in)};
+    jc.output_dir = std::move(out);
+    jc.app = app;
+    jc.num_reducers = 2;
+    jc.record_read_size = 4096;
+    return jc;
+  };
+
+  // Both jobs run at the same time, each pinned to its snapshot.
+  mr::JobStats stats_v1, stats_v2;
+  w.sim.spawn(run_job(&cluster_a,
+                      job(&grep_a, "/data@v" + std::to_string(snap_a), "/o1"),
+                      &stats_v1));
+  w.sim.spawn(run_job(&cluster_b,
+                      job(&grep_b, "/data@v" + std::to_string(snap_b), "/o2"),
+                      &stats_v2));
+  w.sim.run();
+
+  std::printf("grep 'alpha' on snapshot v%u: %llu occurrences (staged: %d)\n",
+              snap_a, static_cast<unsigned long long>(count_of(stats_v1)),
+              alpha_a);
+  std::printf("grep 'alpha' on snapshot v%u: %llu occurrences "
+              "(staged: %d — first half rewritten to 'omega')\n",
+              snap_b, static_cast<unsigned long long>(count_of(stats_v2)),
+              alpha_b);
+  std::printf("jobs ran concurrently over shared pages; times: %.2f s / %.2f s\n",
+              stats_v1.duration, stats_v2.duration);
+
+  const bool ok = count_of(stats_v1) == static_cast<uint64_t>(alpha_a) &&
+                  count_of(stats_v2) == static_cast<uint64_t>(alpha_b);
+  std::printf("snapshot isolation verified: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

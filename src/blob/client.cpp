@@ -1,0 +1,289 @@
+#include "blob/client.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/hash.h"
+#include "common/log.h"
+#include "sim/parallel.h"
+
+namespace bs::blob {
+
+BlobClient::BlobClient(net::NodeId node, sim::Simulator& sim,
+                       net::Network& net, VersionManager& vm,
+                       ProviderManager& pm, const ProviderDirectory& providers,
+                       dht::Dht& dht, ClientConfig cfg)
+    : node_(node), sim_(sim), net_(net), vm_(vm), pm_(pm),
+      providers_(providers), dht_(dht), cfg_(cfg) {}
+
+sim::Task<BlobDescriptor> BlobClient::create(uint64_t page_size,
+                                             uint32_t replication) {
+  BlobDescriptor desc = co_await vm_.create_blob(node_, page_size, replication);
+  desc_cache_[desc.id] = desc;
+  co_return desc;
+}
+
+sim::Task<BlobDescriptor> BlobClient::descriptor(BlobId blob) {
+  auto it = desc_cache_.find(blob);
+  if (it != desc_cache_.end()) co_return it->second;
+  BlobDescriptor desc = co_await vm_.describe(node_, blob);
+  desc_cache_[blob] = desc;
+  co_return desc;
+}
+
+sim::Task<Version> BlobClient::write(BlobId blob, uint64_t offset,
+                                     DataSpec data) {
+  BS_CHECK(data.size() > 0);
+  const BlobDescriptor desc = co_await descriptor(blob);
+  const uint64_t ps = desc.page_size;
+
+  WriteTicket ticket = co_await vm_.assign_write(node_, blob, offset, data.size());
+  const uint64_t first_page = ticket.offset / ps;
+  const uint64_t page_count = pages_for_bytes(data.size(), ps);
+  const PageRange range{first_page, page_count};
+
+  // 2. Providers for every page replica.
+  auto placement =
+      co_await pm_.allocate(node_, page_count, ps, desc.replication);
+
+  // 3. Store page replicas, bounded-parallel.
+  {
+    std::vector<sim::Task<void>> stores;
+    stores.reserve(page_count * desc.replication);
+    for (uint64_t p = 0; p < page_count; ++p) {
+      const uint64_t off = p * ps;
+      const uint64_t len = std::min<uint64_t>(ps, data.size() - off);
+      const PageKey key{blob, first_page + p, ticket.version};
+      for (net::NodeId target : placement[p]) {
+        stores.push_back(
+            providers_.at(target).put_page(node_, key, data.slice(off, len)));
+        ++pages_written_;
+      }
+    }
+    co_await sim::when_all_limited(sim_, std::move(stores),
+                                   cfg_.page_parallelism);
+  }
+
+  // 4. Build and store this version's metadata tree nodes.
+  {
+    std::vector<MetaNode> nodes = build_write_nodes(
+        range, ticket.cap_pages, ticket.version, ticket.history);
+    // Leaves come first, in page order: fill in placement and lengths.
+    for (uint64_t p = 0; p < page_count; ++p) {
+      MetaNode& leaf = nodes[p];
+      BS_CHECK(leaf.is_leaf() && leaf.range.first == first_page + p);
+      leaf.providers = placement[p];
+      const uint64_t off = p * ps;
+      leaf.page_length =
+          static_cast<uint32_t>(std::min<uint64_t>(ps, data.size() - off));
+    }
+    std::vector<sim::Task<void>> puts;
+    puts.reserve(nodes.size());
+    for (const MetaNode& n : nodes) {
+      puts.push_back(
+          dht_.put(node_, meta_key(blob, n.range, n.version), n.serialize()));
+      ++meta_nodes_written_;
+    }
+    co_await sim::when_all_limited(sim_, std::move(puts),
+                                   cfg_.meta_parallelism);
+  }
+
+  // 5. Commit; wait for in-order publication (read-your-write).
+  co_await vm_.commit(node_, blob, ticket.version);
+  co_await vm_.wait_published(node_, blob, ticket.version);
+  co_return ticket.version;
+}
+
+sim::Task<Version> BlobClient::append(BlobId blob, DataSpec data) {
+  co_return co_await write(blob, VersionManager::kAppendOffset,
+                           std::move(data));
+}
+
+sim::Task<std::vector<MetaNode>> BlobClient::walk(BlobId blob, PageRange range,
+                                                  Version version,
+                                                  PageRange target) {
+  if (version == kNoVersion || !range.intersects(target)) {
+    co_return std::vector<MetaNode>{};
+  }
+  auto raw = co_await dht_.get(node_, meta_key(blob, range, version));
+  BS_CHECK_MSG(raw.has_value(), "metadata node missing for published version");
+  ++meta_nodes_read_;
+  MetaNode node = MetaNode::deserialize(*raw);
+  if (node.is_leaf()) {
+    co_return std::vector<MetaNode>{std::move(node)};
+  }
+  std::vector<sim::Task<std::vector<MetaNode>>> subs;
+  subs.push_back(walk(blob, left_child(range), node.left, target));
+  subs.push_back(walk(blob, right_child(range), node.right, target));
+  auto results = co_await sim::when_all(sim_, std::move(subs));
+  std::vector<MetaNode> out = std::move(results[0]);
+  out.insert(out.end(), std::make_move_iterator(results[1].begin()),
+             std::make_move_iterator(results[1].end()));
+  co_return out;
+}
+
+sim::Task<std::vector<MetaNode>> BlobClient::collect_leaves(
+    BlobId blob, const VersionInfo& info, uint64_t page_size,
+    PageRange target) {
+  (void)page_size;
+  co_return co_await walk(blob, PageRange{0, info.cap_pages}, info.version,
+                          target);
+}
+
+sim::Task<DataSpec> BlobClient::read(BlobId blob, Version version,
+                                     uint64_t offset, uint64_t size) {
+  const BlobDescriptor desc = co_await descriptor(blob);
+  const uint64_t ps = desc.page_size;
+
+  VersionInfo info;
+  if (version == kNoVersion) {
+    info = co_await vm_.latest(node_, blob);
+  } else {
+    auto maybe = co_await vm_.version_info(node_, blob, version);
+    BS_CHECK_MSG(maybe.has_value(), "reading an unpublished version");
+    info = *maybe;
+  }
+  if (info.version == kNoVersion || offset >= info.size || size == 0) {
+    co_return DataSpec::from_bytes(Bytes{});
+  }
+  size = std::min(size, info.size - offset);
+
+  const uint64_t first_page = offset / ps;
+  const uint64_t end_page = pages_for_bytes(offset + size, ps);
+  const PageRange target{first_page, end_page - first_page};
+
+  std::vector<MetaNode> leaves =
+      co_await collect_leaves(blob, info, ps, target);
+  std::unordered_map<uint64_t, const MetaNode*> leaf_by_page;
+  for (const MetaNode& l : leaves) leaf_by_page[l.range.first] = &l;
+
+  // Fetch pages in parallel (bounded), in page order.
+  std::vector<sim::Task<DataSpec>> fetches;
+  fetches.reserve(target.count);
+  for (uint64_t p = first_page; p < end_page; ++p) {
+    auto it = leaf_by_page.find(p);
+    const MetaNode* leaf = it == leaf_by_page.end() ? nullptr : it->second;
+    auto fetch_one = [](BlobClient* self, BlobId b, uint64_t page_index,
+                        const MetaNode* lf, uint64_t page_sz,
+                        uint64_t blob_size) -> sim::Task<DataSpec> {
+      // Bytes of this page that exist at this version.
+      const uint64_t page_off = page_index * page_sz;
+      const uint64_t logical_len =
+          std::min(page_sz, blob_size > page_off ? blob_size - page_off : 0);
+      if (lf == nullptr) {
+        // Hole: never-written pages read as zeros.
+        co_return DataSpec::from_bytes(Bytes(logical_len, 0));
+      }
+      // Prefer a local replica, then rack-local, then spread by hash.
+      const auto& reps = lf->providers;
+      net::NodeId chosen = reps[0];
+      const auto& ncfg = self->net_.config();
+      bool local = false, rack = false;
+      for (net::NodeId r : reps) {
+        if (r == self->node_) {
+          chosen = r;
+          local = true;
+          break;
+        }
+        if (!rack && ncfg.same_rack(r, self->node_)) {
+          chosen = r;
+          rack = true;
+        }
+      }
+      if (!local && !rack && reps.size() > 1) {
+        chosen = reps[fnv1a64_u64(page_index ^ self->node_) % reps.size()];
+      }
+      const PageKey key{b, page_index, lf->version};
+      auto page = co_await self->providers_.at(chosen).get_page(self->node_, key);
+      BS_CHECK_MSG(page.has_value(), "provider lost a page");
+      ++self->pages_read_;
+      if (page->size() > logical_len) {
+        // Stored page is longer than this version's logical extent (an old
+        // full page under a version whose size ends inside it).
+        co_return page->slice(0, logical_len);
+      }
+      if (page->size() < logical_len) {
+        // A short page written as the then-end of the blob, later extended
+        // past it by another version: the gap bytes read as zeros.
+        Bytes padded = page->materialize();
+        padded.resize(logical_len, 0);
+        co_return DataSpec::from_bytes(std::move(padded));
+      }
+      co_return *std::move(page);
+    };
+    fetches.push_back(fetch_one(this, blob, p, leaf, ps, info.size));
+  }
+  auto pages = co_await sim::when_all_limited(sim_, std::move(fetches),
+                                              cfg_.page_parallelism);
+
+  // Trim the first and last page to the requested byte range, then stitch.
+  const uint64_t lead = offset - first_page * ps;
+  if (lead > 0 && !pages.empty()) {
+    pages[0] = pages[0].slice(lead, pages[0].size() - lead);
+  }
+  uint64_t have = 0;
+  for (const auto& p : pages) have += p.size();
+  BS_CHECK(have >= size);
+  if (have > size) {
+    auto& last = pages.back();
+    last = last.slice(0, last.size() - (have - size));
+  }
+  co_return concat(pages);
+}
+
+sim::Task<uint64_t> BlobClient::size(BlobId blob, Version version) {
+  if (version == kNoVersion) {
+    const VersionInfo info = co_await vm_.latest(node_, blob);
+    co_return info.size;
+  }
+  auto maybe = co_await vm_.version_info(node_, blob, version);
+  BS_CHECK(maybe.has_value());
+  co_return maybe->size;
+}
+
+sim::Task<VersionInfo> BlobClient::latest(BlobId blob) {
+  co_return co_await vm_.latest(node_, blob);
+}
+
+sim::Task<std::vector<PageLocation>> BlobClient::locate(BlobId blob,
+                                                        Version version,
+                                                        uint64_t offset,
+                                                        uint64_t size) {
+  const BlobDescriptor desc = co_await descriptor(blob);
+  const uint64_t ps = desc.page_size;
+  VersionInfo info;
+  if (version == kNoVersion) {
+    info = co_await vm_.latest(node_, blob);
+  } else {
+    auto maybe = co_await vm_.version_info(node_, blob, version);
+    BS_CHECK_MSG(maybe.has_value(), "locating an unpublished version");
+    info = *maybe;
+  }
+  std::vector<PageLocation> out;
+  if (info.version == kNoVersion || offset >= info.size || size == 0) {
+    co_return out;
+  }
+  size = std::min(size, info.size - offset);
+  const uint64_t first_page = offset / ps;
+  const uint64_t end_page = pages_for_bytes(offset + size, ps);
+  const PageRange target{first_page, end_page - first_page};
+
+  std::vector<MetaNode> leaves =
+      co_await collect_leaves(blob, info, ps, target);
+  std::unordered_map<uint64_t, const MetaNode*> leaf_by_page;
+  for (const MetaNode& l : leaves) leaf_by_page[l.range.first] = &l;
+  for (uint64_t p = first_page; p < end_page; ++p) {
+    PageLocation loc;
+    loc.index = p;
+    auto it = leaf_by_page.find(p);
+    if (it != leaf_by_page.end()) {
+      loc.version = it->second->version;
+      loc.length = it->second->page_length;
+      loc.providers = it->second->providers;
+    }
+    out.push_back(std::move(loc));
+  }
+  co_return out;
+}
+
+}  // namespace bs::blob

@@ -1,0 +1,127 @@
+// BlobSeer client library — the public API of the core system.
+//
+// Implements the full BlobSeer protocol from the client side:
+//
+//   write/append:
+//     1. assign_write at the version manager → version v + write history
+//     2. allocate providers at the provider manager
+//     3. store pages on providers (parallel, bounded)
+//     4. build v's segment-tree nodes and store them in the DHT (parallel)
+//     5. commit at the version manager; wait for publication
+//   read(v):
+//     1. version info from the version manager (v=0 → latest published)
+//     2. walk the tree from (root, v) down to the leaves covering the
+//        requested byte range (parallel descent over the DHT)
+//     3. fetch pages from providers (parallel, bounded), assemble
+//
+// locate() is the layout-exposure primitive added for the MapReduce
+// scheduler (paper §III.B): same tree walk, but returns page→provider
+// locations instead of data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blob/metadata.h"
+#include "blob/provider.h"
+#include "blob/provider_manager.h"
+#include "blob/types.h"
+#include "blob/version_manager.h"
+#include "common/dataspec.h"
+#include "dht/dht.h"
+#include "net/network.h"
+#include "sim/task.h"
+
+namespace bs::blob {
+
+struct ClientConfig {
+  // Max in-flight page transfers per operation (per-client striping width).
+  uint32_t page_parallelism = 8;
+  // Max in-flight DHT operations during tree build/walk.
+  uint32_t meta_parallelism = 16;
+};
+
+// Directory of provider services, shared by clients and the cluster
+// assembly. Maps a node id to the Provider instance running there.
+class ProviderDirectory {
+ public:
+  void add(Provider* p) { by_node_[p->node()] = p; }
+  Provider& at(net::NodeId n) const { return *by_node_.at(n); }
+  size_t size() const { return by_node_.size(); }
+
+ private:
+  std::unordered_map<net::NodeId, Provider*> by_node_;
+};
+
+class BlobClient {
+ public:
+  BlobClient(net::NodeId node, sim::Simulator& sim, net::Network& net,
+             VersionManager& vm, ProviderManager& pm,
+             const ProviderDirectory& providers, dht::Dht& dht,
+             ClientConfig cfg = {});
+
+  net::NodeId node() const { return node_; }
+
+  sim::Task<BlobDescriptor> create(uint64_t page_size, uint32_t replication = 1);
+
+  // Writes `data` at byte `offset` (page-aligned); returns the published
+  // version. A partial final page is only meaningful at the end of a blob.
+  sim::Task<Version> write(BlobId blob, uint64_t offset, DataSpec data);
+  // Appends at the blob's (assigned) end; safe under concurrency.
+  sim::Task<Version> append(BlobId blob, DataSpec data);
+
+  // Reads [offset, offset+size) of `version` (kNoVersion/0 = latest
+  // published). Reading holes or past the end yields zero bytes there; the
+  // result is truncated to the blob size.
+  sim::Task<DataSpec> read(BlobId blob, Version version, uint64_t offset,
+                           uint64_t size);
+
+  // Blob size at a version (latest if kNoVersion).
+  sim::Task<uint64_t> size(BlobId blob, Version version = kNoVersion);
+  sim::Task<VersionInfo> latest(BlobId blob);
+
+  // Layout exposure: page locations covering [offset, offset+size).
+  sim::Task<std::vector<PageLocation>> locate(BlobId blob, Version version,
+                                              uint64_t offset, uint64_t size);
+
+  // Statistics for this client.
+  uint64_t pages_written() const { return pages_written_; }
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t meta_nodes_written() const { return meta_nodes_written_; }
+  uint64_t meta_nodes_read() const { return meta_nodes_read_; }
+
+ private:
+  struct LeafInfo {
+    MetaNode node;  // leaf metadata
+  };
+
+  // Fetches the subtree leaves of (range@version) intersecting `target`.
+  sim::Task<std::vector<MetaNode>> walk(BlobId blob, PageRange range,
+                                        Version version, PageRange target);
+
+  sim::Task<std::vector<MetaNode>> collect_leaves(BlobId blob,
+                                                  const VersionInfo& info,
+                                                  uint64_t page_size,
+                                                  PageRange target);
+
+  // Fetches (and caches) the blob's immutable descriptor.
+  sim::Task<BlobDescriptor> descriptor(BlobId blob);
+
+  net::NodeId node_;
+  sim::Simulator& sim_;
+  net::Network& net_;
+  VersionManager& vm_;
+  ProviderManager& pm_;
+  const ProviderDirectory& providers_;
+  dht::Dht& dht_;
+  ClientConfig cfg_;
+  std::unordered_map<BlobId, BlobDescriptor> desc_cache_;
+
+  uint64_t pages_written_ = 0;
+  uint64_t pages_read_ = 0;
+  uint64_t meta_nodes_written_ = 0;
+  uint64_t meta_nodes_read_ = 0;
+};
+
+}  // namespace bs::blob

@@ -1,0 +1,38 @@
+// Version garbage collection.
+//
+// The paper motivates versioning with "easy roll-back to previous
+// snapshots" — which needs the converse operation too: discarding history.
+// collect_garbage(blob, keep_from) prunes every version below `keep_from`:
+// page replicas and metadata-tree nodes that no kept version can reach are
+// deleted from the providers and the metadata DHT.
+//
+// Liveness is decided from the write history alone (the same math writers
+// use): a node/page created by version u < keep_from is still reachable
+// iff u is the latest owner of its range as of `keep_from` — ownership is
+// monotone in the version number, so checking the watermark version covers
+// every kept version above it. The write history itself is retained (it is
+// tiny and future writers need it to resolve border subtrees).
+#pragma once
+
+#include <cstdint>
+
+#include "blob/cluster.h"
+#include "blob/types.h"
+#include "sim/task.h"
+
+namespace bs::blob {
+
+struct GcStats {
+  Version pruned_below = kNoVersion;  // versions < this are gone
+  uint64_t page_replicas_deleted = 0;
+  uint64_t meta_nodes_deleted = 0;
+  uint64_t bytes_reclaimed = 0;
+};
+
+// Prunes all versions of `blob` below `keep_from` (which must be published).
+// Runs from `node` like any other client operation: history from the
+// version manager, deletions against the DHT and the providers.
+sim::Task<GcStats> collect_garbage(BlobSeerCluster& cluster, net::NodeId node,
+                                   BlobId blob, Version keep_from);
+
+}  // namespace bs::blob

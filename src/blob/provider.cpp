@@ -1,0 +1,150 @@
+#include "blob/provider.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace bs::blob {
+
+Provider::Provider(sim::Simulator& sim, net::Network& net, ProviderConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), ram_freed_(sim), dirty_added_(sim),
+      drained_(sim) {}
+
+bool Provider::ram_resident(const std::string& key) const {
+  return dirty_set_.count(key) > 0 || lru_index_.count(key) > 0;
+}
+
+void Provider::cache_touch(const std::string& key, uint64_t size) {
+  if (!cfg_.read_cache) return;
+  auto it = lru_index_.find(key);
+  if (it != lru_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (size > cfg_.ram_bytes) return;  // page larger than RAM: don't cache
+  cache_evict_for(size);
+  lru_.emplace_front(key, size);
+  lru_index_[key] = lru_.begin();
+  ram_used_ += size;
+}
+
+void Provider::cache_evict_for(uint64_t need) {
+  // Evict clean LRU pages until `need` bytes fit (dirty pages are pinned).
+  while (ram_used_ + need > cfg_.ram_bytes && !lru_.empty()) {
+    auto& [key, size] = lru_.back();
+    ram_used_ -= size;
+    lru_index_.erase(key);
+    lru_.pop_back();
+  }
+}
+
+sim::Task<void> Provider::put_page(net::NodeId client, PageKey key,
+                                   DataSpec data) {
+  const uint64_t size = data.size();
+  BS_CHECK(size > 0);
+  BS_CHECK_MSG(size <= cfg_.ram_bytes,
+               "page larger than provider RAM cannot be admitted");
+  // Page body travels client → provider.
+  co_await net_.transfer(client, cfg_.node, static_cast<double>(size));
+
+  // Admission: wait until the page fits in RAM. Clean pages are evicted
+  // first; if dirty pages alone exceed RAM we must wait for the flusher.
+  const std::string skey = key.to_string();
+  cache_evict_for(size);
+  while (ram_used_ + size > cfg_.ram_bytes) {
+    co_await ram_freed_.wait();
+    cache_evict_for(size);
+  }
+  ram_used_ += size;
+
+  // The page is logically stored now (write-behind persistence).
+  store_.put(skey, data.serialize());
+  ++pages_stored_;
+  if (dirty_set_.insert(skey).second) {
+    dirty_.emplace_back(skey, size);
+  }
+  dirty_added_.notify_one();
+  if (!flusher_running_) {
+    flusher_running_ = true;
+    sim_.spawn(flusher());
+  }
+}
+
+sim::Task<void> Provider::flusher() {
+  // Drains dirty pages to disk at disk-write speed, forever (one flusher
+  // process per provider, started lazily on first write).
+  while (true) {
+    while (dirty_.empty()) {
+      drained_.notify_all();
+      co_await dirty_added_.wait();
+    }
+    auto [key, size] = dirty_.front();
+    dirty_.pop_front();
+    if (!store_.contains(key)) {
+      // Deleted (GC) while waiting to flush: just release the RAM.
+      dirty_set_.erase(key);
+      ram_used_ -= size;
+      ram_freed_.notify_all();
+      continue;
+    }
+    co_await net_.disk(cfg_.node).write(static_cast<double>(size));
+    dirty_set_.erase(key);
+    // The page is clean now; keep it cached if enabled, else free the RAM.
+    if (cfg_.read_cache) {
+      lru_.emplace_front(key, size);
+      lru_index_[key] = lru_.begin();
+    } else {
+      ram_used_ -= size;
+    }
+    ram_freed_.notify_all();
+  }
+}
+
+sim::Task<std::optional<DataSpec>> Provider::get_page(net::NodeId client,
+                                                      PageKey key) {
+  const std::string skey = key.to_string();
+  // Request reaches the provider first.
+  co_await net_.control(client, cfg_.node);
+  auto raw = store_.get(skey);
+  if (!raw.has_value()) {
+    co_await net_.control(cfg_.node, client);
+    co_return std::nullopt;
+  }
+  DataSpec data = DataSpec::deserialize(raw->data(), raw->size());
+  if (ram_resident(skey)) {
+    ++cache_hits_;
+    // Refresh LRU position only for clean pages; dirty pages are pinned by
+    // the flush queue and not in the LRU yet.
+    if (dirty_set_.count(skey) == 0) cache_touch(skey, data.size());
+  } else {
+    ++cache_misses_;
+    co_await net_.disk(cfg_.node).read(static_cast<double>(data.size()));
+    cache_touch(skey, data.size());
+  }
+  // Page body travels provider → client.
+  co_await net_.transfer(cfg_.node, client, static_cast<double>(data.size()));
+  co_return data;
+}
+
+sim::Task<bool> Provider::erase_page(net::NodeId client, PageKey key) {
+  const std::string skey = key.to_string();
+  co_await net_.control(client, cfg_.node);
+  const bool present = store_.erase(skey);
+  if (present) {
+    auto it = lru_index_.find(skey);
+    if (it != lru_index_.end()) {
+      ram_used_ -= it->second->second;
+      lru_.erase(it->second);
+      lru_index_.erase(it);
+    }
+    // A still-dirty page keeps its queue slot; the flusher notices the
+    // deletion, releases the RAM, and skips the disk write.
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return present;
+}
+
+sim::Task<void> Provider::drain() {
+  while (!dirty_.empty()) co_await drained_.wait();
+}
+
+}  // namespace bs::blob

@@ -1,0 +1,120 @@
+#include "blob/provider_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace bs::blob {
+
+ProviderManager::ProviderManager(sim::Simulator& sim, net::Network& net,
+                                 std::vector<net::NodeId> provider_nodes,
+                                 ProviderManagerConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), queue_(sim, cfg.service_time_s),
+      providers_(std::move(provider_nodes)), rng_(cfg.seed) {
+  BS_CHECK_MSG(!providers_.empty(), "need at least one provider");
+  for (size_t i = 0; i < providers_.size(); ++i) {
+    load_[providers_[i]] = 0;
+    index_of_[providers_[i]] = i;
+  }
+}
+
+net::NodeId ProviderManager::pick_one(net::NodeId client,
+                                      const std::vector<net::NodeId>& exclude,
+                                      uint32_t exclude_rack) {
+  const auto& cfg = net_.config();
+  auto excluded = [&](net::NodeId n) {
+    if (std::find(exclude.begin(), exclude.end(), n) != exclude.end()) {
+      return true;
+    }
+    // Rack spreading is best-effort: ignored when it would leave no choice.
+    return exclude_rack != UINT32_MAX && cfg.rack_of(n) == exclude_rack &&
+           providers_.size() > cfg.nodes_per_rack;
+  };
+
+  switch (cfg_.policy) {
+    case PlacementPolicy::kLocalFirst: {
+      if (exclude.empty() && index_of_.count(client) > 0) return client;
+      // Fall through to random choice for non-first replicas.
+      [[fallthrough]];
+    }
+    case PlacementPolicy::kRandomK: {
+      net::NodeId best = 0;
+      uint64_t best_load = std::numeric_limits<uint64_t>::max();
+      bool found = false;
+      const uint32_t k = cfg_.policy == PlacementPolicy::kRandomK
+                             ? cfg_.random_k
+                             : 1;  // kLocalFirst replicas: plain random
+      for (uint32_t attempt = 0, picked = 0;
+           picked < k && attempt < 16 * (k + 1); ++attempt) {
+        const net::NodeId n = providers_[rng_.below(providers_.size())];
+        if (excluded(n)) continue;
+        ++picked;
+        found = true;
+        if (load_[n] < best_load) {
+          best_load = load_[n];
+          best = n;
+        }
+      }
+      if (found) return best;
+      break;  // pathological exclusion: fall back to least-loaded scan
+    }
+    case PlacementPolicy::kRoundRobin: {
+      for (size_t tries = 0; tries < providers_.size(); ++tries) {
+        const net::NodeId n = providers_[rr_cursor_];
+        rr_cursor_ = (rr_cursor_ + 1) % providers_.size();
+        if (!excluded(n)) return n;
+      }
+      break;
+    }
+    case PlacementPolicy::kLeastLoaded:
+      break;
+  }
+
+  // Least-loaded scan (also the fallback for the other policies).
+  net::NodeId best = providers_[0];
+  uint64_t best_load = std::numeric_limits<uint64_t>::max();
+  // Random starting point so equal loads don't all pick provider 0.
+  const size_t start = rng_.below(providers_.size());
+  for (size_t i = 0; i < providers_.size(); ++i) {
+    const net::NodeId n = providers_[(start + i) % providers_.size()];
+    if (excluded(n)) continue;
+    if (load_[n] < best_load) {
+      best_load = load_[n];
+      best = n;
+    }
+  }
+  BS_CHECK_MSG(best_load != std::numeric_limits<uint64_t>::max(),
+               "no eligible provider");
+  return best;
+}
+
+sim::Task<std::vector<std::vector<net::NodeId>>> ProviderManager::allocate(
+    net::NodeId client, uint64_t page_count, uint64_t page_size,
+    uint32_t replication) {
+  BS_CHECK(replication >= 1);
+  BS_CHECK(replication <= providers_.size());
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process(static_cast<double>(std::max<uint64_t>(
+      1, page_count / 64)));  // bulk allocations cost a bit more
+  ++requests_;
+
+  const auto& ncfg = net_.config();
+  std::vector<std::vector<net::NodeId>> out(page_count);
+  for (uint64_t p = 0; p < page_count; ++p) {
+    std::vector<net::NodeId>& replicas = out[p];
+    replicas.reserve(replication);
+    uint32_t first_rack = UINT32_MAX;
+    for (uint32_t r = 0; r < replication; ++r) {
+      const net::NodeId n =
+          pick_one(client, replicas, r == 1 ? first_rack : UINT32_MAX);
+      if (r == 0) first_rack = ncfg.rack_of(n);
+      replicas.push_back(n);
+      load_[n] += page_size;
+    }
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+}  // namespace bs::blob

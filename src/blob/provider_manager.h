@@ -1,0 +1,76 @@
+// Provider manager — allocates pages to providers.
+//
+// The paper attributes BSFS's sustained throughput to this component's
+// load-balancing page distribution (§IV.B). Strategies:
+//   kLeastLoaded  — BlobSeer's default: pick the provider with the least
+//                   allocated bytes (ties broken pseudo-randomly).
+//   kRoundRobin   — global rotation, ignores sizes.
+//   kRandomK      — sample k providers uniformly, keep the least loaded
+//                   (power-of-d-choices).
+//   kLocalFirst   — HDFS-style: first replica on the writing client's node
+//                   when it hosts a provider (ablation A1 contrasts this
+//                   with the balanced policies).
+// Replicas of one page always land on distinct providers, and the
+// second replica avoids the first's rack when possible (mirrors BlobSeer's
+// fault-tolerance placement).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "blob/types.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/task.h"
+
+namespace bs::blob {
+
+enum class PlacementPolicy { kLeastLoaded, kRoundRobin, kRandomK, kLocalFirst };
+
+struct ProviderManagerConfig {
+  net::NodeId node = 0;
+  double service_time_s = 60e-6;
+  PlacementPolicy policy = PlacementPolicy::kLeastLoaded;
+  uint32_t random_k = 3;
+  uint64_t seed = 0x9db5;
+};
+
+class ProviderManager {
+ public:
+  ProviderManager(sim::Simulator& sim, net::Network& net,
+                  std::vector<net::NodeId> provider_nodes,
+                  ProviderManagerConfig cfg);
+
+  // Chooses `replication` distinct providers for each of `page_count`
+  // pages of `page_size` bytes written by `client`. Returns page-major:
+  // result[i] = providers for page i.
+  sim::Task<std::vector<std::vector<net::NodeId>>> allocate(
+      net::NodeId client, uint64_t page_count, uint64_t page_size,
+      uint32_t replication);
+
+  // Allocated bytes per provider (the PM's own load view).
+  const std::unordered_map<net::NodeId, uint64_t>& load() const {
+    return load_;
+  }
+  uint64_t total_requests() const { return requests_; }
+
+ private:
+  net::NodeId pick_one(net::NodeId client,
+                       const std::vector<net::NodeId>& exclude,
+                       uint32_t exclude_rack);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  ProviderManagerConfig cfg_;
+  net::ServiceQueue queue_;
+  std::vector<net::NodeId> providers_;
+  std::unordered_map<net::NodeId, uint64_t> load_;
+  std::unordered_map<net::NodeId, size_t> index_of_;
+  Rng rng_;
+  size_t rr_cursor_ = 0;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace bs::blob

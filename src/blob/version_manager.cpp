@@ -1,0 +1,190 @@
+#include "blob/version_manager.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace bs::blob {
+
+VersionManager::VersionManager(sim::Simulator& sim, net::Network& net,
+                               VersionManagerConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), queue_(sim, cfg.service_time_s) {}
+
+VersionManager::BlobState& VersionManager::state_of(BlobId blob) {
+  auto it = blobs_.find(blob);
+  BS_CHECK_MSG(it != blobs_.end(), "unknown blob id");
+  return it->second;
+}
+
+sim::Task<BlobDescriptor> VersionManager::create_blob(net::NodeId client,
+                                                      uint64_t page_size,
+                                                      uint32_t replication) {
+  BS_CHECK(page_size > 0);
+  BS_CHECK(replication >= 1);
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  BlobState state;
+  state.desc.id = next_blob_id_++;
+  state.desc.page_size = page_size;
+  state.desc.replication = replication;
+  state.publish_cv = std::make_unique<sim::CondVar>(sim_);
+  const BlobDescriptor desc = state.desc;
+  blobs_.emplace(desc.id, std::move(state));
+  co_await net_.control(cfg_.node, client);
+  co_return desc;
+}
+
+sim::Task<WriteTicket> VersionManager::assign_write(net::NodeId client,
+                                                    BlobId blob,
+                                                    uint64_t offset,
+                                                    uint64_t size) {
+  BS_CHECK(size > 0);
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  BlobState& b = state_of(blob);
+  const uint64_t page = b.desc.page_size;
+  if (offset == kAppendOffset) {
+    // Appends attach to the latest *assigned* end, so concurrent appenders
+    // get disjoint ranges. Appending to a blob whose size is not
+    // page-aligned is an API misuse (the final partial page is closed);
+    // BSFS only appends whole blocks, so this never triggers there.
+    offset = b.assigned_size;
+  }
+  BS_CHECK_MSG(offset % page == 0, "write offset must be page-aligned");
+  // Writes past the current end are allowed and create a hole: pages never
+  // written read as zeros (child pointer kNoVersion in the metadata tree).
+  // A write whose size is not a page multiple leaves a short final page,
+  // which is only meaningful when it forms the new end of the blob.
+  BS_CHECK_MSG(size % page == 0 || offset + size >= b.assigned_size,
+               "partial final page is only allowed at the end of the blob");
+
+  WriteTicket t;
+  t.blob = blob;
+  t.version = b.next_version++;
+  t.offset = offset;
+  t.size_after = std::max(b.assigned_size, offset + size);
+  t.history = b.history;  // records of all versions < t.version
+
+  const uint64_t first_page = offset / page;
+  const uint64_t end_page = pages_for_bytes(offset + size, page);
+  const uint64_t pages_after = pages_for_bytes(t.size_after, page);
+  t.cap_pages = next_pow2(pages_after);
+
+  WriteRecord rec;
+  rec.version = t.version;
+  rec.range = PageRange{first_page, end_page - first_page};
+  rec.size_after = t.size_after;
+  rec.cap_after = t.cap_pages;
+  b.history.push_back(rec);
+  b.assigned_size = t.size_after;
+
+  co_await net_.control(cfg_.node, client);
+  co_return t;
+}
+
+sim::Task<void> VersionManager::commit(net::NodeId client, BlobId blob,
+                                       Version version) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  BlobState& b = state_of(blob);
+  BS_CHECK(version > b.published);
+  b.committed.insert(version);
+  // Publish in version order as far as the committed prefix allows.
+  while (b.committed.count(b.published + 1) > 0) {
+    b.committed.erase(b.published + 1);
+    b.published += 1;
+  }
+  b.publish_cv->notify_all();
+  co_await net_.control(cfg_.node, client);
+}
+
+sim::Task<void> VersionManager::wait_published(net::NodeId client, BlobId blob,
+                                               Version version) {
+  co_await net_.control(client, cfg_.node);
+  BlobState& b = state_of(blob);
+  while (b.published < version) co_await b.publish_cv->wait();
+  co_await net_.control(cfg_.node, client);
+}
+
+VersionInfo VersionManager::info_at(const BlobState& b, Version v) const {
+  VersionInfo info;
+  info.version = v;
+  if (v == kNoVersion) {
+    info.size = 0;
+    info.cap_pages = 0;
+    return info;
+  }
+  const WriteRecord& rec = b.history[v - 1];
+  BS_CHECK(rec.version == v);
+  info.size = rec.size_after;
+  info.cap_pages = rec.cap_after;
+  return info;
+}
+
+sim::Task<VersionInfo> VersionManager::latest(net::NodeId client, BlobId blob) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  const BlobState& b = state_of(blob);
+  const VersionInfo info = info_at(b, b.published);
+  co_await net_.control(cfg_.node, client);
+  co_return info;
+}
+
+sim::Task<std::optional<VersionInfo>> VersionManager::version_info(
+    net::NodeId client, BlobId blob, Version v) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  const BlobState& b = state_of(blob);
+  std::optional<VersionInfo> out;
+  if (v != kNoVersion && v <= b.published && v >= b.pruned_below) {
+    out = info_at(b, v);
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<std::vector<WriteRecord>> VersionManager::full_history(
+    net::NodeId client, BlobId blob) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  std::vector<WriteRecord> history = state_of(blob).history;
+  co_await net_.control(cfg_.node, client);
+  co_return history;
+}
+
+sim::Task<Version> VersionManager::prune(net::NodeId client, BlobId blob,
+                                         Version keep_from) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  BlobState& b = state_of(blob);
+  BS_CHECK_MSG(keep_from >= 1 && keep_from <= b.published,
+               "can only prune below a published version");
+  b.pruned_below = std::max(b.pruned_below, keep_from);
+  const Version watermark = b.pruned_below;
+  co_await net_.control(cfg_.node, client);
+  co_return watermark;
+}
+
+sim::Task<BlobDescriptor> VersionManager::describe(net::NodeId client,
+                                                   BlobId blob) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  const BlobDescriptor desc = state_of(blob).desc;
+  co_await net_.control(cfg_.node, client);
+  co_return desc;
+}
+
+Version VersionManager::published_version(BlobId blob) const {
+  auto it = blobs_.find(blob);
+  BS_CHECK(it != blobs_.end());
+  return it->second.published;
+}
+
+}  // namespace bs::blob

@@ -1,0 +1,102 @@
+// The version manager — BlobSeer's only centralized component.
+//
+// It assigns version numbers to writers (serializing concurrent writes to
+// the same blob into a total order), tracks each blob's write history and
+// sizes, and publishes versions strictly in order: version v becomes
+// visible to readers only after (a) its writer reported data+metadata
+// completion and (b) v-1 is published. Readers ask it for the latest
+// published version (a tiny request — the heavy metadata lookups go to the
+// DHT, which is the design point the paper contrasts with HDFS's NameNode).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "blob/types.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace bs::blob {
+
+struct VersionManagerConfig {
+  net::NodeId node = 0;        // cluster node hosting the service
+  double service_time_s = 80e-6;
+};
+
+class VersionManager {
+ public:
+  VersionManager(sim::Simulator& sim, net::Network& net,
+                 VersionManagerConfig cfg);
+
+  // --- client-facing RPCs (all model control latency + service time) ---
+
+  sim::Task<BlobDescriptor> create_blob(net::NodeId client, uint64_t page_size,
+                                        uint32_t replication);
+
+  // Assigns the next version for a write at `offset` (bytes, page-aligned)
+  // of `size` bytes. Pass offset = kAppendOffset to append at the current
+  // end (the VM resolves the offset against the latest *assigned* size, so
+  // concurrent appends get disjoint ranges — the paper's §V extension).
+  static constexpr uint64_t kAppendOffset = ~0ULL;
+  sim::Task<WriteTicket> assign_write(net::NodeId client, BlobId blob,
+                                      uint64_t offset, uint64_t size);
+
+  // Writer finished storing pages + metadata for `version`.
+  sim::Task<void> commit(net::NodeId client, BlobId blob, Version version);
+
+  // Blocks until `version` is published (write() uses this for
+  // read-your-write semantics).
+  sim::Task<void> wait_published(net::NodeId client, BlobId blob,
+                                 Version version);
+
+  // Latest published version (readers start here).
+  sim::Task<VersionInfo> latest(net::NodeId client, BlobId blob);
+  // Full write history (versions 1..latest assigned) — consumed by GC.
+  sim::Task<std::vector<WriteRecord>> full_history(net::NodeId client,
+                                                   BlobId blob);
+  // Marks versions below `keep_from` pruned: their info becomes
+  // unavailable (version_info -> nullopt), so readers can no longer open
+  // them. keep_from must be published. Returns the new watermark.
+  sim::Task<Version> prune(net::NodeId client, BlobId blob, Version keep_from);
+  // Info for a specific published version; nullopt if not published/known.
+  sim::Task<std::optional<VersionInfo>> version_info(net::NodeId client,
+                                                     BlobId blob, Version v);
+  sim::Task<BlobDescriptor> describe(net::NodeId client, BlobId blob);
+
+  // --- local introspection (no modeled cost; used by tests/benches) ---
+  Version published_version(BlobId blob) const;
+  uint64_t total_requests() const { return requests_; }
+  size_t queue_depth() const { return queue_.queue_depth(); }
+
+ private:
+  struct BlobState {
+    BlobDescriptor desc;
+    std::vector<WriteRecord> history;  // ascending by version, 1-based
+    Version next_version = 1;          // next to assign
+    Version published = kNoVersion;    // highest published
+    Version pruned_below = 1;          // versions < this were GC'ed
+    uint64_t assigned_size = 0;        // size after the latest assigned write
+    std::set<Version> committed;       // committed but not yet published
+    std::unique_ptr<sim::CondVar> publish_cv;
+  };
+
+  VersionInfo info_at(const BlobState& b, Version v) const;
+  BlobState& state_of(BlobId blob);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  VersionManagerConfig cfg_;
+  net::ServiceQueue queue_;
+  std::unordered_map<BlobId, BlobState> blobs_;
+  BlobId next_blob_id_ = 1;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace bs::blob

@@ -1,0 +1,295 @@
+#include "bsfs/bsfs.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace bs::bsfs {
+
+// ---------- Bsfs ----------
+
+Bsfs::Bsfs(sim::Simulator& sim, net::Network& net,
+           blob::BlobSeerCluster& cluster, NamespaceManager& ns,
+           BsfsConfig cfg)
+    : sim_(sim), net_(net), cluster_(cluster), ns_(ns), cfg_(cfg) {
+  BS_CHECK_MSG(cfg_.block_size % cfg_.page_size == 0,
+               "block size must be a multiple of the page size");
+}
+
+std::unique_ptr<fs::FsClient> Bsfs::make_client(net::NodeId node) {
+  return std::make_unique<BsfsClient>(*this, node);
+}
+
+sim::Task<blob::Version> Bsfs::snapshot(net::NodeId node,
+                                        const std::string& path) {
+  auto entry = co_await ns_.lookup(node, path);
+  BS_CHECK_MSG(entry.has_value() && !entry->is_dir, "snapshot of a non-file");
+  auto client = cluster_.make_client(node);
+  const auto info = co_await client->latest(entry->blob);
+  co_return info.version;
+}
+
+std::pair<std::string, blob::Version> parse_versioned_path(
+    const std::string& path) {
+  const size_t at = path.rfind("@v");
+  if (at == std::string::npos || at + 2 >= path.size()) {
+    return {path, blob::kNoVersion};
+  }
+  blob::Version v = 0;
+  for (size_t i = at + 2; i < path.size(); ++i) {
+    if (path[i] < '0' || path[i] > '9') return {path, blob::kNoVersion};
+    v = v * 10 + static_cast<blob::Version>(path[i] - '0');
+  }
+  return {path.substr(0, at), v};
+}
+
+// ---------- BsfsClient ----------
+
+BsfsClient::BsfsClient(Bsfs& owner, net::NodeId node)
+    : owner_(owner), node_(node) {}
+
+sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::create(
+    const std::string& path) {
+  auto blob_client = owner_.cluster_.make_client(node_);
+  const auto desc = co_await blob_client->create(owner_.cfg_.page_size,
+                                                 owner_.cfg_.replication);
+  const bool ok =
+      co_await owner_.ns_.add_file(node_, path, desc.id, owner_.cfg_.block_size);
+  if (!ok) co_return nullptr;
+  auto writer = std::make_unique<BsfsWriter>(owner_, std::move(blob_client),
+                                             path, desc.id);
+  writer->set_known_end(0);  // fresh blob
+  co_return writer;
+}
+
+sim::Task<std::unique_ptr<fs::FsReader>> BsfsClient::open(
+    const std::string& path) {
+  auto [base, version] = parse_versioned_path(path);
+  co_return co_await open_at_version(base, version);
+}
+
+sim::Task<std::unique_ptr<fs::FsReader>> BsfsClient::open_at_version(
+    const std::string& path, blob::Version version) {
+  auto entry = co_await owner_.ns_.lookup(node_, path);
+  if (!entry.has_value() || entry->is_dir || entry->under_construction) {
+    co_return nullptr;
+  }
+  auto blob_client = owner_.cluster_.make_client(node_);
+  blob::VersionInfo pinned;
+  if (version == blob::kNoVersion) {
+    pinned = co_await blob_client->latest(entry->blob);
+  } else {
+    auto maybe = co_await owner_.cluster_.version_manager().version_info(
+        node_, entry->blob, version);
+    if (!maybe.has_value()) co_return nullptr;
+    pinned = *maybe;
+  }
+  co_return std::make_unique<BsfsReader>(owner_, std::move(blob_client),
+                                         entry->blob, pinned);
+}
+
+sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::append(
+    const std::string& path) {
+  auto entry = co_await owner_.ns_.lookup(node_, path);
+  if (!entry.has_value() || entry->is_dir) co_return nullptr;
+  const bool ok = co_await owner_.ns_.reopen_for_append(node_, path);
+  if (!ok) co_return nullptr;
+  auto blob_client = owner_.cluster_.make_client(node_);
+  co_return std::make_unique<BsfsWriter>(owner_, std::move(blob_client), path,
+                                         entry->blob);
+}
+
+sim::Task<std::optional<fs::FileStat>> BsfsClient::stat(
+    const std::string& path) {
+  auto [base, version] = parse_versioned_path(path);
+  auto entry = co_await owner_.ns_.lookup(node_, base);
+  if (!entry.has_value()) co_return std::nullopt;
+  fs::FileStat st;
+  st.path = path;
+  st.is_dir = entry->is_dir;
+  st.block_size = entry->block_size;
+  if (!entry->is_dir) {
+    if (version == blob::kNoVersion) {
+      auto blob_client = owner_.cluster_.make_client(node_);
+      st.size = co_await blob_client->size(entry->blob);
+    } else {
+      auto info = co_await owner_.cluster_.version_manager().version_info(
+          node_, entry->blob, version);
+      if (!info.has_value()) co_return std::nullopt;
+      st.size = info->size;
+    }
+  }
+  co_return st;
+}
+
+sim::Task<std::vector<std::string>> BsfsClient::list(const std::string& dir) {
+  co_return co_await owner_.ns_.list(node_, dir);
+}
+
+sim::Task<bool> BsfsClient::remove(const std::string& path) {
+  co_return co_await owner_.ns_.remove(node_, path);
+}
+
+sim::Task<std::vector<fs::BlockLocation>> BsfsClient::locations(
+    const std::string& path, uint64_t offset, uint64_t length) {
+  std::vector<fs::BlockLocation> out;
+  auto [base, version] = parse_versioned_path(path);
+  auto entry = co_await owner_.ns_.lookup(node_, base);
+  if (!entry.has_value() || entry->is_dir) co_return out;
+  auto blob_client = owner_.cluster_.make_client(node_);
+  auto pages =
+      co_await blob_client->locate(entry->blob, version, offset, length);
+  if (pages.empty()) co_return out;
+
+  // Group pages into Hadoop blocks; a block's hosts are the providers
+  // holding its pages, most-loaded first (the scheduler treats any of them
+  // as "local" for this block).
+  const uint64_t block = owner_.cfg_.block_size;
+  const uint64_t pages_per_block = block / owner_.cfg_.page_size;
+  std::map<uint64_t, std::map<net::NodeId, int>> per_block;
+  std::map<uint64_t, uint64_t> block_bytes;
+  for (const auto& page : pages) {
+    const uint64_t b = page.index / pages_per_block;
+    for (net::NodeId host : page.providers) per_block[b][host] += 1;
+    block_bytes[b] += page.length;
+  }
+  for (const auto& [b, hosts] : per_block) {
+    fs::BlockLocation loc;
+    loc.offset = b * block;
+    loc.length = block_bytes[b];
+    std::vector<std::pair<int, net::NodeId>> ranked;
+    for (const auto& [host, count] : hosts) ranked.emplace_back(count, host);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b2) {
+      return a.first != b2.first ? a.first > b2.first : a.second < b2.second;
+    });
+    for (const auto& [count, host] : ranked) {
+      loc.hosts.push_back(host);
+      if (loc.hosts.size() == 3) break;  // Hadoop reports up to replication
+    }
+    out.push_back(std::move(loc));
+  }
+  co_return out;
+}
+
+// ---------- BsfsWriter ----------
+
+BsfsWriter::BsfsWriter(Bsfs& owner,
+                       std::unique_ptr<blob::BlobClient> blob_client,
+                       std::string path, blob::BlobId blob)
+    : owner_(owner), client_(std::move(blob_client)), path_(std::move(path)),
+      blob_(blob) {}
+
+void BsfsWriter::set_known_end(uint64_t end) { end_bytes_ = end; }
+
+sim::Task<bool> BsfsWriter::write(DataSpec data) {
+  BS_CHECK_MSG(!closed_, "write after close");
+  if (data.size() == 0) co_return true;
+  pending_bytes_ += data.size();
+  bytes_written_ += data.size();
+  pending_.push_back(std::move(data));
+  // Write-behind: commit only once a whole block has accumulated (or every
+  // call when the cache is disabled — the ablation's write-through mode).
+  const uint64_t threshold =
+      owner_.cfg_.enable_cache ? owner_.cfg_.block_size : 1;
+  co_await flush(threshold);
+  co_return true;
+}
+
+sim::Task<void> BsfsWriter::flush(uint64_t threshold) {
+  if (pending_bytes_ < threshold || pending_bytes_ == 0) co_return;
+  if (end_bytes_ == UINT64_MAX) {
+    end_bytes_ = co_await client_->size(blob_);  // append: resolve the end
+  }
+  while (pending_bytes_ >= threshold && pending_bytes_ > 0) {
+    // Assemble min(block, pending) bytes into one append.
+    const uint64_t take_target =
+        std::min<uint64_t>(owner_.cfg_.block_size, pending_bytes_);
+    std::vector<DataSpec> chunk;
+    uint64_t taken = 0;
+    while (taken < take_target) {
+      DataSpec& front = pending_.front();
+      const uint64_t need = take_target - taken;
+      if (front.size() <= need) {
+        taken += front.size();
+        chunk.push_back(std::move(front));
+        pending_.erase(pending_.begin());
+      } else {
+        chunk.push_back(front.slice(0, need));
+        front = front.slice(need, front.size() - need);
+        taken += need;
+      }
+    }
+    pending_bytes_ -= taken;
+    const uint64_t page = owner_.cfg_.page_size;
+    const uint64_t pad = end_bytes_ % page;
+    if (pad == 0) {
+      co_await client_->append(blob_, concat(chunk));
+    } else {
+      // The blob ends mid-page: merge the existing tail with the new data
+      // and overwrite from the page boundary (single-writer RMW).
+      const uint64_t aligned = end_bytes_ - pad;
+      DataSpec tail =
+          co_await client_->read(blob_, blob::kNoVersion, aligned, pad);
+      std::vector<DataSpec> merged;
+      merged.push_back(std::move(tail));
+      for (auto& part : chunk) merged.push_back(std::move(part));
+      co_await client_->write(blob_, aligned, concat(merged));
+    }
+    end_bytes_ += taken;
+  }
+}
+
+sim::Task<bool> BsfsWriter::close() {
+  if (closed_) co_return true;
+  closed_ = true;
+  co_await flush(1);  // whatever remains, as the final (possibly short) block
+  co_return co_await owner_.ns_.finalize(client_->node(), path_);
+}
+
+// ---------- BsfsReader ----------
+
+BsfsReader::BsfsReader(Bsfs& owner,
+                       std::unique_ptr<blob::BlobClient> blob_client,
+                       blob::BlobId blob, blob::VersionInfo pinned)
+    : owner_(owner), client_(std::move(blob_client)), blob_(blob),
+      pinned_(pinned) {}
+
+sim::Task<DataSpec> BsfsReader::read(uint64_t offset, uint64_t size) {
+  if (offset >= pinned_.size || size == 0) {
+    co_return DataSpec::from_bytes(Bytes{});
+  }
+  size = std::min(size, pinned_.size - offset);
+
+  if (!owner_.cfg_.enable_cache) {
+    ++cache_misses_;
+    co_return co_await client_->read(blob_, pinned_.version, offset, size);
+  }
+
+  const uint64_t block = owner_.cfg_.block_size;
+  std::vector<DataSpec> parts;
+  uint64_t at = offset;
+  const uint64_t end = offset + size;
+  while (at < end) {
+    const uint64_t b = at / block;
+    const uint64_t block_start = b * block;
+    const uint64_t block_len = std::min(block, pinned_.size - block_start);
+    if (cached_block_ != b) {
+      // Miss: prefetch the whole containing block (paper §III.B).
+      ++cache_misses_;
+      cached_data_ =
+          co_await client_->read(blob_, pinned_.version, block_start, block_len);
+      cached_block_ = b;
+    } else {
+      ++cache_hits_;
+    }
+    const uint64_t take =
+        std::min(end, block_start + cached_data_.size()) - at;
+    BS_CHECK(take > 0);
+    parts.push_back(cached_data_.slice(at - block_start, take));
+    at += take;
+  }
+  co_return parts.size() == 1 ? std::move(parts[0]) : concat(parts);
+}
+
+}  // namespace bs::bsfs

@@ -1,0 +1,154 @@
+// BSFS — the BlobSeer File System (paper §III.B): the layer that lets
+// BlobSeer serve as Hadoop's storage back-end.
+//
+// Files map 1:1 to BLOBs (namespace manager). The client adds the caching
+// the paper describes for Hadoop's small-record access pattern (~4 KB
+// reads/writes):
+//   * readers prefetch a whole block on a cache miss and serve subsequent
+//     reads from memory;
+//   * writers buffer until a whole block accumulates, then commit it as a
+//     single BlobSeer append (write-behind).
+// A block is a Hadoop-sized chunk (64 MB) made of several BlobSeer pages,
+// so each block read/write is striped over `block/page` providers in
+// parallel — the load-balancing that drives the paper's throughput results.
+//
+// Readers pin the blob version observed at open (BlobSeer snapshots), which
+// is what makes concurrent MapReduce workflows over different snapshots of
+// one dataset possible (paper §V) — see Bsfs::snapshot().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "blob/cluster.h"
+#include "bsfs/namespace.h"
+#include "fs/filesystem.h"
+
+namespace bs::bsfs {
+
+struct BsfsConfig {
+  uint64_t block_size = 64ULL << 20;  // Hadoop chunk
+  uint64_t page_size = 8ULL << 20;    // BlobSeer page (block = 8 pages)
+  uint32_t replication = 1;
+  // Client-side cache on/off (ablation A3); when off, reads go straight to
+  // BlobSeer at request granularity and writes flush per call.
+  bool enable_cache = true;
+};
+
+class Bsfs;
+
+class BsfsWriter final : public fs::FsWriter {
+ public:
+  BsfsWriter(Bsfs& owner, std::unique_ptr<blob::BlobClient> blob_client,
+             std::string path, blob::BlobId blob);
+
+  sim::Task<bool> write(DataSpec data) override;
+  sim::Task<bool> close() override;
+  uint64_t bytes_written() const override { return bytes_written_; }
+  // Declares the blob's current end (skips the size lookup at first flush).
+  void set_known_end(uint64_t end);
+
+ private:
+  sim::Task<void> flush(uint64_t threshold);
+
+  Bsfs& owner_;
+  std::unique_ptr<blob::BlobClient> client_;
+  std::string path_;
+  blob::BlobId blob_;
+  std::vector<DataSpec> pending_;
+  uint64_t pending_bytes_ = 0;
+  uint64_t bytes_written_ = 0;
+  // Current end of the blob; UINT64_MAX until resolved at first flush.
+  // When the end is not page-aligned (a short final page), the next flush
+  // re-writes that page (read-modify-write) so appends of any size work.
+  // NOTE: concurrent appenders must append whole blocks (as MapReduce
+  // outputs do) — a mid-page RMW is single-writer by nature.
+  uint64_t end_bytes_ = UINT64_MAX;
+  bool closed_ = false;
+};
+
+class BsfsReader final : public fs::FsReader {
+ public:
+  BsfsReader(Bsfs& owner, std::unique_ptr<blob::BlobClient> blob_client,
+             blob::BlobId blob, blob::VersionInfo pinned);
+  sim::Task<DataSpec> read(uint64_t offset, uint64_t size) override;
+  uint64_t size() const override { return pinned_.size; }
+
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  Bsfs& owner_;
+  std::unique_ptr<blob::BlobClient> client_;
+  blob::BlobId blob_;
+  blob::VersionInfo pinned_;
+  // One cached (prefetched) block — MapReduce access is sequential.
+  uint64_t cached_block_ = UINT64_MAX;
+  DataSpec cached_data_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+class BsfsClient final : public fs::FsClient {
+ public:
+  BsfsClient(Bsfs& owner, net::NodeId node);
+  net::NodeId node() const override { return node_; }
+
+  sim::Task<std::unique_ptr<fs::FsWriter>> create(const std::string& path) override;
+  sim::Task<std::unique_ptr<fs::FsReader>> open(const std::string& path) override;
+  sim::Task<std::unique_ptr<fs::FsWriter>> append(const std::string& path) override;
+  sim::Task<std::optional<fs::FileStat>> stat(const std::string& path) override;
+  sim::Task<std::vector<std::string>> list(const std::string& dir) override;
+  sim::Task<bool> remove(const std::string& path) override;
+  sim::Task<std::vector<fs::BlockLocation>> locations(
+      const std::string& path, uint64_t offset, uint64_t length) override;
+
+  // BSFS extension: opens a reader pinned to a specific published version
+  // of the file's blob (a snapshot), not just the latest.
+  sim::Task<std::unique_ptr<fs::FsReader>> open_at_version(
+      const std::string& path, blob::Version version);
+
+ private:
+  Bsfs& owner_;
+  net::NodeId node_;
+};
+
+// BSFS versioned-path convention: "<path>@v<N>" names version N of <path>.
+// open/stat/locations resolve it against that snapshot, which lets the
+// unmodified MapReduce framework run concurrent workflows over different
+// snapshots of one dataset (paper §V). Returns kNoVersion for plain paths.
+std::pair<std::string, blob::Version> parse_versioned_path(
+    const std::string& path);
+
+class Bsfs final : public fs::FileSystem {
+ public:
+  Bsfs(sim::Simulator& sim, net::Network& net, blob::BlobSeerCluster& cluster,
+       NamespaceManager& ns, BsfsConfig cfg = {});
+
+  std::string name() const override { return "BSFS"; }
+  uint64_t block_size() const override { return cfg_.block_size; }
+  std::unique_ptr<fs::FsClient> make_client(net::NodeId node) override;
+
+  // Current published version of a file's blob — a snapshot handle usable
+  // with BsfsClient::open_at_version (paper §V versioning extension).
+  sim::Task<blob::Version> snapshot(net::NodeId node, const std::string& path);
+
+  const BsfsConfig& config() const { return cfg_; }
+  NamespaceManager& ns() { return ns_; }
+  blob::BlobSeerCluster& blobs() { return cluster_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  friend class BsfsClient;
+  friend class BsfsReader;
+  friend class BsfsWriter;
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  blob::BlobSeerCluster& cluster_;
+  NamespaceManager& ns_;
+  BsfsConfig cfg_;
+};
+
+}  // namespace bs::bsfs

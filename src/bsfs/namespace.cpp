@@ -1,0 +1,142 @@
+#include "bsfs/namespace.h"
+
+#include "common/assert.h"
+#include "fs/filesystem.h"
+
+namespace bs::bsfs {
+
+NamespaceManager::NamespaceManager(sim::Simulator& sim, net::Network& net,
+                                   NamespaceConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), queue_(sim, cfg.service_time_s) {
+  entries_["/"] = NsEntry{true, 0, 0, false};
+}
+
+void NamespaceManager::mkdirs_locked(const std::string& path) {
+  if (path.empty() || path == "/") return;
+  mkdirs_locked(fs::parent_path(path));
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    entries_[path] = NsEntry{true, 0, 0, false};
+  }
+}
+
+sim::Task<bool> NamespaceManager::add_file(net::NodeId client,
+                                           const std::string& path,
+                                           blob::BlobId blob,
+                                           uint64_t block_size) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  bool ok = false;
+  if (entries_.count(path) == 0) {
+    mkdirs_locked(fs::parent_path(path));
+    entries_[path] = NsEntry{false, blob, block_size, true};
+    ok = true;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<bool> NamespaceManager::finalize(net::NodeId client,
+                                           const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  auto it = entries_.find(path);
+  // Idempotent: closing an append writer (the file was already finalized
+  // once) succeeds; only directories and missing paths fail.
+  const bool ok = it != entries_.end() && !it->second.is_dir;
+  if (ok) it->second.under_construction = false;
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<bool> NamespaceManager::reopen_for_append(net::NodeId client,
+                                                    const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  auto it = entries_.find(path);
+  const bool ok = it != entries_.end() && !it->second.is_dir;
+  // Note: no lease is taken — BlobSeer serializes concurrent appends
+  // internally (version manager), so multiple appenders are legal.
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<std::optional<NsEntry>> NamespaceManager::lookup(
+    net::NodeId client, const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  std::optional<NsEntry> out;
+  auto it = entries_.find(path);
+  if (it != entries_.end()) out = it->second;
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<bool> NamespaceManager::mkdir(net::NodeId client,
+                                        const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  bool ok = false;
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    mkdirs_locked(path);
+    ok = true;
+  } else {
+    ok = it->second.is_dir;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<std::vector<std::string>> NamespaceManager::list(
+    net::NodeId client, const std::string& dir) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  std::vector<std::string> out;
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    const std::string& p = it->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) break;
+    if (p == dir) continue;  // the directory itself is not its own child
+    // Direct children only.
+    if (p.find('/', prefix.size()) == std::string::npos) out.push_back(p);
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<bool> NamespaceManager::remove(net::NodeId client,
+                                         const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  const bool ok = entries_.erase(path) > 0;
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<bool> NamespaceManager::rename(net::NodeId client,
+                                         const std::string& from,
+                                         const std::string& to) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  bool ok = false;
+  auto it = entries_.find(from);
+  if (it != entries_.end() && entries_.count(to) == 0) {
+    mkdirs_locked(fs::parent_path(to));
+    entries_[to] = it->second;
+    entries_.erase(it);
+    ok = true;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+}  // namespace bs::bsfs

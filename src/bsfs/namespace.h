@@ -1,0 +1,73 @@
+// BSFS namespace manager — the centralized file-system layer added on top
+// of BlobSeer (paper §III.B): maintains a hierarchical namespace and maps
+// each file to the BLOB storing its data.
+//
+// It is deliberately thin: all data and all versioning metadata live in
+// BlobSeer; the namespace manager only resolves paths, which is why it does
+// not become the bottleneck the HDFS NameNode is (the NameNode additionally
+// serves every block lookup).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blob/types.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/task.h"
+
+namespace bs::bsfs {
+
+struct NamespaceConfig {
+  net::NodeId node = 0;
+  double service_time_s = 60e-6;
+};
+
+struct NsEntry {
+  bool is_dir = false;
+  blob::BlobId blob = 0;
+  uint64_t block_size = 0;
+  bool under_construction = false;
+};
+
+class NamespaceManager {
+ public:
+  NamespaceManager(sim::Simulator& sim, net::Network& net, NamespaceConfig cfg);
+
+  // Registers a new file mapped to `blob`; creates parent directories
+  // implicitly (Hadoop-style). Fails if the path exists.
+  sim::Task<bool> add_file(net::NodeId client, const std::string& path,
+                           blob::BlobId blob, uint64_t block_size);
+  // Marks a file complete (visible to readers).
+  sim::Task<bool> finalize(net::NodeId client, const std::string& path);
+  // Reopens a finalized file for appending (BlobSeer supports this
+  // natively; the §V extension).
+  sim::Task<bool> reopen_for_append(net::NodeId client, const std::string& path);
+
+  sim::Task<std::optional<NsEntry>> lookup(net::NodeId client,
+                                           const std::string& path);
+  sim::Task<bool> mkdir(net::NodeId client, const std::string& path);
+  sim::Task<std::vector<std::string>> list(net::NodeId client,
+                                           const std::string& dir);
+  sim::Task<bool> remove(net::NodeId client, const std::string& path);
+  sim::Task<bool> rename(net::NodeId client, const std::string& from,
+                         const std::string& to);
+
+  uint64_t total_requests() const { return requests_; }
+  size_t file_count() const { return entries_.size(); }
+
+ private:
+  void mkdirs_locked(const std::string& path);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NamespaceConfig cfg_;
+  net::ServiceQueue queue_;
+  std::map<std::string, NsEntry> entries_;  // sorted: list() is a range scan
+  uint64_t requests_ = 0;
+};
+
+}  // namespace bs::bsfs

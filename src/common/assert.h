@@ -1,0 +1,38 @@
+// Lightweight always-on invariant checks for the BlobSeer reproduction.
+//
+// BS_CHECK is enabled in all build types: the simulator is deterministic, so
+// a failed invariant is always a bug worth aborting on, never a transient
+// condition. BS_DCHECK compiles out in NDEBUG builds and is reserved for
+// checks on hot paths (per-page, per-event).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bs::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "BS_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace bs::detail
+
+#define BS_CHECK(expr)                                             \
+  do {                                                             \
+    if (!(expr)) ::bs::detail::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define BS_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::bs::detail::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define BS_DCHECK(expr) ((void)0)
+#else
+#define BS_DCHECK(expr) BS_CHECK(expr)
+#endif

@@ -1,0 +1,56 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace bs {
+namespace {
+
+// Slice-by-8 tables for CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78),
+// generated at static-init time; cheap and keeps the source compact.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t s = 1; s < 8; ++s) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[s][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables g_tables;
+
+}  // namespace
+
+uint32_t crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  const auto& t = g_tables.t;
+  while (len >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    crc ^= static_cast<uint32_t>(word);
+    const uint32_t hi = static_cast<uint32_t>(word >> 32);
+    crc = t[7][crc & 0xff] ^ t[6][(crc >> 8) & 0xff] ^ t[5][(crc >> 16) & 0xff] ^
+          t[4][crc >> 24] ^ t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+          t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bs

@@ -1,0 +1,46 @@
+// Hash functions used across the reproduction.
+//
+// FNV-1a is the cheap general-purpose hash (DHT keys, placement salt).
+// CRC32C (Castagnoli) is the data checksum, matching the role checksums play
+// in GFS/HDFS-style storage systems; implemented in software (slice-by-8).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bs {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t fnv1a64(const char* data, size_t len,
+                           uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t fnv1a64(std::string_view s, uint64_t seed = kFnvOffset) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+// Mixes an integer into an existing FNV state; convenient for composite keys.
+constexpr uint64_t fnv1a64_u64(uint64_t value, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= value & 0xff;
+    h *= kFnvPrime;
+    value >>= 8;
+  }
+  return h;
+}
+
+// CRC32C over a buffer; `seed` allows incremental computation
+// (pass the previous result back in).
+uint32_t crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace bs

@@ -1,0 +1,61 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace bs::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kError: return "ERROR";
+    case Level::kWarn: return "WARN ";
+    case Level::kInfo: return "INFO ";
+    case Level::kDebug: return "DEBUG";
+    case Level::kTrace: return "TRACE";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("BS_LOG");
+    if (env == nullptr) return;
+    if (std::strcmp(env, "error") == 0) set_level(Level::kError);
+    else if (std::strcmp(env, "warn") == 0) set_level(Level::kWarn);
+    else if (std::strcmp(env, "info") == 0) set_level(Level::kInfo);
+    else if (std::strcmp(env, "debug") == 0) set_level(Level::kDebug);
+    else if (std::strcmp(env, "trace") == 0) set_level(Level::kTrace);
+  });
+}
+
+void vlogf(Level lvl, const char* fmt, std::va_list ap) {
+  if (static_cast<int>(lvl) > g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] ", tag(lvl));
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+void logf(Level lvl, const char* fmt, ...) {
+  if (static_cast<int>(lvl) > g_level.load(std::memory_order_relaxed)) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlogf(lvl, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace bs::log

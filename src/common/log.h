@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// The simulated world is single-threaded (one event loop), but benches may
+// run independent simulations on real threads, so emission is serialized.
+// Level is controlled programmatically or via the BS_LOG environment
+// variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace bs::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+// Global threshold; messages above it are dropped.
+Level level();
+void set_level(Level lvl);
+
+// Initializes the level from the BS_LOG environment variable once.
+void init_from_env();
+
+// printf-style emission; prefix includes the level tag.
+void vlogf(Level lvl, const char* fmt, std::va_list ap);
+void logf(Level lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace bs::log
+
+#define BS_LOG_ENABLED(lvl) (static_cast<int>(lvl) <= static_cast<int>(::bs::log::level()))
+
+#define BS_ERROR(...) ::bs::log::logf(::bs::log::Level::kError, __VA_ARGS__)
+#define BS_WARN(...) ::bs::log::logf(::bs::log::Level::kWarn, __VA_ARGS__)
+#define BS_INFO(...) ::bs::log::logf(::bs::log::Level::kInfo, __VA_ARGS__)
+#define BS_DEBUG(...)                                             \
+  do {                                                            \
+    if (BS_LOG_ENABLED(::bs::log::Level::kDebug))                 \
+      ::bs::log::logf(::bs::log::Level::kDebug, __VA_ARGS__);     \
+  } while (0)
+#define BS_TRACE(...)                                             \
+  do {                                                            \
+    if (BS_LOG_ENABLED(::bs::log::Level::kTrace))                 \
+      ::bs::log::logf(::bs::log::Level::kTrace, __VA_ARGS__);     \
+  } while (0)

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random generators for the whole reproduction.
+//
+// Everything random in the simulator flows through these so that two runs
+// with the same seeds produce byte-identical results (event ordering in the
+// simulator is already deterministic). SplitMix64 is used for seeding and
+// hashing-style mixing; Xoshiro256** is the workhorse generator. Both are
+// public-domain algorithms (Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bs {
+
+// Mixes a 64-bit value; also usable as a standalone counter-based RNG.
+constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // Expand one 64-bit seed into the 256-bit state via SplitMix64, as
+    // recommended by the algorithm's authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return next(); }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return std::numeric_limits<uint64_t>::max(); }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  // the tiny modulo bias is irrelevant for simulation purposes.
+  uint64_t below(uint64_t bound) {
+    if (bound == 0) return 0;
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace bs

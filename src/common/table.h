@@ -1,0 +1,31 @@
+// Fixed-width console table printer for the paper-figure bench harnesses.
+// Each bench prints the same rows/series the paper reports; this keeps the
+// formatting consistent across all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  // Renders with a header rule; returns the formatted table.
+  std::string render() const;
+  // Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bs

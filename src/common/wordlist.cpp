@@ -1,0 +1,59 @@
+#include "common/wordlist.h"
+
+namespace bs {
+
+const std::vector<std::string>& word_list() {
+  // A 100-word vocabulary in the spirit of Hadoop's RandomTextWriter
+  // (Hadoop uses 100 rare English words; the exact words are immaterial to
+  // the access pattern, only the record-size distribution matters).
+  static const std::vector<std::string> kWords = {
+      "diurnalness",   "officiousness", "pondward",      "stormy",
+      "inventurous",   "unirradiated",  "vertebral",     "yearnfulness",
+      "boreal",        "natatory",      "unfulminated",  "edificator",
+      "disintegratory","hypoplastral",  "preagitate",    "harborous",
+      "critickin",     "unionoid",      "chooser",       "canicule",
+      "phytonic",      "swearingly",    "uncombable",    "benzoperoxide",
+      "hysterolysis",  "tramplike",     "magnetooptics", "terrestrially",
+      "affusion",      "dinical",       "tendomucoid",   "deaf",
+      "topsail",       "instructiveness","scyphostoma",  "unpremonished",
+      "saccharogenic", "pachydermous",  "figurine",      "undersight",
+      "arval",         "dispermy",      "sangaree",      "unefficient",
+      "aspersor",      "unfeeble",      "refasten",      "cuproiodargyrite",
+      "preparative",   "chirotony",     "counteralliance","oinomancy",
+      "redecrease",    "pseudohalogen", "nonpoisonous",  "mendacity",
+      "putative",      "semantician",   "squdge",        "extraorganismal",
+      "dermorhynchous","parquetry",     "pictorially",   "obispo",
+      "vitally",       "brutism",       "subfebrile",    "unexpressible",
+      "helminthagogic","calycular",     "giantly",       "lineamental",
+      "greave",        "mesophyte",     "transude",      "liquidity",
+      "amender",       "unstipulated",  "acidophile",    "spermaphyte",
+      "embryotic",     "benthonic",     "concretion",    "charioteer",
+      "velaric",       "parabolicness", "michigan",      "mericarp",
+      "causationism",  "nectopod",      "glossing",      "stachyuraceous",
+      "theologal",     "symbiogenetic", "cubby",         "unanatomized",
+      "hoove",         "chronographic", "subirrigate",   "karyological"};
+  return kWords;
+}
+
+std::string random_sentence(Rng& rng, int words) {
+  const auto& vocab = word_list();
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += vocab[rng.below(vocab.size())];
+  }
+  out += '\n';
+  return out;
+}
+
+std::string random_text(Rng& rng, size_t target_bytes) {
+  std::string out;
+  out.reserve(target_bytes + 128);
+  while (out.size() < target_bytes) {
+    // Sentence length 5..15 words, matching Hadoop's key+value word counts.
+    out += random_sentence(rng, static_cast<int>(rng.range(5, 15)));
+  }
+  return out;
+}
+
+}  // namespace bs

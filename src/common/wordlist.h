@@ -1,0 +1,24 @@
+// Predefined word list used by the RandomTextWriter application, mirroring
+// Hadoop's RandomTextWriter which builds sentences from a fixed vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bs {
+
+// The fixed vocabulary (100 words, as in Hadoop's examples jar).
+const std::vector<std::string>& word_list();
+
+// Generates one random "sentence" of `words` words drawn from word_list(),
+// space-separated, newline-terminated.
+std::string random_sentence(Rng& rng, int words);
+
+// Generates approximately `target_bytes` of random text (whole sentences).
+std::string random_text(Rng& rng, size_t target_bytes);
+
+}  // namespace bs

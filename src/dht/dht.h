@@ -1,0 +1,78 @@
+// The distributed hash table holding BlobSeer's metadata.
+//
+// Each metadata provider runs on a cluster node and serves get/put requests
+// for the segment-tree nodes hashed onto it. Requests cost a control
+// round-trip plus a per-request service time at the provider; the point of
+// distributing metadata (paper §III.A) is that this load spreads over many
+// nodes instead of queueing at one server — reproduced here by giving every
+// provider its own ServiceQueue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataspec.h"
+#include "common/stats.h"
+#include "dht/ring.h"
+#include "kv/kvstore.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/task.h"
+
+namespace bs::dht {
+
+struct DhtConfig {
+  // Copies of each entry (first replica is the read target; extra replicas
+  // model BlobSeer's metadata fault tolerance).
+  size_t replication = 1;
+  // Per-request processing time at a metadata provider.
+  double service_time_s = 50e-6;
+  uint32_t vnodes_per_node = 64;
+};
+
+class Dht {
+ public:
+  Dht(sim::Simulator& sim, net::Network& net, std::vector<net::NodeId> nodes,
+      DhtConfig cfg = {});
+
+  // Stores `value` under `key` on all replicas (parallel).
+  sim::Task<void> put(net::NodeId client, std::string key, Bytes value);
+  // Reads from the primary replica.
+  sim::Task<std::optional<Bytes>> get(net::NodeId client, std::string key);
+  // Deletes `key` from all replicas; returns true if the primary had it.
+  sim::Task<bool> erase(net::NodeId client, std::string key);
+
+  const HashRing& ring() const { return ring_; }
+  // Total entries across all providers (each replica counts once).
+  size_t total_entries() const;
+  uint64_t gets() const { return gets_; }
+  uint64_t puts() const { return puts_; }
+  // Requests served per provider node (balance inspection).
+  std::unordered_map<net::NodeId, uint64_t> requests_per_node() const;
+
+ private:
+  struct Server {
+    explicit Server(sim::Simulator& sim, double service_time)
+        : queue(sim, service_time) {}
+    kv::KvStore store;
+    net::ServiceQueue queue;
+    uint64_t requests = 0;
+  };
+
+  sim::Task<void> put_one(net::NodeId client, net::NodeId server,
+                          std::string key, Bytes value);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  DhtConfig cfg_;
+  HashRing ring_;
+  std::unordered_map<net::NodeId, std::unique_ptr<Server>> servers_;
+  uint64_t gets_ = 0;
+  uint64_t puts_ = 0;
+};
+
+}  // namespace bs::dht

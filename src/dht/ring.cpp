@@ -1,0 +1,52 @@
+#include "dht/ring.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace bs::dht {
+
+HashRing::HashRing(std::vector<net::NodeId> nodes, uint32_t vnodes_per_node)
+    : node_count_(nodes.size()) {
+  BS_CHECK_MSG(!nodes.empty(), "hash ring needs at least one node");
+  points_.reserve(nodes.size() * vnodes_per_node);
+  for (net::NodeId n : nodes) {
+    for (uint32_t v = 0; v < vnodes_per_node; ++v) {
+      const uint64_t h =
+          fnv1a64_u64(v, fnv1a64_u64(n, 0x9e3779b97f4a7c15ULL));
+      points_.push_back(Point{h, n});
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+net::NodeId HashRing::primary(uint64_t key_hash) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), Point{key_hash, 0},
+      [](const Point& a, const Point& b) { return a.hash < b.hash; });
+  if (it == points_.end()) it = points_.begin();
+  return it->node;
+}
+
+std::vector<net::NodeId> HashRing::replicas(uint64_t key_hash, size_t k) const {
+  k = std::min(k, node_count_);
+  std::vector<net::NodeId> out;
+  out.reserve(k);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), Point{key_hash, 0},
+      [](const Point& a, const Point& b) { return a.hash < b.hash; });
+  size_t steps = 0;
+  while (out.size() < k && steps < points_.size()) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(out.begin(), out.end(), it->node) == out.end()) {
+      out.push_back(it->node);
+    }
+    ++it;
+    ++steps;
+  }
+  BS_CHECK(out.size() == k);
+  return out;
+}
+
+}  // namespace bs::dht

@@ -1,0 +1,39 @@
+// Consistent-hash ring mapping keys to metadata-provider nodes.
+//
+// Virtual nodes smooth the key distribution; replica sets are the next k
+// distinct physical nodes clockwise from the key's position (the classic
+// Chord/Dynamo successor-list scheme BlobSeer's DHT layer relies on).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/cluster.h"
+
+namespace bs::dht {
+
+class HashRing {
+ public:
+  HashRing(std::vector<net::NodeId> nodes, uint32_t vnodes_per_node = 64);
+
+  net::NodeId primary(uint64_t key_hash) const;
+  // k distinct physical nodes for this key (k clamped to the node count).
+  std::vector<net::NodeId> replicas(uint64_t key_hash, size_t k) const;
+
+  size_t node_count() const { return node_count_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    net::NodeId node;
+    bool operator<(const Point& o) const {
+      return hash != o.hash ? hash < o.hash : node < o.node;
+    }
+  };
+
+  std::vector<Point> points_;
+  size_t node_count_;
+};
+
+}  // namespace bs::dht

@@ -1,0 +1,100 @@
+// Abstract file-system interface — the seam between the MapReduce framework
+// and its storage back-end, mirroring Hadoop's FileSystem abstraction that
+// let the paper swap HDFS for BSFS without touching the framework.
+//
+// A FileSystem is cluster-wide; per-node access goes through FsClient stubs
+// (one per simulated process/node). Writers are strictly sequential
+// (Hadoop's create-write-close discipline); readers are positional.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/dataspec.h"
+#include "net/cluster.h"
+#include "sim/task.h"
+
+namespace bs::fs {
+
+struct FileStat {
+  std::string path;
+  uint64_t size = 0;
+  bool is_dir = false;
+  uint64_t block_size = 0;
+};
+
+// One storage block/chunk of a file and the nodes that can serve it
+// locally — the layout-exposure information the MapReduce scheduler uses.
+struct BlockLocation {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::vector<net::NodeId> hosts;
+};
+
+// Sequential writer for one file. write() may buffer; close() flushes and
+// makes the file durable/visible (Hadoop semantics).
+class FsWriter {
+ public:
+  virtual ~FsWriter() = default;
+  virtual sim::Task<bool> write(DataSpec data) = 0;
+  virtual sim::Task<bool> close() = 0;
+  virtual uint64_t bytes_written() const = 0;
+};
+
+// Positional reader for one file (snapshot: the size/content seen is fixed
+// at open time where the back-end supports it).
+class FsReader {
+ public:
+  virtual ~FsReader() = default;
+  virtual sim::Task<DataSpec> read(uint64_t offset, uint64_t size) = 0;
+  virtual uint64_t size() const = 0;
+};
+
+// Per-node access stub.
+class FsClient {
+ public:
+  virtual ~FsClient() = default;
+  virtual net::NodeId node() const = 0;
+
+  // Creates the file and opens it for writing; fails if it already exists
+  // or (HDFS) another writer holds it.
+  virtual sim::Task<std::unique_ptr<FsWriter>> create(const std::string& path) = 0;
+  // Opens an existing, closed file for reading; null if absent.
+  virtual sim::Task<std::unique_ptr<FsReader>> open(const std::string& path) = 0;
+  // Appends to an existing file. Back-ends without append support (HDFS,
+  // per the paper) return null.
+  virtual sim::Task<std::unique_ptr<FsWriter>> append(const std::string& path) = 0;
+
+  virtual sim::Task<std::optional<FileStat>> stat(const std::string& path) = 0;
+  virtual sim::Task<std::vector<std::string>> list(const std::string& dir) = 0;
+  virtual sim::Task<bool> remove(const std::string& path) = 0;
+  virtual sim::Task<std::vector<BlockLocation>> locations(
+      const std::string& path, uint64_t offset, uint64_t length) = 0;
+};
+
+// Cluster-wide file system: a factory of per-node clients.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+  virtual std::string name() const = 0;
+  virtual uint64_t block_size() const = 0;
+  virtual std::unique_ptr<FsClient> make_client(net::NodeId node) = 0;
+};
+
+// Path helpers shared by both back-ends (flat hierarchical namespace with
+// '/'-separated components; no relative paths).
+inline std::string parent_path(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+inline std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir == "/") return "/" + name;
+  return dir + "/" + name;
+}
+
+}  // namespace bs::fs

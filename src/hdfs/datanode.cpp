@@ -1,0 +1,82 @@
+#include "hdfs/datanode.h"
+
+#include <string>
+
+#include "common/assert.h"
+#include "sim/parallel.h"
+
+namespace bs::hdfs {
+namespace {
+
+std::string block_key(BlockId id) { return "b/" + std::to_string(id); }
+
+}  // namespace
+
+void DataNode::cache_touch(BlockId id, uint64_t size) {
+  auto it = lru_index_.find(id);
+  if (it != lru_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (size > ram_bytes_) return;
+  while (ram_used_ + size > ram_bytes_ && !lru_.empty()) {
+    ram_used_ -= lru_.back().second;
+    lru_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(id, size);
+  lru_index_[id] = lru_.begin();
+  ram_used_ += size;
+}
+
+sim::Task<void> DataNode::receive_block(net::NodeId from, BlockId id,
+                                        DataSpec data, double rate_cap) {
+  const double bytes = static_cast<double>(data.size());
+  // Streaming write-through: the network transfer and the disk write run
+  // concurrently; the block is acked when both finish.
+  std::vector<sim::Task<void>> legs;
+  legs.push_back(net_.transfer(from, node_, bytes, rate_cap));
+  legs.push_back(net_.disk(node_).write(bytes));
+  co_await sim::when_all(sim_, std::move(legs));
+  store_.put(block_key(id), data.serialize());
+  cache_touch(id, data.size());  // freshly written blocks sit in page cache
+  ++blocks_stored_;
+}
+
+sim::Task<std::optional<DataSpec>> DataNode::read_block(net::NodeId client,
+                                                        BlockId id,
+                                                        uint64_t offset,
+                                                        uint64_t length) {
+  co_await net_.control(client, node_);
+  auto raw = store_.get(block_key(id));
+  if (!raw.has_value()) {
+    co_await net_.control(node_, client);
+    co_return std::nullopt;
+  }
+  DataSpec block = DataSpec::deserialize(raw->data(), raw->size());
+  BS_CHECK(offset <= block.size());
+  length = std::min(length, block.size() - offset);
+  DataSpec out = block.slice(offset, length);
+  if (cache_contains(id)) {
+    // Served from the page cache: network only.
+    ++cache_hits_;
+    cache_touch(id, block.size());
+    co_await net_.transfer(node_, client, static_cast<double>(length));
+  } else {
+    ++cache_misses_;
+    // Disk read and network send overlap (streaming).
+    std::vector<sim::Task<void>> legs;
+    legs.push_back(net_.disk(node_).read(static_cast<double>(length)));
+    legs.push_back(net_.transfer(node_, client, static_cast<double>(length)));
+    co_await sim::when_all(sim_, std::move(legs));
+    cache_touch(id, block.size());
+  }
+  bytes_served_ += length;
+  co_return out;
+}
+
+bool DataNode::has_block(BlockId id) const {
+  return store_.contains(block_key(id));
+}
+
+}  // namespace bs::hdfs

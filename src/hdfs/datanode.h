@@ -1,0 +1,77 @@
+// HDFS DataNode model: stores block replicas on a node's local disk.
+//
+// Writes are pipelined (client → dn1 → dn2 → dn3): in the fluid
+// approximation all pipeline hops transfer concurrently and the block
+// completes when the slowest hop finishes; each datanode then has the block
+// on its disk (HDFS acks once replicas are written through). The
+// synchronous disk write is the contrast with BlobSeer's write-behind
+// providers — it is what pins HDFS write throughput to local-disk speed in
+// the paper's §IV.B write benchmark.
+//
+// Reads stream one block from one datanode (HDFS reads are single-source —
+// the contrast with BSFS's striped parallel page fetches).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/dataspec.h"
+#include "hdfs/namenode.h"
+#include "kv/kvstore.h"
+#include "net/network.h"
+#include "sim/task.h"
+
+namespace bs::hdfs {
+
+class DataNode {
+ public:
+  // `ram_bytes` models the OS page cache: recently written/read blocks are
+  // served from memory (the paper's reads run over freshly written data).
+  DataNode(sim::Simulator& sim, net::Network& net, net::NodeId node,
+           uint64_t ram_bytes = 2ULL << 30)
+      : sim_(sim), net_(net), node_(node), ram_bytes_(ram_bytes) {}
+
+  net::NodeId node() const { return node_; }
+
+  // Receives a block body from `from` (client or upstream datanode) and
+  // writes it through to the local disk. The transfer and the disk write
+  // overlap (streaming), so the cost is max(network, disk) + seek.
+  sim::Task<void> receive_block(net::NodeId from, BlockId id, DataSpec data,
+                                double rate_cap = 0);
+
+  // Serves `length` bytes of a block starting at `offset`: disk read plus
+  // network transfer back to the client, overlapped.
+  sim::Task<std::optional<DataSpec>> read_block(net::NodeId client, BlockId id,
+                                                uint64_t offset,
+                                                uint64_t length);
+
+  bool has_block(BlockId id) const;
+  uint64_t blocks_stored() const { return blocks_stored_; }
+  uint64_t bytes_served() const { return bytes_served_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  void cache_touch(BlockId id, uint64_t size);
+  bool cache_contains(BlockId id) const { return lru_index_.count(id) > 0; }
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::NodeId node_;
+  uint64_t ram_bytes_;
+  kv::KvStore store_;
+  // Page-cache LRU over whole blocks (front = most recent).
+  std::list<std::pair<BlockId, uint64_t>> lru_;
+  std::unordered_map<BlockId,
+                     std::list<std::pair<BlockId, uint64_t>>::iterator>
+      lru_index_;
+  uint64_t ram_used_ = 0;
+  uint64_t blocks_stored_ = 0;
+  uint64_t bytes_served_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace bs::hdfs

@@ -1,0 +1,118 @@
+// HDFS — fs::FileSystem implementation of the paper's baseline.
+//
+// Client behavior mirrors 0.20-era DFSClient:
+//   * writes buffer a whole block, ask the NameNode for a replica pipeline,
+//     stream the block through it, and report completion;
+//   * reads resolve one block at a time at the NameNode, pick the closest
+//     replica (local → rack-local → random), stream the block, and serve
+//     record-sized reads from the streaming buffer;
+//   * create() takes the single-writer lease; append() is unsupported.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "fs/filesystem.h"
+#include "hdfs/datanode.h"
+#include "hdfs/namenode.h"
+
+namespace bs::hdfs {
+
+struct HdfsConfig {
+  NameNodeConfig namenode;
+  // Datanode page-cache size (see DataNode).
+  uint64_t datanode_ram = 2ULL << 30;
+  // Per-stream protocol efficiency: HDFS's packet/ack pipeline does not
+  // quite fill a NIC; one stream tops out at this fraction of line rate.
+  double stream_efficiency = 0.92;
+};
+
+class Hdfs;
+
+class HdfsWriter final : public fs::FsWriter {
+ public:
+  HdfsWriter(Hdfs& owner, net::NodeId node, std::string path);
+  sim::Task<bool> write(DataSpec data) override;
+  sim::Task<bool> close() override;
+  uint64_t bytes_written() const override { return bytes_written_; }
+
+ private:
+  sim::Task<bool> flush(uint64_t threshold);
+
+  Hdfs& owner_;
+  net::NodeId node_;
+  std::string path_;
+  std::vector<DataSpec> pending_;
+  uint64_t pending_bytes_ = 0;
+  uint64_t bytes_written_ = 0;
+  bool closed_ = false;
+};
+
+class HdfsReader final : public fs::FsReader {
+ public:
+  HdfsReader(Hdfs& owner, net::NodeId node, std::string path, uint64_t size);
+  sim::Task<DataSpec> read(uint64_t offset, uint64_t size) override;
+  uint64_t size() const override { return size_; }
+
+  uint64_t blocks_fetched() const { return blocks_fetched_; }
+
+ private:
+  Hdfs& owner_;
+  net::NodeId node_;
+  std::string path_;
+  uint64_t size_;
+  // Streaming buffer: the block currently held.
+  uint64_t cached_start_ = UINT64_MAX;
+  DataSpec cached_data_;
+  uint64_t blocks_fetched_ = 0;
+};
+
+class HdfsClient final : public fs::FsClient {
+ public:
+  HdfsClient(Hdfs& owner, net::NodeId node) : owner_(owner), node_(node) {}
+  net::NodeId node() const override { return node_; }
+
+  sim::Task<std::unique_ptr<fs::FsWriter>> create(const std::string& path) override;
+  sim::Task<std::unique_ptr<fs::FsReader>> open(const std::string& path) override;
+  // HDFS does not support appends (paper §II.C): always null.
+  sim::Task<std::unique_ptr<fs::FsWriter>> append(const std::string& path) override;
+  sim::Task<std::optional<fs::FileStat>> stat(const std::string& path) override;
+  sim::Task<std::vector<std::string>> list(const std::string& dir) override;
+  sim::Task<bool> remove(const std::string& path) override;
+  sim::Task<std::vector<fs::BlockLocation>> locations(
+      const std::string& path, uint64_t offset, uint64_t length) override;
+
+ private:
+  Hdfs& owner_;
+  net::NodeId node_;
+};
+
+class Hdfs final : public fs::FileSystem {
+ public:
+  // Datanodes on every cluster node by default.
+  Hdfs(sim::Simulator& sim, net::Network& net, HdfsConfig cfg = {},
+       std::vector<net::NodeId> datanode_nodes = {});
+
+  std::string name() const override { return "HDFS"; }
+  uint64_t block_size() const override { return cfg_.namenode.block_size; }
+  std::unique_ptr<fs::FsClient> make_client(net::NodeId node) override;
+
+  NameNode& namenode() { return *namenode_; }
+  DataNode& datanode_on(net::NodeId node) { return *datanodes_.at(node); }
+  const HdfsConfig& config() const { return cfg_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  friend class HdfsClient;
+  friend class HdfsReader;
+  friend class HdfsWriter;
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  HdfsConfig cfg_;
+  std::unique_ptr<NameNode> namenode_;
+  std::unordered_map<net::NodeId, std::unique_ptr<DataNode>> datanodes_;
+};
+
+}  // namespace bs::hdfs

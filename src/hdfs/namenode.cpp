@@ -1,0 +1,223 @@
+#include "hdfs/namenode.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "fs/filesystem.h"
+
+namespace bs::hdfs {
+
+NameNode::NameNode(sim::Simulator& sim, net::Network& net,
+                   std::vector<net::NodeId> datanode_nodes, NameNodeConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), queue_(sim, cfg.service_time_s),
+      datanodes_(std::move(datanode_nodes)), rng_(cfg.placement_seed) {
+  BS_CHECK(!datanodes_.empty());
+  BS_CHECK(cfg_.replication >= 1);
+  entries_["/"] = FileEntry{true, false, 0, {}, 0};
+}
+
+void NameNode::mkdirs_locked(const std::string& path) {
+  if (path.empty() || path == "/") return;
+  mkdirs_locked(fs::parent_path(path));
+  if (entries_.count(path) == 0) {
+    entries_[path] = FileEntry{true, false, 0, {}, 0};
+  }
+}
+
+std::vector<net::NodeId> NameNode::choose_replicas(net::NodeId client) {
+  // Paper §IV.B: "the first replica of a chunk is always written locally;
+  // ... the second replica is stored on a datanode in the same rack as the
+  // first, and the third copy is sent to a datanode belonging to a
+  // different rack (randomly chosen)."
+  const auto& ncfg = net_.config();
+  std::vector<net::NodeId> out;
+  auto is_datanode = [&](net::NodeId n) {
+    return std::find(datanodes_.begin(), datanodes_.end(), n) !=
+           datanodes_.end();
+  };
+  auto taken = [&](net::NodeId n) {
+    return std::find(out.begin(), out.end(), n) != out.end();
+  };
+  auto pick_random = [&](auto&& pred) -> std::optional<net::NodeId> {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const net::NodeId n = datanodes_[rng_.below(datanodes_.size())];
+      if (!taken(n) && pred(n)) return n;
+    }
+    for (net::NodeId n : datanodes_) {  // deterministic fallback sweep
+      if (!taken(n) && pred(n)) return n;
+    }
+    return std::nullopt;
+  };
+
+  // First replica: local if the writer runs a datanode, else random.
+  if (is_datanode(client)) {
+    out.push_back(client);
+  } else if (auto n = pick_random([](net::NodeId) { return true; })) {
+    out.push_back(*n);
+  }
+  if (out.size() >= cfg_.replication) {
+    out.resize(cfg_.replication);
+    return out;
+  }
+  const uint32_t first_rack = ncfg.rack_of(out[0]);
+  // Second replica: same rack as the first.
+  if (auto n = pick_random(
+          [&](net::NodeId cand) { return ncfg.rack_of(cand) == first_rack; })) {
+    out.push_back(*n);
+  } else if (auto any = pick_random([](net::NodeId) { return true; })) {
+    out.push_back(*any);
+  }
+  // Third and beyond: different rack (randomly chosen).
+  while (out.size() < cfg_.replication) {
+    auto n = pick_random(
+        [&](net::NodeId cand) { return ncfg.rack_of(cand) != first_rack; });
+    if (!n) n = pick_random([](net::NodeId) { return true; });
+    if (!n) break;  // fewer datanodes than replication
+    out.push_back(*n);
+  }
+  return out;
+}
+
+sim::Task<bool> NameNode::create(net::NodeId client, const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  bool ok = false;
+  if (entries_.count(path) == 0) {
+    mkdirs_locked(fs::parent_path(path));
+    FileEntry entry;
+    entry.under_construction = true;
+    entry.lease_holder = client;
+    entries_[path] = std::move(entry);
+    ok = true;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<std::optional<BlockInfo>> NameNode::add_block(
+    net::NodeId client, const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  std::optional<BlockInfo> out;
+  auto it = entries_.find(path);
+  if (it != entries_.end() && it->second.under_construction &&
+      it->second.lease_holder == client) {
+    BlockInfo block;
+    block.id = next_block_++;
+    block.replicas = choose_replicas(client);
+    it->second.blocks.push_back(block);
+    out = block;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<bool> NameNode::complete_block(net::NodeId client,
+                                         const std::string& path,
+                                         BlockId block, uint64_t size) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  bool ok = false;
+  auto it = entries_.find(path);
+  if (it != entries_.end() && it->second.lease_holder == client) {
+    for (auto& b : it->second.blocks) {
+      if (b.id == block) {
+        b.size = size;
+        it->second.size += size;
+        ok = true;
+        break;
+      }
+    }
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<bool> NameNode::close_file(net::NodeId client,
+                                     const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  bool ok = false;
+  auto it = entries_.find(path);
+  if (it != entries_.end() && it->second.under_construction &&
+      it->second.lease_holder == client) {
+    it->second.under_construction = false;
+    ok = true;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<std::optional<NameNode::Stat>> NameNode::stat(
+    net::NodeId client, const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  std::optional<Stat> out;
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    out = Stat{it->second.size, it->second.is_dir,
+               it->second.under_construction};
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<std::vector<BlockInfo>> NameNode::block_locations(
+    net::NodeId client, const std::string& path, uint64_t offset,
+    uint64_t length) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  std::vector<BlockInfo> out;
+  auto it = entries_.find(path);
+  if (it != entries_.end() && !it->second.is_dir) {
+    uint64_t at = 0;
+    for (const auto& b : it->second.blocks) {
+      const uint64_t b_end = at + b.size;
+      if (b_end > offset && at < offset + length) out.push_back(b);
+      at = b_end;
+    }
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<std::vector<std::string>> NameNode::list(net::NodeId client,
+                                                   const std::string& dir) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  std::vector<std::string> out;
+  const std::string prefix = dir == "/" ? "/" : dir + "/";
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    const std::string& p = it->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) break;
+    if (p == dir) continue;  // the directory itself is not its own child
+    if (p.find('/', prefix.size()) == std::string::npos) out.push_back(p);
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<bool> NameNode::remove(net::NodeId client, const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  const bool ok = entries_.erase(path) > 0;
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+sim::Task<bool> NameNode::mkdir(net::NodeId client, const std::string& path) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  bool ok = false;
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    mkdirs_locked(path);
+    ok = true;
+  } else {
+    ok = it->second.is_dir;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+}  // namespace bs::hdfs

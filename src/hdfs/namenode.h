@@ -1,0 +1,108 @@
+// HDFS NameNode model (the paper's baseline, §II.C).
+//
+// One centralized server holds the namespace AND every block's locations,
+// and is consulted for every block allocation and every block lookup —
+// unlike BSFS, where the namespace manager only resolves paths and the
+// block metadata load spreads over the DHT. Every request costs a
+// serialized service time, so the NameNode queues under high client counts.
+//
+// Semantics modeled after 0.20-era HDFS as the paper describes them:
+//   * single writer per file (lease), enforced at create;
+//   * write-once: no appends, no overwrites after close;
+//   * block placement: first replica on the writer's node (if it runs a
+//     datanode), second on a random node in the same rack, third on a
+//     random node in a different rack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/task.h"
+
+namespace bs::hdfs {
+
+using BlockId = uint64_t;
+
+struct BlockInfo {
+  BlockId id = 0;
+  uint64_t size = 0;
+  std::vector<net::NodeId> replicas;
+};
+
+struct NameNodeConfig {
+  net::NodeId node = 0;
+  double service_time_s = 150e-6;
+  uint64_t block_size = 64ULL << 20;
+  uint32_t replication = 1;
+  uint64_t placement_seed = 0x8df3;
+};
+
+class NameNode {
+ public:
+  NameNode(sim::Simulator& sim, net::Network& net,
+           std::vector<net::NodeId> datanode_nodes, NameNodeConfig cfg);
+
+  // Creates a file under construction with `client` as the lease holder.
+  // Fails if the path exists (write-once) or is a directory.
+  sim::Task<bool> create(net::NodeId client, const std::string& path);
+  // Allocates the next block and its replica pipeline. Caller must hold the
+  // lease. Returns nullopt if not.
+  sim::Task<std::optional<BlockInfo>> add_block(net::NodeId client,
+                                                const std::string& path);
+  // Records a finished block's actual size.
+  sim::Task<bool> complete_block(net::NodeId client, const std::string& path,
+                                 BlockId block, uint64_t size);
+  // Closes the file: visible to readers, lease released.
+  sim::Task<bool> close_file(net::NodeId client, const std::string& path);
+
+  struct Stat {
+    uint64_t size = 0;
+    bool is_dir = false;
+    bool under_construction = false;
+  };
+  sim::Task<std::optional<Stat>> stat(net::NodeId client,
+                                      const std::string& path);
+  // Block locations intersecting [offset, offset+length). Readers call this
+  // per block — the lookup load that centralizes on the NameNode.
+  sim::Task<std::vector<BlockInfo>> block_locations(net::NodeId client,
+                                                    const std::string& path,
+                                                    uint64_t offset,
+                                                    uint64_t length);
+  sim::Task<std::vector<std::string>> list(net::NodeId client,
+                                           const std::string& dir);
+  sim::Task<bool> remove(net::NodeId client, const std::string& path);
+  sim::Task<bool> mkdir(net::NodeId client, const std::string& path);
+
+  uint64_t total_requests() const { return queue_.requests(); }
+  size_t queue_depth() const { return queue_.queue_depth(); }
+  const NameNodeConfig& config() const { return cfg_; }
+
+ private:
+  struct FileEntry {
+    bool is_dir = false;
+    bool under_construction = false;
+    net::NodeId lease_holder = 0;
+    std::vector<BlockInfo> blocks;
+    uint64_t size = 0;
+  };
+
+  std::vector<net::NodeId> choose_replicas(net::NodeId client);
+  void mkdirs_locked(const std::string& path);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NameNodeConfig cfg_;
+  net::ServiceQueue queue_;
+  std::vector<net::NodeId> datanodes_;
+  std::map<std::string, FileEntry> entries_;
+  Rng rng_;
+  BlockId next_block_ = 1;
+};
+
+}  // namespace bs::hdfs

@@ -1,0 +1,80 @@
+#include "kv/journal.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+#include "common/hash.h"
+
+namespace bs::kv {
+
+void MemoryJournal::append(const Bytes& record) {
+  records_.push_back(record);
+  bytes_ += record.size();
+}
+
+void MemoryJournal::scan(const std::function<void(const Bytes&)>& fn) {
+  for (const auto& r : records_) fn(r);
+}
+
+void MemoryJournal::truncate() {
+  records_.clear();
+  bytes_ = 0;
+}
+
+void MemoryJournal::corrupt_tail(uint64_t keep_records) {
+  if (keep_records >= records_.size()) return;
+  records_.resize(keep_records);
+  bytes_ = 0;
+  for (const auto& r : records_) bytes_ += r.size();
+}
+
+FileJournal::FileJournal(std::string path) : path_(std::move(path)) {
+  // Count existing intact records so record_count() is correct after reopen.
+  scan([this](const Bytes&) { ++record_count_; });
+  // scan() recomputed byte_size_ as a side effect below; recompute here.
+}
+
+FileJournal::~FileJournal() = default;
+
+void FileJournal::append(const Bytes& record) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  BS_CHECK_MSG(f != nullptr, "cannot open journal for append");
+  const uint32_t len = static_cast<uint32_t>(record.size());
+  const uint32_t crc = crc32c(record.data(), record.size());
+  std::fwrite(&len, sizeof(len), 1, f);
+  std::fwrite(&crc, sizeof(crc), 1, f);
+  if (!record.empty()) std::fwrite(record.data(), 1, record.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  ++record_count_;
+  byte_size_ += record.size();
+}
+
+void FileJournal::scan(const std::function<void(const Bytes&)>& fn) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return;  // no journal yet
+  uint64_t count = 0, bytes = 0;
+  while (true) {
+    uint32_t len = 0, crc = 0;
+    if (std::fread(&len, sizeof(len), 1, f) != 1) break;
+    if (std::fread(&crc, sizeof(crc), 1, f) != 1) break;  // torn header
+    Bytes record(len);
+    if (len > 0 && std::fread(record.data(), 1, len, f) != len) break;  // torn
+    if (crc32c(record.data(), record.size()) != crc) break;  // corrupt
+    fn(record);
+    ++count;
+    bytes += len;
+  }
+  std::fclose(f);
+  record_count_ = count;
+  byte_size_ = bytes;
+}
+
+void FileJournal::truncate() {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f != nullptr) std::fclose(f);
+  record_count_ = 0;
+  byte_size_ = 0;
+}
+
+}  // namespace bs::kv

@@ -1,0 +1,67 @@
+// Ordered key-value store with write-ahead logging — the BerkeleyDB
+// stand-in behind BlobSeer page providers (and reusable anywhere a small
+// durable map is needed).
+//
+// Semantics: every mutation is journaled before being applied; open()
+// replays the journal (tolerating a torn tail); checkpoint() folds the
+// current state into a snapshot record and truncates the log. Keys are
+// binary-safe strings ordered lexicographically; range scans serve the
+// provider's "list pages of blob X" queries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/dataspec.h"
+#include "kv/journal.h"
+
+namespace bs::kv {
+
+class KvStore {
+ public:
+  // Takes ownership of the journal; replays it immediately.
+  explicit KvStore(std::unique_ptr<Journal> journal);
+  // Convenience: purely in-memory store with a MemoryJournal.
+  KvStore();
+
+  void put(const std::string& key, Bytes value);
+  std::optional<Bytes> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  bool erase(const std::string& key);
+
+  size_t size() const { return map_.size(); }
+  uint64_t value_bytes() const { return value_bytes_; }
+
+  // In-order scan of keys in [lower, upper); empty upper = to the end.
+  // Returning false from the callback stops the scan.
+  void scan(const std::string& lower, const std::string& upper,
+            const std::function<bool(const std::string&, const Bytes&)>& fn) const;
+  // All keys sharing `prefix`, in order.
+  void scan_prefix(const std::string& prefix,
+                   const std::function<bool(const std::string&, const Bytes&)>& fn) const;
+
+  // Folds state into one snapshot record and truncates the log. Bounds
+  // recovery time, exactly like a BDB checkpoint.
+  void checkpoint();
+
+  const Journal& journal() const { return *journal_; }
+
+ private:
+  enum class Op : uint8_t { kPut = 1, kErase = 2, kSnapshot = 3 };
+
+  static Bytes encode_put(const std::string& key, const Bytes& value);
+  static Bytes encode_erase(const std::string& key);
+  Bytes encode_snapshot() const;
+  void apply_record(const Bytes& record);
+  void replay();
+
+  std::unique_ptr<Journal> journal_;
+  std::map<std::string, Bytes> map_;
+  uint64_t value_bytes_ = 0;
+};
+
+}  // namespace bs::kv

@@ -1,0 +1,124 @@
+// MapReduce application interface.
+//
+// Apps run in two modes, matching the dual-mode payloads (see DataSpec):
+//  * record mode — map()/reduce() run on real text records (lines), used by
+//    tests and examples, where outputs are verified exactly;
+//  * cost mode — at paper scale (hundreds of GB) the framework moves
+//    pattern payloads and charges each task compute time from the app's
+//    calibrated processing rate and selectivity, keeping the storage and
+//    scheduling behavior identical without materializing data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bs::mr {
+
+// Receives key/value pairs from map() or reduce().
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(std::string key, std::string value) = 0;
+};
+
+class MapReduceApp {
+ public:
+  virtual ~MapReduceApp() = default;
+  virtual std::string name() const = 0;
+
+  // Map-only jobs (e.g. RandomTextWriter) skip the shuffle/reduce phases.
+  virtual bool map_only() const { return false; }
+
+  // --- record mode ---
+  // One input record: its byte offset and the line text (TextInputFormat).
+  virtual void map(uint64_t offset, const std::string& line, Emitter& out) {
+    (void)offset;
+    (void)line;
+    (void)out;
+  }
+  virtual void reduce(const std::string& key,
+                      const std::vector<std::string>& values, Emitter& out) {
+    (void)key;
+    (void)values;
+    (void)out;
+  }
+
+  // --- generator apps (RandomTextWriter) ---
+  // If nonzero, map tasks ignore their input and write this many bytes of
+  // generated data to their own output file.
+  virtual uint64_t generated_bytes_per_map() const { return 0; }
+
+  // --- cost model ---
+  // Map-side processing rate over input bytes.
+  virtual double map_rate_bps() const { return 400e6; }
+  // Intermediate bytes produced per input byte.
+  virtual double map_selectivity() const { return 1.0; }
+  // Reduce-side processing rate over shuffled bytes (includes merge/sort).
+  virtual double reduce_rate_bps() const { return 150e6; }
+  // Final output bytes per shuffled byte.
+  virtual double output_ratio() const { return 1.0; }
+};
+
+// ---- The applications the paper evaluates (§IV.C) plus two classics ----
+
+// Scans huge input for occurrences of an expression; the paper's read-heavy
+// application ("concurrent reads from the same huge file").
+class DistributedGrep final : public MapReduceApp {
+ public:
+  explicit DistributedGrep(std::string needle) : needle_(std::move(needle)) {}
+  std::string name() const override { return "distributed-grep"; }
+  void map(uint64_t offset, const std::string& line, Emitter& out) override;
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override;
+  double map_rate_bps() const override { return 350e6; }   // scan speed
+  double map_selectivity() const override { return 1e-4; } // rare matches
+  double output_ratio() const override { return 1.0; }
+
+ private:
+  std::string needle_;
+};
+
+// Generates a huge sequence of random sentences from a fixed vocabulary;
+// the paper's write-heavy application ("massively parallel writes to
+// different files"). Map-only.
+class RandomTextWriter final : public MapReduceApp {
+ public:
+  explicit RandomTextWriter(uint64_t bytes_per_map, uint64_t seed = 0x7e37)
+      : bytes_per_map_(bytes_per_map), seed_(seed) {}
+  std::string name() const override { return "random-text-writer"; }
+  bool map_only() const override { return true; }
+  uint64_t generated_bytes_per_map() const override { return bytes_per_map_; }
+  double map_rate_bps() const override { return 250e6; }  // text generation
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t bytes_per_map_;
+  uint64_t seed_;
+};
+
+class WordCount final : public MapReduceApp {
+ public:
+  std::string name() const override { return "wordcount"; }
+  void map(uint64_t offset, const std::string& line, Emitter& out) override;
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override;
+  double map_rate_bps() const override { return 200e6; }
+  double map_selectivity() const override { return 1.1; }  // word \t 1
+  double output_ratio() const override { return 0.05; }    // few unique words
+};
+
+// Identity map/reduce: the shuffle-heavy classic.
+class SortApp final : public MapReduceApp {
+ public:
+  std::string name() const override { return "sort"; }
+  void map(uint64_t offset, const std::string& line, Emitter& out) override;
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override;
+  double map_rate_bps() const override { return 400e6; }
+  double map_selectivity() const override { return 1.0; }
+  double output_ratio() const override { return 1.0; }
+};
+
+}  // namespace bs::mr

@@ -1,0 +1,56 @@
+#include "mr/app.h"
+
+#include <cctype>
+
+namespace bs::mr {
+
+void DistributedGrep::map(uint64_t offset, const std::string& line,
+                          Emitter& out) {
+  (void)offset;
+  // Hadoop's grep example emits (match, 1) per occurrence; we emit per
+  // matching line with its occurrence count.
+  size_t count = 0;
+  for (size_t pos = line.find(needle_); pos != std::string::npos;
+       pos = line.find(needle_, pos + 1)) {
+    ++count;
+  }
+  if (count > 0) out.emit(needle_, std::to_string(count));
+}
+
+void DistributedGrep::reduce(const std::string& key,
+                             const std::vector<std::string>& values,
+                             Emitter& out) {
+  uint64_t total = 0;
+  for (const auto& v : values) total += std::stoull(v);
+  out.emit(key, std::to_string(total));
+}
+
+void WordCount::map(uint64_t offset, const std::string& line, Emitter& out) {
+  (void)offset;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || std::isspace(static_cast<unsigned char>(line[i]))) {
+      if (i > start) out.emit(line.substr(start, i - start), "1");
+      start = i + 1;
+    }
+  }
+}
+
+void WordCount::reduce(const std::string& key,
+                       const std::vector<std::string>& values, Emitter& out) {
+  uint64_t total = 0;
+  for (const auto& v : values) total += std::stoull(v);
+  out.emit(key, std::to_string(total));
+}
+
+void SortApp::map(uint64_t offset, const std::string& line, Emitter& out) {
+  (void)offset;
+  out.emit(line, "");
+}
+
+void SortApp::reduce(const std::string& key,
+                     const std::vector<std::string>& values, Emitter& out) {
+  for (size_t i = 0; i < values.size(); ++i) out.emit(key, values[i]);
+}
+
+}  // namespace bs::mr

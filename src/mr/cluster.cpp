@@ -1,0 +1,515 @@
+#include "mr/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/wordlist.h"
+#include "sim/parallel.h"
+
+namespace bs::mr {
+namespace {
+
+// Partitioner: hash(key) mod R, as in Hadoop's HashPartitioner.
+uint32_t partition_of(const std::string& key, uint32_t reducers) {
+  return static_cast<uint32_t>(fnv1a64(key) % reducers);
+}
+
+std::string task_file_name(const char* kind, uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%s-%05u", kind, index);
+  return buf;
+}
+
+class PartitionEmitter final : public Emitter {
+ public:
+  PartitionEmitter(uint32_t reducers,
+                   std::vector<std::vector<std::pair<std::string, std::string>>>*
+                       partitions,
+                   std::vector<uint64_t>* bytes)
+      : reducers_(reducers), partitions_(partitions), bytes_(bytes) {}
+
+  void emit(std::string key, std::string value) override {
+    const uint32_t p = reducers_ == 0 ? 0 : partition_of(key, reducers_);
+    (*bytes_)[p] += key.size() + value.size() + 2;
+    (*partitions_)[p].emplace_back(std::move(key), std::move(value));
+  }
+
+ private:
+  uint32_t reducers_;
+  std::vector<std::vector<std::pair<std::string, std::string>>>* partitions_;
+  std::vector<uint64_t>* bytes_;
+};
+
+class VectorEmitter final : public Emitter {
+ public:
+  explicit VectorEmitter(
+      std::vector<std::pair<std::string, std::string>>* out)
+      : out_(out) {}
+  void emit(std::string key, std::string value) override {
+    out_->emplace_back(std::move(key), std::move(value));
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>>* out_;
+};
+
+}  // namespace
+
+void for_each_line(const std::string& text, uint64_t base_offset,
+                   const std::function<void(uint64_t, const std::string&)>& fn) {
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      fn(base_offset + start, text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    fn(base_offset + start, text.substr(start));
+  }
+}
+
+MapReduceCluster::MapReduceCluster(sim::Simulator& sim, net::Network& net,
+                                   fs::FileSystem& filesystem, MrConfig cfg)
+    : sim_(sim), net_(net), fs_(filesystem), cfg_(std::move(cfg)),
+      rng_(cfg_.failure_seed) {
+  if (cfg_.tasktracker_nodes.empty()) {
+    cfg_.tasktracker_nodes.resize(net.config().num_nodes);
+    std::iota(cfg_.tasktracker_nodes.begin(), cfg_.tasktracker_nodes.end(), 0);
+  }
+}
+
+MapReduceCluster::Assignment MapReduceCluster::schedule(JobState& job,
+                                                        net::NodeId node,
+                                                        bool map_slot_free,
+                                                        bool reduce_slot_free) {
+  Assignment out;
+  if (map_slot_free && !job.pending_maps.empty()) {
+    const auto& ncfg = net_.config();
+    // Node-local split?
+    for (auto it = job.pending_maps.begin(); it != job.pending_maps.end(); ++it) {
+      if (std::find(it->hosts.begin(), it->hosts.end(), node) !=
+          it->hosts.end()) {
+        out.kind = AssignKind::kMap;
+        out.split = *it;
+        job.pending_maps.erase(it);
+        ++job.stats.data_local_maps;
+        return out;
+      }
+    }
+    // Rack-local?
+    for (auto it = job.pending_maps.begin(); it != job.pending_maps.end(); ++it) {
+      const bool rack_local =
+          std::any_of(it->hosts.begin(), it->hosts.end(), [&](net::NodeId h) {
+            return ncfg.same_rack(h, node);
+          });
+      if (rack_local) {
+        out.kind = AssignKind::kMap;
+        out.split = *it;
+        job.pending_maps.erase(it);
+        ++job.stats.rack_local_maps;
+        return out;
+      }
+    }
+    // Anything.
+    out.kind = AssignKind::kMap;
+    out.split = job.pending_maps.front();
+    job.pending_maps.pop_front();
+    ++job.stats.remote_maps;
+    return out;
+  }
+  // Reduces start once the map phase completes (slowstart = 1.0).
+  if (reduce_slot_free && job.maps_done == job.maps_total &&
+      !job.pending_reduces.empty()) {
+    out.kind = AssignKind::kReduce;
+    out.reduce_index = job.pending_reduces.front();
+    job.pending_reduces.pop_front();
+    return out;
+  }
+  return out;
+}
+
+sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
+  BS_CHECK(config.app != nullptr);
+  MapReduceApp& app = *config.app;
+
+  JobState job;
+  job.config = std::move(config);
+  job.progress = std::make_unique<sim::CondVar>(sim_);
+  job.stats.job_name = app.name();
+  job.stats.fs_name = fs_.name();
+  job.stats.submit_time = sim_.now();
+
+  // --- plan the map phase ---
+  if (app.generated_bytes_per_map() > 0) {
+    BS_CHECK_MSG(job.config.num_generator_maps > 0,
+                 "generator app needs num_generator_maps");
+    for (uint32_t i = 0; i < job.config.num_generator_maps; ++i) {
+      MapSplit split;
+      split.index = i;
+      job.pending_maps.push_back(std::move(split));
+    }
+  } else {
+    auto planner = fs_.make_client(cfg_.jobtracker_node);
+    uint32_t index = 0;
+    for (const std::string& file : job.config.input_files) {
+      auto st = co_await planner->stat(file);
+      BS_CHECK_MSG(st.has_value() && !st->is_dir, "missing input file");
+      auto blocks = co_await planner->locations(file, 0, st->size);
+      for (const auto& b : blocks) {
+        MapSplit split;
+        split.index = index++;
+        split.file = file;
+        split.offset = b.offset;
+        split.length = b.length;
+        split.hosts = b.hosts;
+        job.stats.input_bytes += b.length;
+        job.pending_maps.push_back(std::move(split));
+      }
+    }
+  }
+  job.maps_total = static_cast<uint32_t>(job.pending_maps.size());
+  job.map_outputs.resize(job.maps_total);
+  job.reduces_total = app.map_only() ? 0 : job.config.num_reducers;
+  for (uint32_t r = 0; r < job.reduces_total; ++r) {
+    job.pending_reduces.push_back(r);
+  }
+  job.stats.maps = job.maps_total;
+  job.stats.reduces = job.reduces_total;
+
+  // --- run tasktrackers ---
+  sim::WaitGroup tts(sim_);
+  tts.add(cfg_.tasktracker_nodes.size());
+  for (net::NodeId node : cfg_.tasktracker_nodes) {
+    auto wrapper = [](MapReduceCluster* self, JobState* j, net::NodeId n,
+                      sim::WaitGroup* wg) -> sim::Task<void> {
+      co_await self->tasktracker_loop(j, n);
+      wg->done();
+    };
+    sim_.spawn(wrapper(this, &job, node, &tts));
+  }
+
+  // --- wait for completion ---
+  while (job.maps_done < job.maps_total ||
+         job.reduces_done < job.reduces_total) {
+    co_await job.progress->wait();
+  }
+  const double finished_at = sim_.now();
+  co_await tts.wait();  // let trackers observe completion and exit
+
+  job.stats.duration = finished_at - job.stats.submit_time;
+  co_return job.stats;
+}
+
+sim::Task<bool> MapReduceCluster::maybe_fail(JobState* job, AssignKind kind,
+                                             MapSplit* split,
+                                             uint32_t reduce_index) {
+  if (cfg_.task_failure_prob <= 0 || !rng_.chance(cfg_.task_failure_prob)) {
+    co_return false;
+  }
+  // The attempt dies partway through: burn startup plus a random slice of
+  // the heartbeat-scale runtime, then hand the task back to the scheduler.
+  co_await sim_.delay(cfg_.task_startup_s +
+                      rng_.uniform() * 4 * cfg_.heartbeat_s);
+  if (kind == AssignKind::kMap) {
+    ++job->stats.map_failures;
+    job->pending_maps.push_back(*split);
+  } else {
+    ++job->stats.reduce_failures;
+    job->pending_reduces.push_back(reduce_index);
+  }
+  co_return true;
+}
+
+sim::Task<void> MapReduceCluster::tasktracker_loop(JobState* job,
+                                                   net::NodeId node) {
+  // Stagger heartbeats so 270 trackers don't poll in lockstep.
+  const double phase =
+      cfg_.heartbeat_s * static_cast<double>(node % 37) / 37.0;
+  co_await sim_.delay(phase);
+
+  uint32_t maps_running = 0;
+  uint32_t reduces_running = 0;
+  sim::WaitGroup running(sim_);
+
+  auto job_complete = [job] {
+    return job->maps_done >= job->maps_total &&
+           job->reduces_done >= job->reduces_total;
+  };
+
+  while (!job_complete()) {
+    // Heartbeat round trip to the JobTracker.
+    co_await net_.control(node, cfg_.jobtracker_node);
+    Assignment a = schedule(*job, node, maps_running < cfg_.map_slots,
+                            reduces_running < cfg_.reduce_slots);
+    co_await net_.control(cfg_.jobtracker_node, node);
+
+    if (a.kind == AssignKind::kMap) {
+      ++maps_running;
+      running.add(1);
+      auto wrapper = [](MapReduceCluster* self, JobState* j, net::NodeId n,
+                        MapSplit split, uint32_t* counter,
+                        sim::WaitGroup* wg) -> sim::Task<void> {
+        const bool failed =
+            co_await self->maybe_fail(j, AssignKind::kMap, &split, 0);
+        if (!failed) {
+          if (j->config.app->generated_bytes_per_map() > 0) {
+            co_await self->run_generator_map(j, n, split.index);
+          } else {
+            co_await self->run_map_task(j, n, std::move(split));
+          }
+        }
+        --*counter;
+        wg->done();
+      };
+      sim_.spawn(wrapper(this, job, node, std::move(a.split), &maps_running,
+                         &running));
+    } else if (a.kind == AssignKind::kReduce) {
+      ++reduces_running;
+      running.add(1);
+      auto wrapper = [](MapReduceCluster* self, JobState* j, net::NodeId n,
+                        uint32_t r, uint32_t* counter,
+                        sim::WaitGroup* wg) -> sim::Task<void> {
+        const bool failed =
+            co_await self->maybe_fail(j, AssignKind::kReduce, nullptr, r);
+        if (!failed) co_await self->run_reduce_task(j, n, r);
+        --*counter;
+        wg->done();
+      };
+      sim_.spawn(wrapper(this, job, node, a.reduce_index, &reduces_running,
+                         &running));
+    }
+    co_await sim_.delay(cfg_.heartbeat_s);
+  }
+  co_await running.wait();
+}
+
+sim::Task<void> MapReduceCluster::run_map_task(JobState* job, net::NodeId node,
+                                               MapSplit split) {
+  co_await sim_.delay(cfg_.task_startup_s);
+  auto client = fs_.make_client(node);
+  auto reader = co_await client->open(split.file);
+  BS_CHECK_MSG(reader != nullptr, "map input disappeared");
+
+  MapReduceApp& app = *job->config.app;
+  const uint32_t reducers = std::max<uint32_t>(1, job->reduces_total);
+  MapOutput out;
+  out.node = node;
+  out.partition_bytes.assign(reducers, 0);
+
+  const uint64_t end = split.offset + split.length;
+  const uint64_t file_size = reader->size();
+
+  if (!job->config.cost_model) {
+    // Record mode: real TextInputFormat semantics — a record belongs to the
+    // split containing its first byte; the reader skips a partial first
+    // line (the previous split owns it) and runs past `end` to finish its
+    // last record.
+    out.partitions.resize(reducers);
+    PartitionEmitter emitter(reducers, &out.partitions, &out.partition_bytes);
+    std::string buf;
+    uint64_t buf_base = split.offset;
+    uint64_t pos = split.offset;
+    bool skip_first = split.offset > 0;
+    bool done = false;
+    while (!done && pos < file_size) {
+      const uint64_t n =
+          std::min<uint64_t>(job->config.record_read_size, file_size - pos);
+      DataSpec chunk = co_await reader->read(pos, n);
+      BS_CHECK(chunk.size() == n);
+      Bytes bytes = chunk.materialize();
+      buf.append(bytes.begin(), bytes.end());
+      pos += n;
+      // Emit complete lines from the buffer.
+      size_t line_start = 0;
+      for (size_t i = 0; i < buf.size(); ++i) {
+        if (buf[i] != '\n') continue;
+        const uint64_t line_off = buf_base + line_start;
+        if (skip_first) {
+          skip_first = false;
+        } else if (line_off < end) {
+          app.map(line_off, buf.substr(line_start, i - line_start), emitter);
+        } else {
+          done = true;  // first line starting at/after `end`: not ours
+          break;
+        }
+        line_start = i + 1;
+        if (buf_base + line_start >= end) {
+          // The next line starts at/after the split end: stop reading.
+          done = true;
+          break;
+        }
+      }
+      buf.erase(0, line_start);
+      buf_base += line_start;
+    }
+    if (!done && !buf.empty() && !skip_first && buf_base < end) {
+      app.map(buf_base, buf, emitter);  // final unterminated line
+    }
+  } else {
+    // Cost mode: same I/O pattern, modeled compute.
+    uint64_t pos = split.offset;
+    while (pos < end) {
+      const uint64_t n =
+          std::min<uint64_t>(job->config.record_read_size, end - pos);
+      DataSpec chunk = co_await reader->read(pos, n);
+      BS_CHECK(chunk.size() > 0);
+      pos += chunk.size();
+    }
+    co_await sim_.delay(static_cast<double>(split.length) /
+                        app.map_rate_bps());
+    const double intermediate =
+        static_cast<double>(split.length) * app.map_selectivity();
+    for (uint32_t r = 0; r < reducers; ++r) {
+      out.partition_bytes[r] = static_cast<uint64_t>(intermediate / reducers);
+    }
+  }
+
+  // Spill intermediate data to the local disk (map-side materialization).
+  const uint64_t spill = std::accumulate(out.partition_bytes.begin(),
+                                         out.partition_bytes.end(), 0ULL);
+  if (spill > 0 && job->reduces_total > 0) {
+    co_await net_.disk(node).write(static_cast<double>(spill));
+  }
+  job->map_outputs[split.index] = std::move(out);
+
+  // Report completion.
+  co_await net_.control(node, cfg_.jobtracker_node);
+  ++job->maps_done;
+  job->progress->notify_all();
+}
+
+sim::Task<void> MapReduceCluster::run_generator_map(JobState* job,
+                                                    net::NodeId node,
+                                                    uint32_t index) {
+  co_await sim_.delay(cfg_.task_startup_s);
+  auto client = fs_.make_client(node);
+  auto& app = *job->config.app;
+  const uint64_t bytes = app.generated_bytes_per_map();
+  const std::string path =
+      fs::join_path(job->config.output_dir, task_file_name("m", index));
+  auto writer = co_await client->create(path);
+  BS_CHECK_MSG(writer != nullptr, "cannot create generator output");
+
+  if (job->config.cost_model) {
+    // Generate and write chunk by chunk; generation compute and FS writes
+    // alternate as in the real RandomTextWriter loop.
+    const uint64_t chunk = std::min<uint64_t>(bytes, fs_.block_size());
+    uint64_t done = 0;
+    const uint64_t seed = fnv1a64_u64(index, 0xb10b);
+    while (done < bytes) {
+      const uint64_t n = std::min(chunk, bytes - done);
+      co_await sim_.delay(static_cast<double>(n) / app.map_rate_bps());
+      co_await writer->write(DataSpec::pattern(seed, done, n));
+      done += n;
+    }
+  } else {
+    Rng rng(fnv1a64_u64(index, 0xb10b));
+    const std::string text = random_text(rng, bytes);
+    co_await sim_.delay(static_cast<double>(text.size()) / app.map_rate_bps());
+    co_await writer->write(DataSpec::from_string(text));
+  }
+  const uint64_t written = writer->bytes_written();
+  co_await writer->close();
+  job->stats.output_bytes += written;
+
+  co_await net_.control(node, cfg_.jobtracker_node);
+  ++job->maps_done;
+  job->progress->notify_all();
+}
+
+sim::Task<void> MapReduceCluster::run_reduce_task(JobState* job,
+                                                  net::NodeId node,
+                                                  uint32_t reduce_index) {
+  co_await sim_.delay(cfg_.task_startup_s);
+  MapReduceApp& app = *job->config.app;
+
+  // --- shuffle: fetch this reducer's partition from every map's node ---
+  uint64_t total = 0;
+  {
+    std::vector<sim::Task<void>> fetches;
+    for (const MapOutput& m : job->map_outputs) {
+      const uint64_t size = m.partition_bytes[reduce_index];
+      if (size == 0) continue;
+      total += size;
+      auto fetch = [](MapReduceCluster* self, net::NodeId src, net::NodeId dst,
+                      uint64_t bytes) -> sim::Task<void> {
+        // Map-side disk read feeds the network stream (overlapped).
+        std::vector<sim::Task<void>> legs;
+        legs.push_back(self->net_.disk(src).read(static_cast<double>(bytes)));
+        legs.push_back(
+            self->net_.transfer(src, dst, static_cast<double>(bytes)));
+        co_await sim::when_all(self->sim_, std::move(legs));
+      };
+      fetches.push_back(fetch(this, m.node, node, size));
+    }
+    co_await sim::when_all_limited(sim_, std::move(fetches),
+                                   cfg_.shuffle_parallel_copies);
+  }
+  job->stats.shuffle_bytes += total;
+
+  // --- merge + reduce compute ---
+  if (total > 0) {
+    co_await sim_.delay(static_cast<double>(total) / app.reduce_rate_bps());
+  }
+
+  std::string output_text;
+  uint64_t output_bytes = 0;
+  std::vector<std::pair<std::string, std::string>> reduced;
+  if (!job->config.cost_model) {
+    // Merge all partitions for this reducer, grouped and sorted by key.
+    std::map<std::string, std::vector<std::string>> groups;
+    for (const MapOutput& m : job->map_outputs) {
+      if (m.partitions.empty()) continue;
+      for (const auto& [k, v] : m.partitions[reduce_index]) {
+        groups[k].push_back(v);
+      }
+    }
+    VectorEmitter emitter(&reduced);
+    for (const auto& [key, values] : groups) {
+      app.reduce(key, values, emitter);
+    }
+    for (const auto& [k, v] : reduced) {
+      output_text += k;
+      output_text += '\t';
+      output_text += v;
+      output_text += '\n';
+    }
+    output_bytes = output_text.size();
+  } else {
+    output_bytes =
+        static_cast<uint64_t>(static_cast<double>(total) * app.output_ratio());
+  }
+
+  // --- write the output file ---
+  auto client = fs_.make_client(node);
+  const std::string path =
+      fs::join_path(job->config.output_dir, task_file_name("r", reduce_index));
+  auto writer = co_await client->create(path);
+  BS_CHECK_MSG(writer != nullptr, "cannot create reduce output");
+  if (output_bytes > 0) {
+    if (!job->config.cost_model) {
+      co_await writer->write(DataSpec::from_string(output_text));
+    } else {
+      co_await writer->write(
+          DataSpec::pattern(fnv1a64_u64(reduce_index, 0x0u), 0,
+                            output_bytes));
+    }
+  }
+  co_await writer->close();
+  job->stats.output_bytes += output_bytes;
+  for (auto& kv : reduced) {
+    if (job->stats.results.size() < 10000) {
+      job->stats.results.push_back(std::move(kv));
+    }
+  }
+
+  co_await net_.control(node, cfg_.jobtracker_node);
+  ++job->reduces_done;
+  job->progress->notify_all();
+}
+
+}  // namespace bs::mr

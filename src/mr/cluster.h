@@ -1,0 +1,171 @@
+// The MapReduce framework: JobTracker + TaskTrackers over an abstract
+// FileSystem (paper §II.A: "a single master jobtracker and multiple slave
+// tasktrackers, one per node").
+//
+// Execution model per job:
+//   1. The JobTracker splits the input at block granularity and records
+//      each split's preferred hosts (layout exposure from the FS).
+//   2. Every TaskTracker polls on its heartbeat; the JobTracker hands out
+//      at most one task per poll, preferring node-local, then rack-local,
+//      then arbitrary splits (Hadoop's locality-aware scheduling).
+//   3. Map tasks read their split through the FS client (record-sized
+//      reads; the FS's caching/prefetch behavior is what the paper's §IV.C
+//      comparison exercises), run map() or charge the cost model, and
+//      spill their partitioned intermediate output to the local disk.
+//   4. When all maps finish, reduce tasks shuffle their partition from
+//      every map's node (bounded-parallel fetches), merge (cost model),
+//      run reduce(), and write part-r files back through the FS.
+//
+// Failed task attempts (failure injection, MrConfig::task_failure_prob)
+// are re-executed by the JobTracker, as §II.A describes. Simplifications
+// vs. Hadoop, documented in DESIGN.md: no speculative execution, attempts
+// fail before producing partial output, reduces start after the map phase
+// (slowstart = 1.0), one combined merge pass.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "fs/filesystem.h"
+#include "mr/app.h"
+#include "net/network.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace bs::mr {
+
+struct MrConfig {
+  // TaskTracker nodes; empty = every cluster node.
+  std::vector<net::NodeId> tasktracker_nodes;
+  net::NodeId jobtracker_node = 0;
+  uint32_t map_slots = 2;     // per tasktracker (Hadoop 0.20 defaults)
+  uint32_t reduce_slots = 2;
+  double heartbeat_s = 0.3;
+  double task_startup_s = 0.2;  // JVM reuse era: modest per-task startup
+  uint32_t shuffle_parallel_copies = 5;
+  // Failure injection: each task attempt fails with this probability after
+  // doing a random fraction of its work; the JobTracker re-executes failed
+  // tasks (paper §II.A: "monitoring them and re-executing the failed
+  // ones"). Deterministic given the cluster seed.
+  double task_failure_prob = 0;
+  uint64_t failure_seed = 0xfa11;
+};
+
+struct JobConfig {
+  std::vector<std::string> input_files;
+  std::string output_dir;
+  MapReduceApp* app = nullptr;
+  uint32_t num_reducers = 4;
+  // Cost mode (paper-scale benches) vs record mode (tests/examples).
+  bool cost_model = false;
+  // Record-sized FS reads: "MapReduce applications usually process data in
+  // small records (4KB, whereas Hadoop is concerned)" (paper §III.B).
+  uint64_t record_read_size = 4096;
+  // For generator apps: number of map tasks (they have no input splits).
+  uint32_t num_generator_maps = 0;
+};
+
+struct JobStats {
+  std::string job_name;
+  std::string fs_name;
+  double submit_time = 0;
+  double duration = 0;
+  double map_phase_s = 0;
+  double reduce_phase_s = 0;
+  uint64_t maps = 0;
+  uint64_t reduces = 0;
+  uint64_t input_bytes = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t output_bytes = 0;
+  uint64_t data_local_maps = 0;
+  uint64_t rack_local_maps = 0;
+  uint64_t remote_maps = 0;
+  uint64_t map_failures = 0;
+  uint64_t reduce_failures = 0;
+  // Record-mode result sample: reduce outputs collected (small jobs only).
+  std::vector<std::pair<std::string, std::string>> results;
+};
+
+class MapReduceCluster {
+ public:
+  MapReduceCluster(sim::Simulator& sim, net::Network& net,
+                   fs::FileSystem& filesystem, MrConfig cfg = {});
+
+  // Runs a job to completion (a coroutine; spawn or co_await it).
+  sim::Task<JobStats> run_job(JobConfig config);
+
+  fs::FileSystem& filesystem() { return fs_; }
+  const MrConfig& config() const { return cfg_; }
+
+ private:
+  struct MapSplit {
+    uint32_t index = 0;
+    std::string file;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    std::vector<net::NodeId> hosts;
+  };
+
+  // Map output registry: where each map ran and how many intermediate
+  // bytes it produced per reduce partition (record mode also keeps data).
+  struct MapOutput {
+    net::NodeId node = 0;
+    std::vector<uint64_t> partition_bytes;
+    std::vector<std::vector<std::pair<std::string, std::string>>> partitions;
+  };
+
+  struct JobState {
+    JobConfig config;
+    std::deque<MapSplit> pending_maps;
+    std::deque<uint32_t> pending_reduces;
+    uint32_t maps_total = 0;
+    uint32_t maps_done = 0;
+    uint32_t reduces_total = 0;
+    uint32_t reduces_done = 0;
+    std::vector<MapOutput> map_outputs;
+    JobStats stats;
+    std::unique_ptr<sim::CondVar> progress;
+    bool failed = false;
+  };
+
+  enum class AssignKind { kNone, kMap, kReduce };
+  struct Assignment {
+    AssignKind kind = AssignKind::kNone;
+    MapSplit split;
+    uint32_t reduce_index = 0;
+  };
+
+  // Scheduling decision, made at the JobTracker on a heartbeat from `node`.
+  Assignment schedule(JobState& job, net::NodeId node, bool map_slot_free,
+                      bool reduce_slot_free);
+
+  sim::Task<void> tasktracker_loop(JobState* job, net::NodeId node);
+  // Rolls the failure dice for one attempt; if it fails, burns a partial
+  // execution and requeues the task. Returns true if the attempt failed.
+  sim::Task<bool> maybe_fail(JobState* job, AssignKind kind, MapSplit* split,
+                             uint32_t reduce_index);
+  sim::Task<void> run_map_task(JobState* job, net::NodeId node, MapSplit split);
+  sim::Task<void> run_reduce_task(JobState* job, net::NodeId node,
+                                  uint32_t reduce_index);
+  sim::Task<void> run_generator_map(JobState* job, net::NodeId node,
+                                    uint32_t index);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  fs::FileSystem& fs_;
+  MrConfig cfg_;
+  Rng rng_;
+};
+
+// Splits `text` into lines and feeds them to `fn(offset, line)`; exposed
+// for tests. Implements TextInputFormat's boundary rule helpers.
+void for_each_line(const std::string& text, uint64_t base_offset,
+                   const std::function<void(uint64_t, const std::string&)>& fn);
+
+}  // namespace bs::mr

@@ -1,0 +1,213 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace bs::net {
+namespace {
+
+// A flow is "finished" when less than half a byte remains; fluid-model
+// arithmetic accumulates tiny float error that this absorbs.
+constexpr double kRemainingEps = 0.5;
+
+}  // namespace
+
+sim::Task<void> Disk::io(double bytes, double bps) {
+  co_await gate_.acquire();
+  co_await sim_.delay(seek_s_ + bytes / bps);
+  gate_.release();
+  if (bps == read_bps_) {
+    bytes_read_ += bytes;
+  } else {
+    bytes_written_ += bytes;
+  }
+}
+
+Network::Network(sim::Simulator& sim, const ClusterConfig& cfg)
+    : sim_(sim), cfg_(cfg) {
+  const uint32_t n = cfg_.num_nodes;
+  const uint32_t r = cfg_.num_racks();
+  link_capacity_.assign(2 * n + 2 * r, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    link_capacity_[link_node_up(i)] = cfg_.nic_bps;
+    link_capacity_[link_node_down(i)] = cfg_.nic_bps;
+  }
+  for (uint32_t i = 0; i < r; ++i) {
+    link_capacity_[link_rack_up(i)] = cfg_.rack_uplink_bps;
+    link_capacity_[link_rack_down(i)] = cfg_.rack_uplink_bps;
+  }
+  disks_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    disks_.push_back(std::make_unique<Disk>(sim_, cfg_.disk_read_bps,
+                                            cfg_.disk_write_bps,
+                                            cfg_.disk_seek_s));
+  }
+  rx_bytes_.assign(n, 0);
+  tx_bytes_.assign(n, 0);
+}
+
+sim::Task<void> Network::transfer(NodeId src, NodeId dst, double bytes,
+                                  double rate_cap) {
+  BS_CHECK(src < cfg_.num_nodes && dst < cfg_.num_nodes);
+  if (bytes <= 0) co_return;
+  bytes_moved_ += bytes;
+  tx_bytes_[src] += bytes;
+  rx_bytes_[dst] += bytes;
+  if (src == dst) {
+    co_await sim_.delay(bytes / cfg_.loopback_bps);
+    co_return;
+  }
+  sim::Event done(sim_);
+  add_flow(src, dst, bytes, rate_cap, &done);
+  co_await done.wait();
+}
+
+sim::Task<void> Network::control(NodeId src, NodeId dst) {
+  (void)src;
+  (void)dst;
+  co_await sim_.delay(cfg_.control_latency_s);
+}
+
+void Network::add_flow(NodeId src, NodeId dst, double bytes, double cap,
+                       sim::Event* done) {
+  advance();
+  Flow f;
+  f.id = next_flow_id_++;
+  f.remaining = bytes;
+  f.cap = cap;
+  if (cfg_.per_stream_cap_bps > 0) {
+    f.cap = f.cap > 0 ? std::min(f.cap, cfg_.per_stream_cap_bps)
+                      : cfg_.per_stream_cap_bps;
+  }
+  f.done = done;
+  f.src = src;
+  f.dst = dst;
+  f.path.push_back(link_node_up(src));
+  if (!cfg_.same_rack(src, dst)) {
+    f.path.push_back(link_rack_up(cfg_.rack_of(src)));
+    f.path.push_back(link_rack_down(cfg_.rack_of(dst)));
+  }
+  f.path.push_back(link_node_down(dst));
+  auto [it, inserted] = flows_.emplace(f.id, std::move(f));
+  BS_CHECK(inserted);
+  // Ids are monotonically increasing, so push_back keeps the order sorted.
+  flow_order_.push_back(&it->second);
+  ++flows_started_;
+  recompute_rates();
+  retime();
+}
+
+void Network::advance() {
+  const double now = sim_.now();
+  const double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0 && flows_.empty()) return;
+  bool any_finished = false;
+  for (Flow* f : flow_order_) {
+    f->remaining -= f->rate * dt;
+    if (f->remaining <= kRemainingEps) any_finished = true;
+  }
+  if (!any_finished) return;
+  auto it = std::remove_if(flow_order_.begin(), flow_order_.end(),
+                           [this](Flow* f) {
+                             if (f->remaining > kRemainingEps) return false;
+                             f->done->set();
+                             flows_.erase(f->id);
+                             return true;
+                           });
+  flow_order_.erase(it, flow_order_.end());
+}
+
+void Network::recompute_rates() {
+  if (flows_.empty()) return;
+  // Progressive filling over flat scratch arrays (no per-call allocation).
+  if (scratch_remaining_.size() != link_capacity_.size()) {
+    scratch_remaining_.resize(link_capacity_.size());
+    scratch_count_.resize(link_capacity_.size());
+  }
+  scratch_links_.clear();
+  for (Flow* f : flow_order_) {
+    f->rate = -1;  // -1 = unfrozen
+    for (uint32_t l : f->path) {
+      if (scratch_count_[l] == 0) {
+        scratch_remaining_[l] = link_capacity_[l];
+        scratch_links_.push_back(l);
+      }
+      scratch_count_[l] += 1;
+    }
+  }
+  size_t unfrozen = flow_order_.size();
+  while (unfrozen > 0) {
+    // Bottleneck share across links, and the smallest unfrozen per-flow cap.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (uint32_t l : scratch_links_) {
+      const uint32_t cnt = scratch_count_[l];
+      if (cnt == 0) continue;
+      const double fair = scratch_remaining_[l] / cnt;
+      if (fair < best_share) best_share = fair;
+    }
+    bool froze_capped = false;
+    for (Flow* f : flow_order_) {
+      if (f->rate >= 0) continue;
+      if (f->cap > 0 && f->cap <= best_share) {
+        // Cap binds before the links do: freeze at the cap.
+        f->rate = f->cap;
+        for (uint32_t l : f->path) {
+          scratch_remaining_[l] -= f->rate;
+          scratch_count_[l] -= 1;
+        }
+        --unfrozen;
+        froze_capped = true;
+      }
+    }
+    if (froze_capped) continue;
+    // Freeze every unfrozen flow crossing a bottleneck link.
+    const double share = best_share;
+    const double limit = share * (1 + 1e-12);
+    for (Flow* f : flow_order_) {
+      if (f->rate >= 0) continue;
+      bool bottlenecked = false;
+      for (uint32_t l : f->path) {
+        if (scratch_remaining_[l] <= limit * scratch_count_[l]) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        f->rate = share;
+        for (uint32_t l : f->path) {
+          scratch_remaining_[l] -= f->rate;
+          scratch_count_[l] -= 1;
+        }
+        --unfrozen;
+      }
+    }
+  }
+  // Reset counters for the next call (remaining_ is re-seeded lazily).
+  for (uint32_t l : scratch_links_) scratch_count_[l] = 0;
+}
+
+void Network::retime() {
+  ++timer_generation_;
+  if (flows_.empty()) return;
+  double next = std::numeric_limits<double>::infinity();
+  for (const Flow* f : flow_order_) {
+    if (f->rate > 0) next = std::min(next, f->remaining / f->rate);
+  }
+  BS_CHECK_MSG(next < std::numeric_limits<double>::infinity(),
+               "active flows but no positive rates");
+  const uint64_t gen = timer_generation_;
+  sim_.call_at(sim_.now() + next, [this, gen] { on_timer(gen); });
+}
+
+void Network::on_timer(uint64_t generation) {
+  if (generation != timer_generation_) return;  // superseded by a change
+  advance();
+  recompute_rates();
+  retime();
+}
+
+}  // namespace bs::net

@@ -1,0 +1,138 @@
+// Flow-level network simulation with max-min fair bandwidth sharing.
+//
+// Each bulk transfer is a *flow* along a fixed link path
+// (src NIC up → [rack uplink → rack downlink] → dst NIC down).
+// Whenever the flow set changes, all rates are re-solved by progressive
+// filling (freeze the bottleneck, subtract, repeat) and the earliest
+// completion is scheduled. This is the standard fluid approximation used in
+// datacenter simulators; it reproduces the contention and hotspot effects
+// the paper's throughput curves depend on, at a cost of O(flows·links) per
+// change instead of per-packet events.
+//
+// Control messages (RPCs) are modeled as fixed one-way latencies — they are
+// small enough (hundreds of bytes) that their bandwidth use is negligible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/cluster.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace bs::net {
+
+// Per-node FIFO disk. Concurrent requests queue; each pays a positioning
+// overhead plus size/bandwidth. Shared via reference from services on the
+// same node.
+class Disk {
+ public:
+  Disk(sim::Simulator& sim, double read_bps, double write_bps, double seek_s)
+      : sim_(sim), gate_(sim, 1), read_bps_(read_bps), write_bps_(write_bps),
+        seek_s_(seek_s) {}
+
+  sim::Task<void> read(double bytes) { return io(bytes, read_bps_); }
+  sim::Task<void> write(double bytes) { return io(bytes, write_bps_); }
+
+  double bytes_read() const { return bytes_read_; }
+  double bytes_written() const { return bytes_written_; }
+  double write_bps() const { return write_bps_; }
+  double read_bps() const { return read_bps_; }
+
+ private:
+  sim::Task<void> io(double bytes, double bps);
+
+  sim::Simulator& sim_;
+  sim::Semaphore gate_;
+  double read_bps_;
+  double write_bps_;
+  double seek_s_;
+  double bytes_read_ = 0;
+  double bytes_written_ = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, const ClusterConfig& cfg);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const ClusterConfig& config() const { return cfg_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // Bulk data transfer; completes when the last byte arrives under max-min
+  // fair sharing. `rate_cap` additionally caps this flow's rate (used to
+  // model per-stream protocol inefficiencies); 0 means uncapped.
+  sim::Task<void> transfer(NodeId src, NodeId dst, double bytes,
+                           double rate_cap = 0);
+
+  // One-way control-message latency.
+  sim::Task<void> control(NodeId src, NodeId dst);
+
+  Disk& disk(NodeId node) { return *disks_[node]; }
+
+  // Introspection for tests and benches.
+  uint64_t flows_started() const { return flows_started_; }
+  double bytes_moved() const { return bytes_moved_; }
+  size_t active_flows() const { return flows_.size(); }
+  // Bytes received per node (hotspot analysis).
+  const std::vector<double>& rx_bytes() const { return rx_bytes_; }
+  const std::vector<double>& tx_bytes() const { return tx_bytes_; }
+
+ private:
+  struct Flow {
+    uint64_t id;
+    std::vector<uint32_t> path;  // link indices
+    double remaining;            // bytes
+    double rate = 0;             // current fair rate, bytes/sec
+    double cap;                  // per-flow cap (0 = none)
+    sim::Event* done;
+    NodeId src, dst;
+  };
+
+  // Link layout: [0, N): node up; [N, 2N): node down;
+  // [2N, 2N+R): rack up; [2N+R, 2N+2R): rack down.
+  uint32_t link_node_up(NodeId n) const { return n; }
+  uint32_t link_node_down(NodeId n) const { return cfg_.num_nodes + n; }
+  uint32_t link_rack_up(uint32_t r) const { return 2 * cfg_.num_nodes + r; }
+  uint32_t link_rack_down(uint32_t r) const {
+    return 2 * cfg_.num_nodes + cfg_.num_racks() + r;
+  }
+
+  void add_flow(NodeId src, NodeId dst, double bytes, double cap,
+                sim::Event* done);
+  // Advances all flows to `now`, completing any that finished.
+  void advance();
+  // Re-solves max-min fair rates (progressive filling with per-flow caps).
+  // Uses flat per-link scratch arrays (scratch_*) — this runs on every flow
+  // arrival/departure and dominates bench CPU time.
+  void recompute_rates();
+  // Schedules the wake-up for the next flow completion.
+  void retime();
+  void on_timer(uint64_t generation);
+
+  sim::Simulator& sim_;
+  ClusterConfig cfg_;
+  std::vector<double> link_capacity_;
+  std::unordered_map<uint64_t, Flow> flows_;
+  // Scratch for recompute_rates (sized to the link count, reused).
+  std::vector<double> scratch_remaining_;
+  std::vector<uint32_t> scratch_count_;
+  std::vector<uint32_t> scratch_links_;  // links touched by active flows
+  // Active flows sorted by id (deterministic, maintained incrementally).
+  std::vector<Flow*> flow_order_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  double last_advance_ = 0;
+  uint64_t next_flow_id_ = 1;
+  uint64_t timer_generation_ = 0;
+  uint64_t flows_started_ = 0;
+  double bytes_moved_ = 0;
+  std::vector<double> rx_bytes_;
+  std::vector<double> tx_bytes_;
+};
+
+}  // namespace bs::net

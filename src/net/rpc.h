@@ -1,0 +1,62 @@
+// RPC modeling helper.
+//
+// Services in the reproduction are plain C++ objects (one address space);
+// what makes a call "remote" is the modeled cost: a one-way control latency
+// to the service's node, the service's own processing (often a serialized
+// service-time, which is what makes centralized servers saturate), and the
+// response latency back. Bulk payloads are NOT carried by rpc(); data paths
+// use Network::transfer explicitly, as real systems separate control and
+// data planes.
+#pragma once
+
+#include <utility>
+
+#include "net/network.h"
+#include "sim/task.h"
+
+namespace bs::net {
+
+// body() must return sim::Task<R>; rpc() returns Task<R> after modeling the
+// round trip.
+template <typename Body>
+auto rpc(Network& net, NodeId from, NodeId to, Body body)
+    -> decltype(body()) {
+  co_await net.control(from, to);
+  if constexpr (std::is_void_v<decltype(std::declval<decltype(body())>()
+                                            .operator co_await()
+                                            .await_resume())>) {
+    co_await body();
+    co_await net.control(to, from);
+  } else {
+    auto result = co_await body();
+    co_await net.control(to, from);
+    co_return result;
+  }
+}
+
+// A serialized request processor: each request costs `service_time` and the
+// server handles one at a time. Queueing delay under load is what models a
+// saturating centralized server (HDFS NameNode, BlobSeer version manager).
+class ServiceQueue {
+ public:
+  ServiceQueue(sim::Simulator& sim, double service_time_s)
+      : sim_(sim), gate_(sim, 1), service_time_(service_time_s) {}
+
+  sim::Task<void> process(double cost_multiplier = 1.0) {
+    co_await gate_.acquire();
+    co_await sim_.delay(service_time_ * cost_multiplier);
+    gate_.release();
+    ++requests_;
+  }
+
+  uint64_t requests() const { return requests_; }
+  size_t queue_depth() const { return gate_.waiting(); }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Semaphore gate_;
+  double service_time_;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace bs::net

@@ -1,0 +1,86 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace bs::sim {
+
+Simulator::~Simulator() {
+  // Drop queued (non-owning) handles first, then destroy still-live
+  // process frames; destruction runs their locals' destructors, which may
+  // only touch primitives that outlive them (standard teardown order:
+  // services own primitives, harness owns services and the simulator).
+  queue_ = {};
+  spawned_.clear();
+}
+
+void Simulator::schedule_at(Time t, std::coroutine_handle<> h) {
+  BS_DCHECK(t >= now_);
+  BS_DCHECK(h != nullptr);
+  queue_.push(Event{std::max(t, now_), seq_++, h, nullptr});
+}
+
+void Simulator::call_at(Time t, std::function<void()> fn) {
+  BS_DCHECK(t >= now_);
+  queue_.push(Event{std::max(t, now_), seq_++, nullptr, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task) {
+  BS_CHECK(task.valid());
+  schedule_now(task.handle());
+  spawned_.push_back(std::move(task));
+}
+
+void Simulator::dispatch(Event& ev) {
+  now_ = ev.t;
+  ++events_processed_;
+  if (ev.h) {
+    ev.h.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+void Simulator::reap_finished() {
+  auto it = std::remove_if(spawned_.begin(), spawned_.end(), [](Task<void>& t) {
+    if (!t.done()) return false;
+    t.rethrow_if_failed();  // escaped exception in a detached task = bug
+    return true;
+  });
+  spawned_.erase(it, spawned_.end());
+}
+
+Time Simulator::run() {
+  uint64_t since_reap = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    if (++since_reap >= 4096) {
+      reap_finished();
+      since_reap = 0;
+    }
+  }
+  reap_finished();
+  return now_;
+}
+
+Time Simulator::run_until(Time t) {
+  uint64_t since_reap = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    if (++since_reap >= 4096) {
+      reap_finished();
+      since_reap = 0;
+    }
+  }
+  reap_finished();
+  now_ = std::max(now_, t);
+  return now_;
+}
+
+}  // namespace bs::sim

@@ -1,0 +1,94 @@
+// Simulator — deterministic discrete-event loop driving all coroutines.
+//
+// A single event queue orders (time, sequence) pairs; ties are broken by
+// insertion order, so runs are bit-reproducible. The simulated world is
+// single-threaded by construction (C++ Core Guidelines CP.3: parallelism is
+// *modeled*, not executed, so there is no shared mutable state to race on).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace bs::sim {
+
+// Simulated time in seconds.
+using Time = double;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules a coroutine resumption at absolute time `t` (>= now).
+  void schedule_at(Time t, std::coroutine_handle<> h);
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  // Schedules a plain callback (used by the flow solver's retimeable wake).
+  void call_at(Time t, std::function<void()> fn);
+
+  // Awaitable: suspends the current coroutine for `dt` simulated seconds.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Simulator& sim;
+      Time dt;
+      bool await_ready() const noexcept { return dt <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule_at(sim.now_ + dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  // Awaitable: re-enqueues the coroutine at the current time (lets other
+  // ready events run first; useful for fairness in tight loops).
+  auto yield() { return delay(0); }
+
+  // Detaches a task: it starts at the current time and is owned by the
+  // simulator until completion. An escaped exception in a detached task
+  // aborts the simulation (it is a bug, not a modeled failure).
+  void spawn(Task<void> task);
+
+  // Runs until the event queue empties. Returns final time.
+  Time run();
+  // Runs until simulated time `t`; events after `t` stay queued.
+  Time run_until(Time t);
+
+  // Number of events processed so far (for tests and perf reporting).
+  uint64_t events_processed() const { return events_processed_; }
+  size_t live_processes() const { return spawned_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    uint64_t seq;
+    std::coroutine_handle<> h;   // exactly one of h / fn is set
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+  void reap_finished();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Task<void>> spawned_;
+  Time now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace bs::sim

@@ -1,0 +1,180 @@
+// Task<T> — the lazy coroutine type every simulated activity is written in.
+//
+// A Task starts when first awaited (function-call semantics: it runs inline
+// at the current simulated instant until its first real suspension) and
+// resumes its awaiter by symmetric transfer on completion, so arbitrarily
+// deep call chains complete without growing the native stack.
+//
+// Ownership: the Task object owns the coroutine frame. `co_await task`
+// keeps the temporary alive until the await completes, which is exactly the
+// frame's lifetime. Detached top-level tasks are owned by the Simulator
+// (see Simulator::spawn) and reaped when done.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace bs::sim {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Resume whoever awaited us; a detached task has no continuation and
+      // simply stays suspended at its final point until reaped.
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { this->exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return h_ && h_.done(); }
+  std::coroutine_handle<> handle() const { return h_; }
+
+  // Rethrows an exception captured by a completed task (detached use).
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception) {
+      std::rethrow_exception(h_.promise().exception);
+    }
+  }
+
+  // Awaiting starts the task and suspends the awaiter until completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        h.promise().continuation = awaiting;
+        return h;  // start (or resume into) the child
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        BS_CHECK_MSG(h.promise().value.has_value(),
+                     "task completed without a value");
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { this->exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return h_ != nullptr; }
+  bool done() const { return h_ && h_.done(); }
+  std::coroutine_handle<> handle() const { return h_; }
+
+  void rethrow_if_failed() const {
+    if (h_ && h_.promise().exception) {
+      std::rethrow_exception(h_.promise().exception);
+    }
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        h.promise().continuation = awaiting;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace bs::sim

@@ -1,0 +1,166 @@
+// End-to-end determinism: the whole stack (network, storage, MapReduce) is
+// driven by one event queue with deterministic tie-breaking, so two
+// identical runs must agree bit-for-bit — timings, event counts, data, and
+// scheduler decisions. This is what makes every bench number in
+// EXPERIMENTS.md exactly reproducible.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "common/rng.h"
+#include "common/wordlist.h"
+#include "hdfs/hdfs.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace bs {
+namespace {
+
+constexpr uint64_t kBlock = 8192;
+
+struct RunResult {
+  double end_time = 0;
+  uint64_t events = 0;
+  uint64_t flows = 0;
+  double bytes_moved = 0;
+  double job_duration = 0;
+  uint64_t data_local = 0;
+  std::vector<std::pair<std::string, std::string>> results;
+
+  bool operator==(const RunResult& o) const {
+    return end_time == o.end_time && events == o.events && flows == o.flows &&
+           bytes_moved == o.bytes_moved && job_duration == o.job_duration &&
+           data_local == o.data_local && results == o.results;
+  }
+};
+
+RunResult run_stack(const std::string& backend) {
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = 24;
+  ncfg.nodes_per_rack = 6;
+  net::Network net(sim, ncfg);
+  blob::BlobSeerCluster blobs(sim, net, {});
+  bsfs::NamespaceManager ns(sim, net, {});
+  bsfs::Bsfs bsfs_fs(sim, net, blobs, ns,
+                     bsfs::BsfsConfig{.block_size = kBlock,
+                                      .page_size = kBlock / 8,
+                                      .replication = 1,
+                                      .enable_cache = true});
+  hdfs::Hdfs hdfs_fs(sim, net,
+                     hdfs::HdfsConfig{.namenode = {.node = 0,
+                                                   .service_time_s = 150e-6,
+                                                   .block_size = kBlock,
+                                                   .replication = 1,
+                                                   .placement_seed = 7},
+                                      .datanode_ram = 1u << 30,
+                                      .stream_efficiency = 0.92});
+  fs::FileSystem& fs = backend == "BSFS"
+                           ? static_cast<fs::FileSystem&>(bsfs_fs)
+                           : static_cast<fs::FileSystem&>(hdfs_fs);
+
+  // Stage a corpus and run a WordCount with failure injection enabled —
+  // retries and all, the outcome must still be deterministic.
+  Rng rng(404);
+  const std::string corpus = random_text(rng, kBlock * 6);
+  auto stage = [](fs::FileSystem* f, std::string text) -> sim::Task<void> {
+    auto client = f->make_client(1);
+    auto writer = co_await client->create("/in");
+    co_await writer->write(DataSpec::from_string(std::move(text)));
+    co_await writer->close();
+  };
+  sim.spawn(stage(&fs, corpus));
+  sim.run();
+
+  mr::WordCount app;
+  mr::MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.task_failure_prob = 0.2;
+  mr::MapReduceCluster cluster(sim, net, fs, mcfg);
+  mr::JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 3;
+  jc.record_read_size = 1024;
+  mr::JobStats stats;
+  auto run = [](mr::MapReduceCluster* c, mr::JobConfig conf,
+                mr::JobStats* out) -> sim::Task<void> {
+    *out = co_await c->run_job(std::move(conf));
+  };
+  sim.spawn(run(&cluster, std::move(jc), &stats));
+  sim.run();
+
+  RunResult out;
+  out.end_time = sim.now();
+  out.events = sim.events_processed();
+  out.flows = net.flows_started();
+  out.bytes_moved = net.bytes_moved();
+  out.job_duration = stats.duration;
+  out.data_local = stats.data_local_maps;
+  out.results = stats.results;
+  return out;
+}
+
+TEST(Determinism, BsfsStackIsBitReproducible) {
+  const RunResult a = run_stack("BSFS");
+  const RunResult b = run_stack("BSFS");
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(a.events, 0u);
+  EXPECT_FALSE(a.results.empty());
+}
+
+TEST(Determinism, HdfsStackIsBitReproducible) {
+  const RunResult a = run_stack("HDFS");
+  const RunResult b = run_stack("HDFS");
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Determinism, BackendsDifferButAgreeOnResults) {
+  // Different timing/event profiles, identical application output.
+  RunResult bsfs_run = run_stack("BSFS");
+  RunResult hdfs_run = run_stack("HDFS");
+  EXPECT_NE(bsfs_run.end_time, hdfs_run.end_time);
+  auto sorted = [](std::vector<std::pair<std::string, std::string>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(bsfs_run.results), sorted(hdfs_run.results));
+}
+
+TEST(Determinism, BlobWritesProduceIdenticalPlacement) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    net::ClusterConfig ncfg;
+    ncfg.num_nodes = 16;
+    ncfg.nodes_per_rack = 4;
+    net::Network net(sim, ncfg);
+    blob::BlobSeerCluster cluster(sim, net, {});
+    auto client = cluster.make_client(2);
+    auto proc = [](blob::BlobClient& c) -> sim::Task<void> {
+      auto desc = co_await c.create(256);
+      for (int i = 0; i < 8; ++i) {
+        co_await c.append(desc.id, DataSpec::pattern(i, 0, 256 * 3));
+      }
+    };
+    sim.spawn(proc(*client));
+    sim.run();
+    // Serialize the placement decision trail.
+    std::vector<std::pair<net::NodeId, uint64_t>> loads;
+    for (const auto& [node, bytes] : cluster.provider_manager().load()) {
+      loads.emplace_back(node, bytes);
+    }
+    std::sort(loads.begin(), loads.end());
+    return loads;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bs

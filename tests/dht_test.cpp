@@ -1,0 +1,171 @@
+// Tests for the consistent-hash ring and the metadata DHT service.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "dht/dht.h"
+#include "dht/ring.h"
+#include "net/network.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+
+namespace bs::dht {
+namespace {
+
+std::vector<net::NodeId> nodes_0_to(uint32_t n) {
+  std::vector<net::NodeId> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(HashRing, PrimaryIsDeterministic) {
+  HashRing ring(nodes_0_to(10));
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(ring.primary(k * 7919), ring.primary(k * 7919));
+  }
+}
+
+TEST(HashRing, ReplicasAreDistinct) {
+  HashRing ring(nodes_0_to(10));
+  for (uint64_t k = 0; k < 200; ++k) {
+    auto reps = ring.replicas(fnv1a64_u64(k), 3);
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<net::NodeId> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    EXPECT_EQ(reps[0], ring.primary(fnv1a64_u64(k)));
+  }
+}
+
+TEST(HashRing, ReplicationClampedToNodeCount) {
+  HashRing ring(nodes_0_to(2));
+  auto reps = ring.replicas(12345, 5);
+  EXPECT_EQ(reps.size(), 2u);
+}
+
+TEST(HashRing, LoadSpreadIsReasonable) {
+  // With vnodes, the busiest node should hold well under 3x the average.
+  HashRing ring(nodes_0_to(16), 128);
+  std::vector<int> counts(16, 0);
+  Rng rng(5);
+  const int keys = 20000;
+  for (int k = 0; k < keys; ++k) counts[ring.primary(rng.next())]++;
+  const int avg = keys / 16;
+  for (int c : counts) {
+    EXPECT_GT(c, avg / 3);
+    EXPECT_LT(c, avg * 3);
+  }
+}
+
+TEST(HashRing, SingleNodeTakesEverything) {
+  HashRing ring({7});
+  EXPECT_EQ(ring.primary(1), 7u);
+  EXPECT_EQ(ring.primary(999), 7u);
+}
+
+net::ClusterConfig small_net() {
+  net::ClusterConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.nodes_per_rack = 8;
+  return cfg;
+}
+
+TEST(Dht, PutThenGetRoundtrips) {
+  sim::Simulator sim;
+  net::Network net(sim, small_net());
+  Dht dht(sim, net, nodes_0_to(8));
+  bool checked = false;
+  auto proc = [](Dht& d, bool* ok) -> sim::Task<void> {
+    Bytes v123(3); v123[0]=1; v123[1]=2; v123[2]=3;
+    co_await d.put(9, "key1", v123);
+    auto got = co_await d.get(9, "key1");
+    auto missing = co_await d.get(9, "nope");
+    *ok = got.has_value() && *got == v123 && !missing.has_value();
+  };
+  sim.spawn(proc(dht, &checked));
+  sim.run();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(dht.puts(), 1u);
+  EXPECT_EQ(dht.gets(), 2u);
+  EXPECT_EQ(dht.total_entries(), 1u);
+}
+
+TEST(Dht, ReplicationStoresCopies) {
+  sim::Simulator sim;
+  net::Network net(sim, small_net());
+  DhtConfig cfg;
+  cfg.replication = 3;
+  Dht dht(sim, net, nodes_0_to(8), cfg);
+  auto proc = [](Dht& d) -> sim::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await d.put(9, "k" + std::to_string(i), Bytes(1, static_cast<uint8_t>(i)));
+    }
+  };
+  sim.spawn(proc(dht));
+  sim.run();
+  EXPECT_EQ(dht.total_entries(), 30u);  // 10 keys × 3 replicas
+}
+
+TEST(Dht, RequestCostIncludesLatencyAndService) {
+  sim::Simulator sim;
+  net::Network net(sim, small_net());
+  DhtConfig cfg;
+  cfg.service_time_s = 1e-3;
+  Dht dht(sim, net, nodes_0_to(8), cfg);
+  auto proc = [](Dht& d) -> sim::Task<void> {
+    co_await d.put(9, "k", Bytes(1, 1));
+  };
+  sim.spawn(proc(dht));
+  sim.run();
+  // 2 × control latency (200us) + 1ms service.
+  EXPECT_NEAR(sim.now(), 2 * 200e-6 + 1e-3, 1e-9);
+}
+
+TEST(Dht, ConcurrentClientsSpreadOverServers) {
+  sim::Simulator sim;
+  net::Network net(sim, small_net());
+  DhtConfig cfg;
+  cfg.service_time_s = 1e-3;
+  Dht dht(sim, net, nodes_0_to(8), cfg);
+  auto proc = [](Dht& d, int id) -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      co_await d.put(15, "client" + std::to_string(id) + "/" + std::to_string(i),
+                     Bytes(1, 1));
+    }
+  };
+  for (int c = 0; c < 8; ++c) sim.spawn(proc(dht, c));
+  sim.run();
+  // 160 requests over 8 servers at 1ms each: if they were serialized at one
+  // server it would take 160ms+; spread, the span should be far less.
+  EXPECT_LT(sim.now(), 0.1);
+  auto per_node = dht.requests_per_node();
+  uint64_t total = 0, busiest = 0;
+  for (auto& [n, c] : per_node) {
+    total += c;
+    busiest = std::max(busiest, c);
+  }
+  EXPECT_EQ(total, 160u);
+  EXPECT_LT(busiest, 70u);  // no single hotspot
+}
+
+TEST(Dht, OverwriteReplacesValue) {
+  sim::Simulator sim;
+  net::Network net(sim, small_net());
+  Dht dht(sim, net, nodes_0_to(4));
+  bool ok = false;
+  auto proc = [](Dht& d, bool* out) -> sim::Task<void> {
+    co_await d.put(0, "k", Bytes(1, 1));
+    co_await d.put(0, "k", Bytes(1, 2));
+    auto got = co_await d.get(0, "k");
+    *out = got.has_value() && *got == Bytes(1, 2);
+  };
+  sim.spawn(proc(dht, &ok));
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(dht.total_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace bs::dht

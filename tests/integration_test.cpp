@@ -1,0 +1,346 @@
+// Integration tests: the paper's qualitative claims as assertions, at
+// miniature scale. These are the "shape" checks the benches print at full
+// scale — here they gate the build.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "fs/filesystem.h"
+#include "hdfs/hdfs.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
+#include "net/network.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+
+namespace bs {
+namespace {
+
+constexpr uint64_t kMiB = 1ULL << 20;
+
+// A miniature Grid'5000: 40 storage nodes + master, calibrated like the
+// paper-scale bench worlds (per-stream cap, warm caches).
+net::ClusterConfig mini_cluster() {
+  net::ClusterConfig cfg;
+  cfg.num_nodes = 41;
+  cfg.nodes_per_rack = 8;
+  cfg.per_stream_cap_bps = 0.65 * cfg.nic_bps;
+  cfg.rack_uplink_bps = 4.0e9;
+  return cfg;
+}
+
+struct MiniWorld {
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<blob::BlobSeerCluster> blobs;
+  std::unique_ptr<bsfs::NamespaceManager> ns;
+  std::unique_ptr<bsfs::Bsfs> bsfs;
+  std::unique_ptr<hdfs::Hdfs> hdfs;
+
+  MiniWorld() : net(sim, mini_cluster()) {
+    std::vector<net::NodeId> storage;
+    for (net::NodeId n = 1; n < mini_cluster().num_nodes; ++n) {
+      storage.push_back(n);
+    }
+    blob::BlobSeerConfig bcfg;
+    bcfg.provider_nodes = storage;
+    bcfg.metadata_nodes = storage;
+    blobs = std::make_unique<blob::BlobSeerCluster>(sim, net, bcfg);
+    ns = std::make_unique<bsfs::NamespaceManager>(sim, net,
+                                                  bsfs::NamespaceConfig{});
+    bsfs::BsfsConfig fcfg;
+    fcfg.block_size = 8 * kMiB;
+    fcfg.page_size = 1 * kMiB;
+    bsfs = std::make_unique<bsfs::Bsfs>(sim, net, *blobs, *ns, fcfg);
+    hdfs::HdfsConfig hcfg;
+    hcfg.namenode.node = 0;
+    hcfg.namenode.block_size = 8 * kMiB;
+    hdfs = std::make_unique<hdfs::Hdfs>(sim, net, hcfg, storage);
+  }
+};
+
+// Runs `n` concurrent 64 MB writers against `fs`; returns mean per-client
+// throughput (MB/s).
+double write_throughput(MiniWorld& w, fs::FileSystem& fs, int n,
+                        const std::string& tag) {
+  std::vector<double> durations(n);
+  auto writer_proc = [](sim::Simulator* sim, fs::FileSystem* f,
+                        net::NodeId node, std::string path,
+                        double* dur) -> sim::Task<void> {
+    auto client = f->make_client(node);
+    auto writer = co_await client->create(path);
+    BS_CHECK(writer != nullptr);
+    const double t0 = sim->now();
+    for (int i = 0; i < 64; ++i) {
+      co_await writer->write(DataSpec::pattern(1, i * kMiB, kMiB));
+    }
+    co_await writer->close();
+    *dur = sim->now() - t0;
+  };
+  for (int i = 0; i < n; ++i) {
+    w.sim.spawn(writer_proc(&w.sim, &fs, 1 + (i % 40),
+                            "/" + tag + "/f" + std::to_string(i),
+                            &durations[i]));
+  }
+  w.sim.run();
+  double sum = 0;
+  for (double d : durations) sum += 64.0 / d;
+  return sum / n;
+}
+
+double read_throughput(MiniWorld& w, fs::FileSystem& fs, int n,
+                       const std::string& tag) {
+  // Stage from the master (as an external loader).
+  auto stage = [](fs::FileSystem* f, std::string path) -> sim::Task<void> {
+    auto client = f->make_client(0);
+    auto writer = co_await client->create(path);
+    for (int i = 0; i < 64; ++i) {
+      co_await writer->write(DataSpec::pattern(2, i * kMiB, kMiB));
+    }
+    co_await writer->close();
+  };
+  {
+    std::vector<sim::Task<void>> puts;
+    for (int i = 0; i < n; ++i) {
+      puts.push_back(stage(&fs, "/" + tag + "/in" + std::to_string(i)));
+    }
+    w.sim.spawn(sim::when_all_limited(w.sim, std::move(puts), 8));
+    w.sim.run();
+  }
+  std::vector<double> durations(n);
+  auto reader_proc = [](sim::Simulator* sim, fs::FileSystem* f,
+                        net::NodeId node, std::string path,
+                        double* dur) -> sim::Task<void> {
+    auto client = f->make_client(node);
+    auto reader = co_await client->open(path);
+    BS_CHECK(reader != nullptr);
+    const double t0 = sim->now();
+    for (int i = 0; i < 64; ++i) {
+      co_await reader->read(static_cast<uint64_t>(i) * kMiB, kMiB);
+    }
+    *dur = sim->now() - t0;
+  };
+  for (int i = 0; i < n; ++i) {
+    w.sim.spawn(reader_proc(&w.sim, &fs, 1 + (i % 40),
+                            "/" + tag + "/in" + std::to_string(i),
+                            &durations[i]));
+  }
+  w.sim.run();
+  double sum = 0;
+  for (double d : durations) sum += 64.0 / d;
+  return sum / n;
+}
+
+TEST(PaperClaims, BsfsBeatsHdfsOnConcurrentWrites) {
+  MiniWorld w;
+  const double bsfs_tput = write_throughput(w, *w.bsfs, 32, "b");
+  const double hdfs_tput = write_throughput(w, *w.hdfs, 32, "h");
+  EXPECT_GT(bsfs_tput, hdfs_tput * 1.2)
+      << "BSFS=" << bsfs_tput << " HDFS=" << hdfs_tput;
+}
+
+TEST(PaperClaims, BsfsBeatsHdfsOnConcurrentReads) {
+  MiniWorld w;
+  const double bsfs_tput = read_throughput(w, *w.bsfs, 32, "b");
+  const double hdfs_tput = read_throughput(w, *w.hdfs, 32, "h");
+  EXPECT_GT(bsfs_tput, hdfs_tput * 1.2)
+      << "BSFS=" << bsfs_tput << " HDFS=" << hdfs_tput;
+}
+
+TEST(PaperClaims, BsfsSustainsWriteThroughputAsClientsGrow) {
+  MiniWorld w1, w2;
+  const double at_4 = write_throughput(w1, *w1.bsfs, 4, "a");
+  const double at_32 = write_throughput(w2, *w2.bsfs, 32, "b");
+  // "capable ... to sustain it when the number of clients significantly
+  // increases": within 15% across an 8x client increase at this scale.
+  EXPECT_GT(at_32, at_4 * 0.85) << "4 clients=" << at_4 << " 32=" << at_32;
+}
+
+TEST(PaperClaims, SharedFileAppendMatchesDistinctFiles) {
+  // §V: concurrent appends to one file ≈ writes to distinct files.
+  MiniWorld shared, distinct;
+  // Shared: one file, 16 appenders.
+  {
+    auto seed = [](bsfs::Bsfs* f) -> sim::Task<void> {
+      auto client = f->make_client(1);
+      auto writer = co_await client->create("/log");
+      co_await writer->write(DataSpec::pattern(1, 0, 8 * kMiB));
+      co_await writer->close();
+    };
+    shared.sim.spawn(seed(shared.bsfs.get()));
+    shared.sim.run();
+  }
+  std::vector<double> durations(16);
+  auto appender = [](sim::Simulator* sim, bsfs::Bsfs* f, net::NodeId node,
+                     double* dur) -> sim::Task<void> {
+    auto client = f->make_client(node);
+    auto writer = co_await client->append("/log");
+    BS_CHECK(writer != nullptr);
+    const double t0 = sim->now();
+    for (int i = 0; i < 32; ++i) {
+      co_await writer->write(DataSpec::pattern(3, i * kMiB, kMiB));
+    }
+    co_await writer->close();
+    *dur = sim->now() - t0;
+  };
+  for (int i = 0; i < 16; ++i) {
+    shared.sim.spawn(appender(&shared.sim, shared.bsfs.get(),
+                              static_cast<net::NodeId>(1 + i), &durations[i]));
+  }
+  shared.sim.run();
+  double shared_mean = 0;
+  for (double d : durations) shared_mean += 32.0 / d;
+  shared_mean /= 16;
+
+  const double distinct_mean = write_throughput(distinct, *distinct.bsfs, 16, "d");
+  EXPECT_GT(shared_mean, distinct_mean * 0.8)
+      << "shared=" << shared_mean << " distinct=" << distinct_mean;
+
+  // And the shared file contains every appended block exactly once.
+  uint64_t size = 0;
+  auto check = [](bsfs::Bsfs* f, uint64_t* out) -> sim::Task<void> {
+    auto client = f->make_client(2);
+    auto st = co_await client->stat("/log");
+    *out = st->size;
+  };
+  shared.sim.spawn(check(shared.bsfs.get(), &size));
+  shared.sim.run();
+  EXPECT_EQ(size, 8 * kMiB + 16 * 32 * kMiB);
+}
+
+TEST(PaperClaims, MapReduceJobFasterOnBsfs) {
+  // §IV.C at mini scale, cost-model mode: grep over a shared input.
+  auto run_grep = [](MiniWorld& w, fs::FileSystem& fs) {
+    auto stage = [](fs::FileSystem* f) -> sim::Task<void> {
+      auto client = f->make_client(0);
+      auto writer = co_await client->create("/in/huge");
+      for (int i = 0; i < 256; ++i) {
+        co_await writer->write(DataSpec::pattern(7, i * kMiB, kMiB));
+      }
+      co_await writer->close();
+    };
+    w.sim.spawn(stage(&fs));
+    w.sim.run();
+    mr::DistributedGrep app("x");
+    mr::MrConfig mcfg;
+    mcfg.jobtracker_node = 0;
+    for (net::NodeId n = 1; n < mini_cluster().num_nodes; ++n) {
+      mcfg.tasktracker_nodes.push_back(n);
+    }
+    mr::MapReduceCluster cluster(w.sim, w.net, fs, mcfg);
+    mr::JobConfig jc;
+    jc.input_files = {"/in/huge"};
+    jc.output_dir = "/out";
+    jc.app = &app;
+    jc.num_reducers = 2;
+    jc.cost_model = true;
+    jc.record_read_size = kMiB;
+    mr::JobStats stats;
+    auto run = [](mr::MapReduceCluster* c, mr::JobConfig conf,
+                  mr::JobStats* out) -> sim::Task<void> {
+      *out = co_await c->run_job(std::move(conf));
+    };
+    w.sim.spawn(run(&cluster, std::move(jc), &stats));
+    w.sim.run();
+    return stats;
+  };
+  MiniWorld wb, wh;
+  const auto bsfs_stats = run_grep(wb, *wb.bsfs);
+  const auto hdfs_stats = run_grep(wh, *wh.hdfs);
+  EXPECT_EQ(bsfs_stats.maps, 32u);
+  EXPECT_EQ(hdfs_stats.maps, 32u);
+  EXPECT_LT(bsfs_stats.duration, hdfs_stats.duration * 1.05)
+      << "BSFS=" << bsfs_stats.duration << " HDFS=" << hdfs_stats.duration;
+}
+
+TEST(PaperClaims, VersioningIsolatesConcurrentWorkflows) {
+  MiniWorld w;
+  // Stage a dataset; snapshot; overwrite; snapshot.
+  blob::Version v_a = 0, v_b = 0;
+  auto stage = [](MiniWorld* world, blob::Version* a,
+                  blob::Version* b) -> sim::Task<void> {
+    auto client = world->bsfs->make_client(1);
+    auto writer = co_await client->create("/data");
+    co_await writer->write(DataSpec::pattern(1, 0, 16 * kMiB));
+    co_await writer->close();
+    *a = co_await world->bsfs->snapshot(1, "/data");
+    auto entry = co_await world->ns->lookup(1, "/data");
+    auto blob_client = world->blobs->make_client(1);
+    co_await blob_client->write(entry->blob, 0,
+                                DataSpec::pattern(2, 0, 8 * kMiB));
+    *b = co_await world->bsfs->snapshot(1, "/data");
+  };
+  w.sim.spawn(stage(&w, &v_a, &v_b));
+  w.sim.run();
+  ASSERT_NE(v_a, 0u);
+  ASSERT_GT(v_b, v_a);
+
+  // Concurrent readers pinned to each snapshot observe consistent data.
+  int mismatches = -1;
+  auto verify = [](MiniWorld* world, blob::Version va, blob::Version vb,
+                   int* bad) -> sim::Task<void> {
+    auto client = world->bsfs->make_client(3);
+    auto* bc = static_cast<bsfs::BsfsClient*>(client.get());
+    auto ra = co_await bc->open_at_version("/data", va);
+    auto rb = co_await bc->open_at_version("/data", vb);
+    auto da = co_await ra->read(0, 16 * kMiB);
+    auto db = co_await rb->read(0, 16 * kMiB);
+    *bad = 0;
+    if (!da.content_equals(DataSpec::pattern(1, 0, 16 * kMiB))) ++*bad;
+    // v_b: first 8 MiB rewritten, second half shared with v_a.
+    if (!db.slice(0, 8 * kMiB).content_equals(DataSpec::pattern(2, 0, 8 * kMiB))) {
+      ++*bad;
+    }
+    if (!db.slice(8 * kMiB, 8 * kMiB)
+             .content_equals(DataSpec::pattern(1, 8 * kMiB, 8 * kMiB))) {
+      ++*bad;
+    }
+  };
+  w.sim.spawn(verify(&w, v_a, v_b, &mismatches));
+  w.sim.run();
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(PaperClaims, MetadataLoadSpreadsOverDht) {
+  MiniWorld w;
+  // One shared file read by many clients: DHT requests must spread.
+  auto stage = [](MiniWorld* world) -> sim::Task<void> {
+    auto client = world->bsfs->make_client(0);
+    auto writer = co_await client->create("/huge");
+    for (int i = 0; i < 128; ++i) {
+      co_await writer->write(DataSpec::pattern(5, i * kMiB, kMiB));
+    }
+    co_await writer->close();
+  };
+  w.sim.spawn(stage(&w));
+  w.sim.run();
+
+  auto reader_proc = [](bsfs::Bsfs* f, net::NodeId node,
+                        uint64_t off) -> sim::Task<void> {
+    auto client = f->make_client(node);
+    auto reader = co_await client->open("/huge");
+    co_await reader->read(off, 8 * kMiB);
+  };
+  for (int i = 0; i < 16; ++i) {
+    w.sim.spawn(reader_proc(w.bsfs.get(), static_cast<net::NodeId>(1 + i),
+                            static_cast<uint64_t>(i) * 8 * kMiB));
+  }
+  w.sim.run();
+
+  auto per_node = w.blobs->metadata_dht().requests_per_node();
+  uint64_t total = 0, busiest = 0;
+  int serving = 0;
+  for (auto& [n, c] : per_node) {
+    total += c;
+    busiest = std::max(busiest, c);
+    serving += c > 0;
+  }
+  EXPECT_GT(serving, 10);                    // many nodes share the load
+  EXPECT_LT(busiest * 5, total);             // no node serves > 20%
+}
+
+}  // namespace
+}  // namespace bs

@@ -1,0 +1,174 @@
+// Failure-injection tests: the framework re-executes failed task attempts
+// (paper §II.A) and still produces exact results.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "common/rng.h"
+#include "common/wordlist.h"
+#include "hdfs/hdfs.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace bs::mr {
+namespace {
+
+constexpr uint64_t kBlock = 4096;
+
+struct FWorld {
+  sim::Simulator sim;
+  net::Network net;
+  blob::BlobSeerCluster blobs;
+  bsfs::NamespaceManager ns;
+  bsfs::Bsfs bsfs;
+
+  FWorld()
+      : net(sim,
+            [] {
+              net::ClusterConfig c;
+              c.num_nodes = 16;
+              c.nodes_per_rack = 4;
+              return c;
+            }()),
+        blobs(sim, net, {}), ns(sim, net, {}),
+        bsfs(sim, net, blobs, ns,
+             bsfs::BsfsConfig{.block_size = kBlock, .page_size = kBlock / 4,
+                              .replication = 1, .enable_cache = true}) {}
+};
+
+sim::Task<void> put_text(fs::FileSystem* f, std::string path,
+                         std::string text) {
+  auto client = f->make_client(0);
+  auto writer = co_await client->create(path);
+  co_await writer->write(DataSpec::from_string(text));
+  co_await writer->close();
+}
+
+sim::Task<void> run_one(MapReduceCluster* mr, JobConfig jc, JobStats* out) {
+  *out = co_await mr->run_job(std::move(jc));
+}
+
+class FailureProbTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureProbTest, WordCountSurvivesTaskFailures) {
+  const double prob = GetParam();
+  FWorld w;
+  Rng rng(11);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlock * 4) {
+    std::string line = random_sentence(rng, 1 + rng.below(8));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+  w.sim.spawn(put_text(&w.bsfs, "/in", text));
+  w.sim.run();
+
+  WordCount app;
+  MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.task_failure_prob = prob;
+  MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+  JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  JobStats stats;
+  w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+  w.sim.run();
+
+  // The job completes and the counts are exact despite re-executions.
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got, expect);
+  if (prob >= 0.5) {
+    EXPECT_GT(stats.map_failures + stats.reduce_failures, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, FailureProbTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5));
+
+TEST(Failure, FailuresExtendJobDuration) {
+  auto run_with = [](double prob) {
+    FWorld w;
+    auto stage = [](fs::FileSystem* f) -> sim::Task<void> {
+      auto client = f->make_client(0);
+      auto writer = co_await client->create("/in");
+      co_await writer->write(DataSpec::pattern(1, 0, kBlock * 8));
+      co_await writer->close();
+    };
+    w.sim.spawn(stage(&w.bsfs));
+    w.sim.run();
+    DistributedGrep app("x");
+    MrConfig mcfg;
+    mcfg.heartbeat_s = 0.05;
+    mcfg.task_startup_s = 0.01;
+    mcfg.task_failure_prob = prob;
+    MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+    JobConfig jc;
+    jc.input_files = {"/in"};
+    jc.output_dir = "/out";
+    jc.app = &app;
+    jc.num_reducers = 1;
+    jc.cost_model = true;
+    jc.record_read_size = kBlock;
+    JobStats stats;
+    w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+    w.sim.run();
+    return stats;
+  };
+  const auto clean = run_with(0.0);
+  const auto faulty = run_with(0.5);
+  EXPECT_EQ(clean.map_failures, 0u);
+  EXPECT_GT(faulty.map_failures + faulty.reduce_failures, 0u);
+  EXPECT_GT(faulty.duration, clean.duration);
+  // All work still completed exactly once.
+  EXPECT_EQ(faulty.maps, clean.maps);
+  EXPECT_EQ(faulty.shuffle_bytes, clean.shuffle_bytes);
+}
+
+TEST(Failure, GeneratorMapsAreRetriedToo) {
+  FWorld w;
+  RandomTextWriter app(kBlock);
+  MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.task_failure_prob = 0.4;
+  MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+  JobConfig jc;
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_generator_maps = 12;
+  JobStats stats;
+  w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+  w.sim.run();
+  EXPECT_EQ(stats.maps, 12u);
+  EXPECT_GT(stats.map_failures, 0u);
+  // Every output file exists exactly once with the full payload.
+  int present = 0;
+  auto check = [](fs::FileSystem* f, int* out) -> sim::Task<void> {
+    auto client = f->make_client(1);
+    auto names = co_await client->list("/out");
+    for (const auto& name : names) {
+      auto st = co_await client->stat(name);
+      if (st.has_value() && st->size >= kBlock) ++*out;
+    }
+  };
+  w.sim.spawn(check(&w.bsfs, &present));
+  w.sim.run();
+  EXPECT_EQ(present, 12);
+}
+
+}  // namespace
+}  // namespace bs::mr

@@ -1,0 +1,365 @@
+// MapReduce framework tests: record parsing, split boundary handling,
+// locality scheduling, and end-to-end application correctness over BOTH
+// storage back-ends (the paper's §IV.C setup at miniature scale).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "common/rng.h"
+#include "common/wordlist.h"
+#include "hdfs/hdfs.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace bs::mr {
+namespace {
+
+constexpr uint64_t kBlock = 4096;
+constexpr uint64_t kPage = 1024;
+
+net::ClusterConfig test_net() {
+  net::ClusterConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.nodes_per_rack = 4;
+  return cfg;
+}
+
+struct MrWorld {
+  sim::Simulator sim;
+  net::Network net;
+  blob::BlobSeerCluster blobs;
+  bsfs::NamespaceManager ns;
+  bsfs::Bsfs bsfs;
+  hdfs::Hdfs hdfs;
+
+  MrWorld()
+      : net(sim, test_net()), blobs(sim, net, {}),
+        ns(sim, net, bsfs::NamespaceConfig{}),
+        bsfs(sim, net, blobs, ns,
+             bsfs::BsfsConfig{.block_size = kBlock, .page_size = kPage,
+                              .replication = 1, .enable_cache = true}),
+        hdfs(sim, net,
+             hdfs::HdfsConfig{
+                 .namenode = {.node = 15, .service_time_s = 150e-6,
+                              .block_size = kBlock, .replication = 1,
+                              .placement_seed = 0x8df3},
+                 .stream_efficiency = 0.92}) {}
+
+  fs::FileSystem& get(const std::string& name) {
+    if (name == "BSFS") return bsfs;
+    return hdfs;
+  }
+
+  MrConfig mr_config() {
+    MrConfig cfg;
+    cfg.heartbeat_s = 0.05;  // fast heartbeats keep tiny tests quick
+    cfg.task_startup_s = 0.01;
+    return cfg;
+  }
+};
+
+sim::Task<bool> put_text(fs::FileSystem& f, net::NodeId node, std::string path,
+                         std::string text) {
+  auto client = f.make_client(node);
+  auto writer = co_await client->create(path);
+  if (!writer) co_return false;
+  const bool wrote = co_await writer->write(DataSpec::from_string(text));
+  if (!wrote) co_return false;
+  co_return co_await writer->close();
+}
+
+sim::Task<std::string> get_text(fs::FileSystem& f, net::NodeId node,
+                                std::string path) {
+  auto client = f.make_client(node);
+  auto reader = co_await client->open(path);
+  if (!reader) co_return std::string("<missing>");
+  auto all = co_await reader->read(0, reader->size());
+  auto bytes = all.materialize();
+  co_return std::string(bytes.begin(), bytes.end());
+}
+
+TEST(ForEachLine, SplitsAndReportsOffsets) {
+  std::vector<std::pair<uint64_t, std::string>> lines;
+  for_each_line("aa\nbbb\n\ncc", 100, [&](uint64_t off, const std::string& l) {
+    lines.emplace_back(off, l);
+  });
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], (std::pair<uint64_t, std::string>{100, "aa"}));
+  EXPECT_EQ(lines[1], (std::pair<uint64_t, std::string>{103, "bbb"}));
+  EXPECT_EQ(lines[2], (std::pair<uint64_t, std::string>{107, ""}));
+  EXPECT_EQ(lines[3], (std::pair<uint64_t, std::string>{108, "cc"}));
+}
+
+class MrBackendTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MrBackendTest, WordCountMatchesReference) {
+  MrWorld w;
+  fs::FileSystem& f = w.get(GetParam());
+  // Build input with known counts; lines will straddle block boundaries.
+  Rng rng(17);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlock * 3) {
+    std::string line = random_sentence(rng, 1 + rng.below(10));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+
+  bool wrote = false;
+  auto setup = [](fs::FileSystem& fsys, std::string text_in,
+                  bool* ok) -> sim::Task<void> {
+    *ok = co_await put_text(fsys, 0, "/in/words", std::move(text_in));
+  };
+  w.sim.spawn(setup(f, text, &wrote));
+  w.sim.run();
+  ASSERT_TRUE(wrote);
+
+  WordCount app;
+  MapReduceCluster mr(w.sim, w.net, f, w.mr_config());
+  JobConfig jc;
+  jc.input_files = {"/in/words"};
+  jc.output_dir = "/out/wc";
+  jc.app = &app;
+  jc.num_reducers = 3;
+  jc.record_read_size = 512;
+  JobStats stats;
+  auto run = [](MapReduceCluster& m, JobConfig cfg, JobStats* out) -> sim::Task<void> {
+    *out = co_await m.run_job(std::move(cfg));
+  };
+  w.sim.spawn(run(mr, jc, &stats));
+  w.sim.run();
+
+  EXPECT_EQ(stats.maps, (text.size() + kBlock - 1) / kBlock);  // one per block
+  EXPECT_EQ(stats.reduces, 3u);
+  EXPECT_EQ(stats.input_bytes, text.size());
+  EXPECT_GT(stats.duration, 0.0);
+
+  // Collect the counts from the reduce outputs.
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(MrBackendTest, DistributedGrepFindsAllOccurrences) {
+  MrWorld w;
+  fs::FileSystem& f = w.get(GetParam());
+  Rng rng(23);
+  std::string text;
+  uint64_t expect = 0;
+  const std::string needle = "needle";
+  while (text.size() < kBlock * 2) {
+    if (rng.chance(0.1)) {
+      text += "xx needle yy needle zz\n";
+      expect += 2;
+    } else {
+      text += random_sentence(rng, 6);
+    }
+  }
+  bool wrote = false;
+  auto setup = [](fs::FileSystem& fsys, std::string t, bool* ok) -> sim::Task<void> {
+    *ok = co_await put_text(fsys, 1, "/in/hay", std::move(t));
+  };
+  w.sim.spawn(setup(f, text, &wrote));
+  w.sim.run();
+  ASSERT_TRUE(wrote);
+
+  DistributedGrep app(needle);
+  MapReduceCluster mr(w.sim, w.net, f, w.mr_config());
+  JobConfig jc;
+  jc.input_files = {"/in/hay"};
+  jc.output_dir = "/out/grep";
+  jc.app = &app;
+  jc.num_reducers = 1;
+  jc.record_read_size = 512;
+  JobStats stats;
+  auto run = [](MapReduceCluster& m, JobConfig cfg, JobStats* out) -> sim::Task<void> {
+    *out = co_await m.run_job(std::move(cfg));
+  };
+  w.sim.spawn(run(mr, jc, &stats));
+  w.sim.run();
+
+  ASSERT_EQ(stats.results.size(), 1u);
+  EXPECT_EQ(stats.results[0].first, needle);
+  EXPECT_EQ(std::stoull(stats.results[0].second), expect);
+  // Output file exists and contains the same result.
+  std::string out_text;
+  auto check = [](fs::FileSystem& fsys, std::string* out) -> sim::Task<void> {
+    *out = co_await get_text(fsys, 2, "/out/grep/part-r-00000");
+  };
+  w.sim.spawn(check(f, &out_text));
+  w.sim.run();
+  EXPECT_EQ(out_text, needle + "\t" + std::to_string(expect) + "\n");
+}
+
+TEST_P(MrBackendTest, RandomTextWriterProducesOutputFiles) {
+  MrWorld w;
+  fs::FileSystem& f = w.get(GetParam());
+  RandomTextWriter app(kBlock + 100);  // ~1 block per map
+  MapReduceCluster mr(w.sim, w.net, f, w.mr_config());
+  JobConfig jc;
+  jc.output_dir = "/out/rtw";
+  jc.app = &app;
+  jc.num_generator_maps = 6;
+  JobStats stats;
+  auto run = [](MapReduceCluster& m, JobConfig cfg, JobStats* out) -> sim::Task<void> {
+    *out = co_await m.run_job(std::move(cfg));
+  };
+  w.sim.spawn(run(mr, jc, &stats));
+  w.sim.run();
+
+  EXPECT_EQ(stats.maps, 6u);
+  EXPECT_EQ(stats.reduces, 0u);  // map-only
+  EXPECT_GE(stats.output_bytes, 6 * (kBlock + 100));
+
+  // Every part file exists, has at least the target size, and is made of
+  // vocabulary words.
+  std::set<std::string> vocab(word_list().begin(), word_list().end());
+  for (int i = 0; i < 6; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/out/rtw/part-m-%05d", i);
+    std::string text;
+    auto check = [](fs::FileSystem& fsys, std::string path,
+                    std::string* out) -> sim::Task<void> {
+      *out = co_await get_text(fsys, 3, path);
+    };
+    w.sim.spawn(check(f, name, &text));
+    w.sim.run();
+    ASSERT_GE(text.size(), kBlock + 100) << name;
+    std::istringstream is(text);
+    std::string word;
+    int checked = 0;
+    while (is >> word && checked++ < 50) {
+      EXPECT_TRUE(vocab.count(word)) << word;
+    }
+  }
+}
+
+TEST_P(MrBackendTest, SortRoundtripsAllRecords) {
+  MrWorld w;
+  fs::FileSystem& f = w.get(GetParam());
+  Rng rng(31);
+  std::string text;
+  std::multiset<std::string> expect;
+  for (int i = 0; i < 300; ++i) {
+    std::string line = "key" + std::to_string(rng.below(1000));
+    expect.insert(line);
+    text += line + "\n";
+  }
+  bool wrote = false;
+  auto setup = [](fs::FileSystem& fsys, std::string t, bool* ok) -> sim::Task<void> {
+    *ok = co_await put_text(fsys, 0, "/in/sort", std::move(t));
+  };
+  w.sim.spawn(setup(f, text, &wrote));
+  w.sim.run();
+  ASSERT_TRUE(wrote);
+
+  SortApp app;
+  MapReduceCluster mr(w.sim, w.net, f, w.mr_config());
+  JobConfig jc;
+  jc.input_files = {"/in/sort"};
+  jc.output_dir = "/out/sort";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 256;
+  JobStats stats;
+  auto run = [](MapReduceCluster& m, JobConfig cfg, JobStats* out) -> sim::Task<void> {
+    *out = co_await m.run_job(std::move(cfg));
+  };
+  w.sim.spawn(run(mr, jc, &stats));
+  w.sim.run();
+
+  std::multiset<std::string> got;
+  for (const auto& [k, v] : stats.results) got.insert(k);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(MrBackendTest, LocalityCountersAccountForAllMaps) {
+  MrWorld w;
+  fs::FileSystem& f = w.get(GetParam());
+  bool wrote = false;
+  auto setup = [](fs::FileSystem& fsys, bool* ok) -> sim::Task<void> {
+    auto client = fsys.make_client(0);
+    auto writer = co_await client->create("/in/data");
+    co_await writer->write(DataSpec::pattern(1, 0, kBlock * 8));
+    *ok = co_await writer->close();
+  };
+  w.sim.spawn(setup(f, &wrote));
+  w.sim.run();
+  ASSERT_TRUE(wrote);
+
+  DistributedGrep app("zzz");
+  MapReduceCluster mr(w.sim, w.net, f, w.mr_config());
+  JobConfig jc;
+  jc.input_files = {"/in/data"};
+  jc.output_dir = "/out/loc";
+  jc.app = &app;
+  jc.num_reducers = 1;
+  jc.cost_model = true;  // content irrelevant here
+  jc.record_read_size = kBlock;
+  JobStats stats;
+  auto run = [](MapReduceCluster& m, JobConfig cfg, JobStats* out) -> sim::Task<void> {
+    *out = co_await m.run_job(std::move(cfg));
+  };
+  w.sim.spawn(run(mr, jc, &stats));
+  w.sim.run();
+
+  EXPECT_EQ(stats.maps, 8u);
+  EXPECT_EQ(stats.data_local_maps + stats.rack_local_maps + stats.remote_maps,
+            stats.maps);
+  // With 16 trackers and 8 splits spread over the cluster, locality-aware
+  // scheduling should place most maps on or near their data.
+  EXPECT_GE(stats.data_local_maps + stats.rack_local_maps, stats.maps / 2);
+}
+
+TEST_P(MrBackendTest, CostModelJobCompletesWithModeledTime) {
+  MrWorld w;
+  fs::FileSystem& f = w.get(GetParam());
+  bool wrote = false;
+  auto setup = [](fs::FileSystem& fsys, bool* ok) -> sim::Task<void> {
+    auto client = fsys.make_client(0);
+    auto writer = co_await client->create("/in/cost");
+    co_await writer->write(DataSpec::pattern(1, 0, kBlock * 4));
+    *ok = co_await writer->close();
+  };
+  w.sim.spawn(setup(f, &wrote));
+  w.sim.run();
+  ASSERT_TRUE(wrote);
+
+  SortApp app;  // selectivity 1.0: shuffle == input
+  MapReduceCluster mr(w.sim, w.net, f, w.mr_config());
+  JobConfig jc;
+  jc.input_files = {"/in/cost"};
+  jc.output_dir = "/out/cost";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.cost_model = true;
+  jc.record_read_size = 1024;
+  JobStats stats;
+  auto run = [](MapReduceCluster& m, JobConfig cfg, JobStats* out) -> sim::Task<void> {
+    *out = co_await m.run_job(std::move(cfg));
+  };
+  w.sim.spawn(run(mr, jc, &stats));
+  w.sim.run();
+
+  EXPECT_EQ(stats.maps, 4u);
+  EXPECT_EQ(stats.reduces, 2u);
+  EXPECT_GT(stats.duration, 0.0);
+  EXPECT_NEAR(static_cast<double>(stats.shuffle_bytes),
+              static_cast<double>(kBlock * 4), 8.0);
+  EXPECT_NEAR(static_cast<double>(stats.output_bytes),
+              static_cast<double>(kBlock * 4), 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MrBackendTest,
+                         ::testing::Values("BSFS", "HDFS"));
+
+}  // namespace
+}  // namespace bs::mr

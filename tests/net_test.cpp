@@ -1,0 +1,308 @@
+// Tests for the flow-level network: exact single-flow timing, fair sharing,
+// bottleneck behavior, per-flow caps, disks, and solver invariants under
+// randomized load (property-style sweep).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/cluster.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+
+namespace bs::net {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.nodes_per_rack = 4;
+  cfg.nic_bps = 100e6;          // round numbers for exact timing checks
+  cfg.rack_uplink_bps = 400e6;
+  cfg.control_latency_s = 1e-3;
+  cfg.disk_read_bps = 50e6;
+  cfg.disk_write_bps = 40e6;
+  cfg.disk_seek_s = 0.01;
+  return cfg;
+}
+
+TEST(Cluster, RackMath) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 270;
+  cfg.nodes_per_rack = 30;
+  EXPECT_EQ(cfg.num_racks(), 9u);
+  EXPECT_EQ(cfg.rack_of(0), 0u);
+  EXPECT_EQ(cfg.rack_of(29), 0u);
+  EXPECT_EQ(cfg.rack_of(30), 1u);
+  EXPECT_TRUE(cfg.same_rack(0, 29));
+  EXPECT_FALSE(cfg.same_rack(29, 30));
+}
+
+TEST(Network, SingleFlowUsesFullNic) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n) -> sim::Task<void> {
+    co_await n.transfer(0, 4, 100e6);  // cross-rack, 100 MB at 100 MB/s
+  };
+  sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Network, TwoFlowsShareSourceNic) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n, NodeId dst) -> sim::Task<void> {
+    co_await n.transfer(0, dst, 50e6);
+  };
+  sim.spawn(proc(net, 4));
+  sim.spawn(proc(net, 5));
+  sim.run();
+  // Both flows share node 0's 100e6 uplink: 50 MB each at 50 MB/s.
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Network, TwoFlowsShareDestinationNic) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n, NodeId src) -> sim::Task<void> {
+    co_await n.transfer(src, 7, 50e6);
+  };
+  sim.spawn(proc(net, 0));
+  sim.spawn(proc(net, 1));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Network, IndependentFlowsDoNotInterfere) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n, NodeId src, NodeId dst) -> sim::Task<void> {
+    co_await n.transfer(src, dst, 100e6);
+  };
+  sim.spawn(proc(net, 0, 4));
+  sim.spawn(proc(net, 1, 5));
+  sim.spawn(proc(net, 2, 6));
+  sim.run();
+  // Disjoint node pairs, uplink has room for 4 NIC-rate flows.
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Network, RackUplinkBecomesBottleneck) {
+  sim::Simulator sim;
+  auto cfg = small_config();
+  cfg.rack_uplink_bps = 150e6;  // < 2 NICs' worth
+  Network net(sim, cfg);
+  auto proc = [](Network& n, NodeId src, NodeId dst) -> sim::Task<void> {
+    co_await n.transfer(src, dst, 75e6);
+  };
+  sim.spawn(proc(net, 0, 4));
+  sim.spawn(proc(net, 1, 5));
+  sim.run();
+  // Two flows share the 150e6 uplink: 75 MB at 75 MB/s each.
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Network, SameRackAvoidsUplink) {
+  sim::Simulator sim;
+  auto cfg = small_config();
+  cfg.rack_uplink_bps = 1;  // effectively dead uplink
+  Network net(sim, cfg);
+  auto proc = [](Network& n) -> sim::Task<void> {
+    co_await n.transfer(0, 1, 100e6);  // same rack
+  };
+  sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Network, MaxMinBeatsEqualSplitForUnevenDemand) {
+  // Flow A (0→4) is capped elsewhere; flow B (1→4) should get the rest of
+  // the destination NIC, not a naive 50%.
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  double b_done = -1;
+  auto flow_a = [](Network& n) -> sim::Task<void> {
+    co_await n.transfer(0, 4, 20e6, /*rate_cap=*/20e6);
+  };
+  auto flow_b = [](Network& n, double* done) -> sim::Task<void> {
+    co_await n.transfer(1, 4, 80e6);
+    *done = n.simulator().now();
+  };
+  sim.spawn(flow_a(net));
+  sim.spawn(flow_b(net, &b_done));
+  sim.run();
+  // B gets 80 MB/s while A is active (and would finish exactly at 1.0 s).
+  EXPECT_NEAR(b_done, 1.0, 1e-6);
+}
+
+TEST(Network, RateCapHoldsWithNoContention) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n) -> sim::Task<void> {
+    co_await n.transfer(0, 4, 50e6, /*rate_cap=*/25e6);
+  };
+  sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+}
+
+TEST(Network, LoopbackBypassesNic) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n) -> sim::Task<void> {
+    co_await n.transfer(3, 3, 100e6);
+  };
+  sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 100e6 / small_config().loopback_bps, 1e-9);
+}
+
+TEST(Network, SequentialFlowsAccumulateTime) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) co_await n.transfer(0, 4, 100e6);
+  };
+  sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 3.0, 1e-9);
+  EXPECT_EQ(net.flows_started(), 3u);
+  EXPECT_NEAR(net.bytes_moved(), 300e6, 1);
+}
+
+TEST(Network, LateArrivalSlowsExistingFlow) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  double first_done = -1;
+  auto first = [](Network& n, double* done) -> sim::Task<void> {
+    co_await n.transfer(0, 4, 100e6);
+    *done = n.simulator().now();
+  };
+  auto second = [](Network& n) -> sim::Task<void> {
+    co_await n.simulator().delay(0.5);
+    co_await n.transfer(1, 4, 100e6);
+  };
+  sim.spawn(first(net, &first_done));
+  sim.spawn(second(net));
+  sim.run();
+  // First: 50 MB in [0,0.5) at full rate, remaining 50 MB at half rate
+  // (shared destination NIC) → done at 1.5 s.
+  EXPECT_NEAR(first_done, 1.5, 1e-6);
+  // Second: 50 MB at half rate until 1.5, then 50 MB at full → 2.0 s.
+  EXPECT_NEAR(sim.now(), 2.0, 1e-6);
+}
+
+TEST(Network, ControlLatencyIsConstant) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) co_await n.control(0, 7);
+  };
+  sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 4e-3, 1e-12);
+}
+
+TEST(Disk, SequentialServiceTime) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n) -> sim::Task<void> {
+    co_await n.disk(0).write(40e6);  // 1 s at 40 MB/s + 0.01 seek
+  };
+  sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 1.01, 1e-9);
+}
+
+TEST(Disk, ConcurrentRequestsQueueFifo) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  auto proc = [](Network& n) -> sim::Task<void> {
+    co_await n.disk(0).read(50e6);  // 1 s + seek each
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(proc(net));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 3.03, 1e-9);
+  EXPECT_NEAR(net.disk(0).bytes_read(), 150e6, 1);
+}
+
+TEST(Rpc, RoundTripCostsTwoLatencies) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  int result = 0;
+  auto proc = [](Network& n, int* out) -> sim::Task<void> {
+    *out = co_await rpc(n, 0, 7, [&n]() -> sim::Task<int> {
+      co_await n.simulator().delay(0.1);  // server-side work
+      co_return 99;
+    });
+  };
+  sim.spawn(proc(net, &result));
+  sim.run();
+  EXPECT_EQ(result, 99);
+  EXPECT_NEAR(sim.now(), 0.1 + 2e-3, 1e-9);
+}
+
+TEST(ServiceQueue, SerializesAndQueues) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  ServiceQueue svc(sim, 0.1);
+  auto proc = [](ServiceQueue& s) -> sim::Task<void> { co_await s.process(); };
+  for (int i = 0; i < 5; ++i) sim.spawn(proc(svc));
+  sim.run();
+  EXPECT_NEAR(sim.now(), 0.5, 1e-9);
+  EXPECT_EQ(svc.requests(), 5u);
+}
+
+// Property sweep: under randomized concurrent transfers, conservation holds:
+// simulated completion time must be bounded below by every aggregate
+// capacity constraint, and all bytes must arrive.
+class NetworkLoadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetworkLoadTest, ConservationAndCompletion) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  sim::Simulator sim;
+  auto cfg = small_config();
+  Network net(sim, cfg);
+
+  const int num_flows = 20 + static_cast<int>(rng.below(30));
+  double total_bytes = 0;
+  std::vector<double> node_rx(cfg.num_nodes, 0), node_tx(cfg.num_nodes, 0);
+  auto proc = [](Network& n, NodeId s, NodeId d, double bytes,
+                 double start) -> sim::Task<void> {
+    co_await n.simulator().delay(start);
+    co_await n.transfer(s, d, bytes);
+  };
+  for (int i = 0; i < num_flows; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.below(cfg.num_nodes));
+    NodeId d = static_cast<NodeId>(rng.below(cfg.num_nodes));
+    if (d == s) d = (d + 1) % cfg.num_nodes;
+    const double bytes = 1e6 + rng.uniform() * 50e6;
+    const double start = rng.uniform() * 0.2;
+    total_bytes += bytes;
+    node_rx[d] += bytes;
+    node_tx[s] += bytes;
+    sim.spawn(proc(net, s, d, bytes, start));
+  }
+  sim.run();
+
+  EXPECT_NEAR(net.bytes_moved(), total_bytes, 1.0);
+  // Lower bound: the busiest NIC must move its bytes at NIC rate.
+  double lower_bound = 0;
+  for (uint32_t n = 0; n < cfg.num_nodes; ++n) {
+    lower_bound = std::max(lower_bound, node_rx[n] / cfg.nic_bps);
+    lower_bound = std::max(lower_bound, node_tx[n] / cfg.nic_bps);
+  }
+  EXPECT_GE(sim.now(), lower_bound - 1e-6);
+  // Upper bound sanity: serializing everything through one NIC.
+  EXPECT_LE(sim.now(), 0.2 + total_bytes / cfg.nic_bps + 1.0);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkLoadTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace bs::net
