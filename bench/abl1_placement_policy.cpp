@@ -38,10 +38,11 @@ const char* policy_name(blob::PlacementPolicy p) {
 
 }  // namespace
 
-int main() {
-  std::printf("A1: BSFS write throughput under different placement policies\n");
-  std::printf("(%u clients x 1 GB; only the provider manager policy changes)\n\n",
-              kClients);
+int main(int argc, char** argv) {
+  BenchReport report("abl1_placement_policy", argc, argv);
+  report.say("A1: BSFS write throughput under different placement policies\n");
+  report.say("(%u clients x 1 GB; only the provider manager policy changes)\n\n",
+             kClients);
 
   Table table({"policy", "to-ack MB/s per client", "durable aggregate MB/s",
                "time to durable (s)", "max/min provider load"});
@@ -84,7 +85,11 @@ int main() {
                    Table::num(durable_agg), Table::num(durable_s),
                    min_load == 0 ? "inf (some providers idle)"
                                  : Table::num(imbalance, 2)});
+    const std::string k = std::string("policy=") + policy_name(policy);
+    report.metric(k + "/to_ack_mbps_per_client", res.per_client_mbps.mean());
+    report.metric(k + "/durable_aggregate_mbps", durable_agg);
+    report.metric(k + "/time_to_durable_s", durable_s);
   }
-  table.print();
+  report.table(table);
   return 0;
 }

@@ -23,10 +23,11 @@ constexpr uint64_t kFileBytes = kClients * kSliceBytes;
 
 }  // namespace
 
-int main() {
-  std::printf("A2: metadata scaling — shared-file reads (%u clients) while\n",
-              kClients);
-  std::printf("shrinking the metadata DHT; 1 node = a NameNode-like setup\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("abl2_metadata_scaling", argc, argv);
+  report.say("A2: metadata scaling — shared-file reads (%u clients) while\n",
+             kClients);
+  report.say("shrinking the metadata DHT; 1 node = a NameNode-like setup\n\n");
 
   Table table({"metadata nodes", "MB/s per client", "aggregate MB/s",
                "DHT requests", "busiest node's share"});
@@ -65,9 +66,12 @@ int main() {
                    Table::num(100.0 * static_cast<double>(busiest) /
                                   static_cast<double>(std::max<uint64_t>(1, total)),
                               1) + "%"});
+    const std::string k = "metadata_nodes=" + std::to_string(meta_nodes);
+    report.metric(k + "/mbps_per_client", res.per_client_mbps.mean());
+    report.metric(k + "/aggregate_mbps", res.aggregate_mbps);
   }
-  table.print();
-  std::printf("\nshape: throughput holds as metadata spreads; a single\n"
-              "metadata server becomes the bottleneck (HDFS NameNode role)\n");
+  report.table(table);
+  report.say("\nshape: throughput holds as metadata spreads; a single\n"
+             "metadata server becomes the bottleneck (HDFS NameNode role)\n");
   return 0;
 }

@@ -45,11 +45,12 @@ ScenarioResult run_point(const WorldOptions& opt, uint64_t request_size) {
 
 }  // namespace
 
-int main() {
-  std::printf("A3: BSFS client cache & page size (50 clients x 256 MB)\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("abl3_cache_pagesize", argc, argv);
+  report.say("A3: BSFS client cache & page size (50 clients x 256 MB)\n\n");
 
   {
-    std::printf("part 1: block prefetch cache, 64 KB record reads\n");
+    report.say("part 1: block prefetch cache, 64 KB record reads\n");
     Table table({"client cache", "MB/s per client", "aggregate MB/s"});
     for (bool cache : {true, false}) {
       WorldOptions opt;
@@ -58,13 +59,16 @@ int main() {
       table.add_row({cache ? "on (prefetch whole block)" : "off (per-record reads)",
                      Table::num(res.per_client_mbps.mean()),
                      Table::num(res.aggregate_mbps)});
+      report.metric(std::string("cache=") + (cache ? "on" : "off") +
+                        "/mbps_per_client",
+                    res.per_client_mbps.mean());
     }
-    table.print();
+    report.table(table);
   }
 
   {
-    std::printf("\npart 2: BlobSeer page size at fixed 64 MB blocks, "
-                "1 MB reads\n");
+    report.say("\npart 2: BlobSeer page size at fixed 64 MB blocks, "
+               "1 MB reads\n");
     Table table({"page size", "pages/block", "MB/s per client",
                  "aggregate MB/s"});
     for (uint64_t page_mb : {1ull, 4ull, 8ull, 16ull, 64ull}) {
@@ -75,10 +79,12 @@ int main() {
                      std::to_string(64 / page_mb),
                      Table::num(res.per_client_mbps.mean()),
                      Table::num(res.aggregate_mbps)});
+      report.metric("page_mb=" + std::to_string(page_mb) + "/mbps_per_client",
+                    res.per_client_mbps.mean());
     }
-    table.print();
-    std::printf("\nshape: striping (pages < block) beats whole-block pages;\n"
-                "very small pages pay per-page and metadata overheads\n");
+    report.table(table);
+    report.say("\nshape: striping (pages < block) beats whole-block pages;\n"
+               "very small pages pay per-page and metadata overheads\n");
   }
   return 0;
 }

@@ -36,9 +36,10 @@ ScenarioResult run_writers(World& world) {
 
 }  // namespace
 
-int main() {
-  std::printf("A4: replication degree vs write throughput "
-              "(%u clients x 1 GB)\n\n", kClients);
+int main(int argc, char** argv) {
+  BenchReport report("abl4_replication", argc, argv);
+  report.say("A4: replication degree vs write throughput "
+             "(%u clients x 1 GB)\n\n", kClients);
   Table table({"replication", "BSFS MB/s per client", "HDFS MB/s per client"});
   for (uint32_t r : {1u, 2u, 3u}) {
     WorldOptions opt;
@@ -51,10 +52,13 @@ int main() {
     table.add_row({std::to_string(r),
                    Table::num(bsfs_res.per_client_mbps.mean()),
                    Table::num(hdfs_res.per_client_mbps.mean())});
+    const std::string k = "replication=" + std::to_string(r);
+    report.metric(k + "/bsfs_mbps_per_client", bsfs_res.per_client_mbps.mean());
+    report.metric(k + "/hdfs_mbps_per_client", hdfs_res.per_client_mbps.mean());
   }
-  table.print();
-  std::printf("\nshape: both systems pay for extra replicas; BlobSeer's\n"
-              "parallel page fan-out degrades more gracefully than the\n"
-              "serialized HDFS block pipeline\n");
+  report.table(table);
+  report.say("\nshape: both systems pay for extra replicas; BlobSeer's\n"
+             "parallel page fan-out degrades more gracefully than the\n"
+             "serialized HDFS block pipeline\n");
   return 0;
 }

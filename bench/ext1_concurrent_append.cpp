@@ -22,10 +22,11 @@ constexpr uint64_t kBytesPerClient = 1 * kGiB;
 
 }  // namespace
 
-int main() {
-  std::printf("X1: concurrent appends to ONE shared file (paper §V extension)\n");
-  std::printf("claim: appending N clients to one file sustains the same\n");
-  std::printf("throughput as N clients writing N distinct files\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("ext1_concurrent_append", argc, argv);
+  report.say("X1: concurrent appends to ONE shared file (paper §V extension)\n");
+  report.say("claim: appending N clients to one file sustains the same\n");
+  report.say("throughput as N clients writing N distinct files\n\n");
 
   // HDFS check: append is unsupported (paper §II.C).
   {
@@ -39,8 +40,8 @@ int main() {
     };
     hdfs_world.sim.spawn(probe(&hdfs_world, &refused));
     hdfs_world.sim.run();
-    std::printf("HDFS: append() -> %s\n\n",
-                refused ? "REFUSED (write-once semantics)" : "accepted!?");
+    report.say("HDFS: append() -> %s\n\n",
+               refused ? "REFUSED (write-once semantics)" : "accepted!?");
   }
 
   Table table({"clients", "shared-file append MB/s per client",
@@ -93,9 +94,15 @@ int main() {
                    Table::num(shared_res.per_client_mbps.mean()),
                    Table::num(distinct_res.per_client_mbps.mean()),
                    Table::num(ratio, 2)});
+    const std::string k = "clients=" + std::to_string(n);
+    report.metric(k + "/shared_append_mbps_per_client",
+                  shared_res.per_client_mbps.mean());
+    report.metric(k + "/distinct_write_mbps_per_client",
+                  distinct_res.per_client_mbps.mean());
+    report.metric(k + "/shared_over_distinct", ratio);
     ++round;
   }
   (void)round;
-  table.print();
+  report.table(table);
   return 0;
 }

@@ -42,9 +42,10 @@ sim::Task<void> run_one(mr::MapReduceCluster* mr, mr::JobConfig jc,
 
 }  // namespace
 
-int main() {
-  std::printf("X2: concurrent MapReduce workflows on different snapshots of\n");
-  std::printf("one dataset (paper §V versioning extension), 32 GB dataset\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("ext2_versioning_workflow", argc, argv);
+  report.say("X2: concurrent MapReduce workflows on different snapshots of\n");
+  report.say("one dataset (paper §V versioning extension), 32 GB dataset\n\n");
 
   BsfsWorld world;
   // Stage v1, then overwrite the first half → v2. Both versions share the
@@ -102,9 +103,12 @@ int main() {
   table.add_row({"concurrent", "v2", Table::num(conc_v2.duration),
                  std::to_string(conc_v2.maps),
                  format_bytes(static_cast<double>(conc_v2.input_bytes))});
-  table.print();
-  std::printf("\nserial total: %.1f s, concurrent span: %.1f s "
-              "(speedup %.2fx; both snapshots stayed consistent)\n",
-              serial_span, concurrent_span, serial_span / concurrent_span);
+  report.table(table);
+  report.say("\nserial total: %.1f s, concurrent span: %.1f s "
+             "(speedup %.2fx; both snapshots stayed consistent)\n",
+             serial_span, concurrent_span, serial_span / concurrent_span);
+  report.metric("serial_total_s", serial_span);
+  report.metric("concurrent_span_s", concurrent_span);
+  report.metric("speedup", serial_span / concurrent_span);
   return 0;
 }

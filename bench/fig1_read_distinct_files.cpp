@@ -49,9 +49,10 @@ sim::Task<void> stage_all(World& world) {
 
 }  // namespace
 
-int main() {
-  std::printf("F1: concurrent reads from DIFFERENT files (1 GB/client)\n");
-  std::printf("paper shape: BSFS above HDFS and sustained as clients grow\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("fig1_read_distinct_files", argc, argv);
+  report.say("F1: concurrent reads from DIFFERENT files (1 GB/client)\n");
+  report.say("paper shape: BSFS above HDFS and sustained as clients grow\n\n");
 
   BsfsWorld bsfs_world;
   HdfsWorld hdfs_world;
@@ -72,7 +73,12 @@ int main() {
                    Table::num(hdfs_res.per_client_mbps.mean()),
                    Table::num(bsfs_res.aggregate_mbps),
                    Table::num(hdfs_res.aggregate_mbps)});
+    const std::string k = "clients=" + std::to_string(n);
+    report.metric(k + "/bsfs_mbps_per_client", bsfs_res.per_client_mbps.mean());
+    report.metric(k + "/hdfs_mbps_per_client", hdfs_res.per_client_mbps.mean());
+    report.metric(k + "/bsfs_aggregate_mbps", bsfs_res.aggregate_mbps);
+    report.metric(k + "/hdfs_aggregate_mbps", hdfs_res.aggregate_mbps);
   }
-  table.print();
+  report.table(table);
   return 0;
 }

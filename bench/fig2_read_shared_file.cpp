@@ -36,10 +36,11 @@ std::vector<ReadTask> make_tasks(const net::ClusterConfig& cfg, uint32_t n) {
 
 }  // namespace
 
-int main() {
-  std::printf("F2: concurrent reads of NON-OVERLAPPING parts of one huge file\n");
-  std::printf("(250 GB file, 1 GB region per client)\n");
-  std::printf("paper shape: BSFS above HDFS and sustained as clients grow\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("fig2_read_shared_file", argc, argv);
+  report.say("F2: concurrent reads of NON-OVERLAPPING parts of one huge file\n");
+  report.say("(250 GB file, 1 GB region per client)\n");
+  report.say("paper shape: BSFS above HDFS and sustained as clients grow\n\n");
 
   BsfsWorld bsfs_world;
   HdfsWorld hdfs_world;
@@ -63,13 +64,22 @@ int main() {
                    Table::num(hdfs_res.per_client_mbps.mean()),
                    Table::num(bsfs_res.aggregate_mbps),
                    Table::num(hdfs_res.aggregate_mbps)});
+    const std::string k = "clients=" + std::to_string(n);
+    report.metric(k + "/bsfs_mbps_per_client", bsfs_res.per_client_mbps.mean());
+    report.metric(k + "/hdfs_mbps_per_client", hdfs_res.per_client_mbps.mean());
+    report.metric(k + "/bsfs_aggregate_mbps", bsfs_res.aggregate_mbps);
+    report.metric(k + "/hdfs_aggregate_mbps", hdfs_res.aggregate_mbps);
   }
-  table.print();
-  std::printf("\nmetadata load: BSFS DHT gets=%llu (spread over %zu nodes), "
-              "HDFS NameNode requests=%llu (one node)\n",
-              static_cast<unsigned long long>(bsfs_world.blobs->metadata_dht().gets()),
-              bsfs_world.blobs->metadata_dht().ring().node_count(),
-              static_cast<unsigned long long>(
-                  hdfs_world.fs->namenode().total_requests()));
+  report.table(table);
+  report.say("\nmetadata load: BSFS DHT gets=%llu (spread over %zu nodes), "
+             "HDFS NameNode requests=%llu (one node)\n",
+             static_cast<unsigned long long>(bsfs_world.blobs->metadata_dht().gets()),
+             bsfs_world.blobs->metadata_dht().ring().node_count(),
+             static_cast<unsigned long long>(
+                 hdfs_world.fs->namenode().total_requests()));
+  report.metric("bsfs_dht_gets",
+                static_cast<double>(bsfs_world.blobs->metadata_dht().gets()));
+  report.metric("hdfs_namenode_requests",
+                static_cast<double>(hdfs_world.fs->namenode().total_requests()));
   return 0;
 }

@@ -36,10 +36,11 @@ std::vector<WriteTask> make_tasks(const net::ClusterConfig& cfg, uint32_t n,
 
 }  // namespace
 
-int main() {
-  std::printf("F3: concurrent writes to DIFFERENT files (1 GB/client)\n");
-  std::printf("paper shape: BSFS above HDFS (striped+buffered vs local disk) "
-              "and sustained\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("fig3_write_distinct_files", argc, argv);
+  report.say("F3: concurrent writes to DIFFERENT files (1 GB/client)\n");
+  report.say("paper shape: BSFS above HDFS (striped+buffered vs local disk) "
+             "and sustained\n\n");
 
   BsfsWorld bsfs_world;
   HdfsWorld hdfs_world;
@@ -61,8 +62,13 @@ int main() {
                    Table::num(hdfs_res.per_client_mbps.mean()),
                    Table::num(bsfs_res.aggregate_mbps),
                    Table::num(hdfs_res.aggregate_mbps)});
+    const std::string k = "clients=" + std::to_string(n);
+    report.metric(k + "/bsfs_mbps_per_client", bsfs_res.per_client_mbps.mean());
+    report.metric(k + "/hdfs_mbps_per_client", hdfs_res.per_client_mbps.mean());
+    report.metric(k + "/bsfs_aggregate_mbps", bsfs_res.aggregate_mbps);
+    report.metric(k + "/hdfs_aggregate_mbps", hdfs_res.aggregate_mbps);
     ++round;
   }
-  table.print();
+  report.table(table);
   return 0;
 }

@@ -1,11 +1,47 @@
 #include "bench/harness.h"
 
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
 #include <numeric>
 
 #include "common/assert.h"
 #include "sim/parallel.h"
 
 namespace bs::bench {
+
+BenchReport::BenchReport(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_ = true;
+  }
+}
+
+void BenchReport::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::say(const char* fmt, ...) {
+  if (json_) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+}
+
+void BenchReport::table(const Table& t) {
+  if (!json_) t.print();
+}
+
+BenchReport::~BenchReport() {
+  if (!json_) return;
+  std::printf("{\"bench\": \"%s\", \"metrics\": {", name_.c_str());
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    std::printf("%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                metrics_[i].first.c_str(), metrics_[i].second);
+  }
+  std::printf("}}\n");
+}
 
 net::ClusterConfig paper_cluster() {
   net::ClusterConfig cfg;

@@ -27,6 +27,33 @@ namespace bs::bench {
 constexpr uint64_t kMiB = 1ULL << 20;
 constexpr uint64_t kGiB = 1ULL << 30;
 
+// Per-bench result reporter. Every bench binary accepts `--json`: the
+// human-readable narration and tables are suppressed and one JSON object
+//   {"bench": "<name>", "metrics": {"<key>": <value>, ...}}
+// is printed to stdout instead (machine-readable results for the
+// BENCH_*.json perf trajectory). Keys are slash-delimited paths like
+// "clients=100/bsfs_mbps_per_client"; insertion order is preserved.
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv);
+  ~BenchReport();  // emits the JSON line in --json mode
+
+  bool json() const { return json_; }
+
+  // Records one scalar result (always; cheap).
+  void metric(const std::string& key, double value);
+
+  // printf-style narration; silent in --json mode.
+  void say(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+  // Renders a table; silent in --json mode.
+  void table(const Table& t);
+
+ private:
+  std::string name_;
+  bool json_ = false;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 // The paper's sweep: 1 to 250 concurrent clients.
 inline std::vector<uint32_t> client_sweep() { return {1, 50, 100, 150, 200, 250}; }
 

@@ -69,42 +69,48 @@ mr::JobStats run_grep(sim::Simulator& sim, net::Network& net,
   return stats;
 }
 
-void print_job(Table& table, const mr::JobStats& s) {
+void print_job(BenchReport& report, Table& table, const mr::JobStats& s) {
   table.add_row({s.job_name, s.fs_name, Table::num(s.duration),
                  std::to_string(s.maps), std::to_string(s.reduces),
                  std::to_string(s.data_local_maps), format_bytes(
                      static_cast<double>(s.input_bytes + s.output_bytes))});
+  report.metric(s.job_name + "/" + s.fs_name + "/job_time_s", s.duration);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("T1/T2: MapReduce application job completion time (§IV.C)\n");
-  std::printf("paper shape: BSFS completes both jobs faster than HDFS\n\n");
+int main(int argc, char** argv) {
+  BenchReport report("table1_mapreduce_apps", argc, argv);
+  report.say("T1/T2: MapReduce application job completion time (§IV.C)\n");
+  report.say("paper shape: BSFS completes both jobs faster than HDFS\n\n");
 
   Table table({"application", "backend", "job time (s)", "maps", "reduces",
                "data-local maps", "bytes touched"});
 
   {  // RandomTextWriter (write-heavy, map-only)
     BsfsWorld bsfs_world;
-    print_job(table, run_rtw(bsfs_world.sim, bsfs_world.net, *bsfs_world.fs));
+    print_job(report, table,
+              run_rtw(bsfs_world.sim, bsfs_world.net, *bsfs_world.fs));
     HdfsWorld hdfs_world;
-    print_job(table, run_rtw(hdfs_world.sim, hdfs_world.net, *hdfs_world.fs));
+    print_job(report, table,
+              run_rtw(hdfs_world.sim, hdfs_world.net, *hdfs_world.fs));
   }
   {  // DistributedGrep (read-heavy, shared input)
     BsfsWorld bsfs_world;
     bsfs_world.sim.spawn(
         bsfs_stage_file(bsfs_world, "/in/huge", kGrepInputBytes, 4242));
     bsfs_world.sim.run();
-    print_job(table, run_grep(bsfs_world.sim, bsfs_world.net, *bsfs_world.fs,
-                              "/in/huge"));
+    print_job(report, table,
+              run_grep(bsfs_world.sim, bsfs_world.net, *bsfs_world.fs,
+                       "/in/huge"));
     HdfsWorld hdfs_world;
     hdfs_world.sim.spawn(
         put_file(*hdfs_world.fs, 0, "/in/huge", kGrepInputBytes, 4242));
     hdfs_world.sim.run();
-    print_job(table, run_grep(hdfs_world.sim, hdfs_world.net, *hdfs_world.fs,
-                              "/in/huge"));
+    print_job(report, table,
+              run_grep(hdfs_world.sim, hdfs_world.net, *hdfs_world.fs,
+                       "/in/huge"));
   }
-  table.print();
+  report.table(table);
   return 0;
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
-#include "common/hash.h"
+#include "net/replica_order.h"
 #include "common/log.h"
 #include "sim/parallel.h"
 
@@ -46,19 +46,18 @@ sim::Task<Version> BlobClient::write(BlobId blob, uint64_t offset,
   auto placement =
       co_await pm_.allocate(node_, page_count, ps, desc.replication);
 
-  // 3. Store page replicas, bounded-parallel.
+  // 3. Store page replicas, bounded-parallel, tolerating providers that
+  // crash mid-write: failed targets are dropped and re-placed, and the
+  // leaf records only the replicas that actually hold the page.
   {
     std::vector<sim::Task<void>> stores;
-    stores.reserve(page_count * desc.replication);
+    stores.reserve(page_count);
     for (uint64_t p = 0; p < page_count; ++p) {
       const uint64_t off = p * ps;
       const uint64_t len = std::min<uint64_t>(ps, data.size() - off);
       const PageKey key{blob, first_page + p, ticket.version};
-      for (net::NodeId target : placement[p]) {
-        stores.push_back(
-            providers_.at(target).put_page(node_, key, data.slice(off, len)));
-        ++pages_written_;
-      }
+      stores.push_back(store_page_replicas(key, data.slice(off, len), ps,
+                                           desc.replication, &placement[p]));
     }
     co_await sim::when_all_limited(sim_, std::move(stores),
                                    cfg_.page_parallelism);
@@ -99,6 +98,44 @@ sim::Task<Version> BlobClient::append(BlobId blob, DataSpec data) {
                            std::move(data));
 }
 
+sim::Task<void> BlobClient::store_page_replicas(
+    PageKey key, DataSpec data, uint64_t page_size, uint32_t replication,
+    std::vector<net::NodeId>* replicas) {
+  std::vector<net::NodeId> targets = std::move(*replicas);
+  std::vector<net::NodeId> stored;   // replicas that acknowledged the page
+  std::vector<net::NodeId> failed;   // everyone who didn't
+  for (uint32_t attempt = 0;; ++attempt) {
+    std::vector<sim::Task<bool>> puts;
+    puts.reserve(targets.size());
+    for (net::NodeId target : targets) {
+      puts.push_back(providers_.at(target).put_page(node_, key, data));
+    }
+    auto acks = co_await sim::when_all(sim_, std::move(puts));
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (acks[i]) {
+        stored.push_back(targets[i]);
+        ++pages_written_;
+      } else {
+        failed.push_back(targets[i]);
+        ++write_replica_failures_;
+      }
+    }
+    if (stored.size() >= replication || attempt >= cfg_.write_retry_limit) {
+      break;
+    }
+    // Some targets died under us: ask the PM for live replacements (its
+    // liveness view plus our explicit exclusions keep it off dead nodes).
+    targets = co_await pm_.allocate_replacements(
+        node_, page_size, stored, failed,
+        replication - static_cast<uint32_t>(stored.size()));
+    if (targets.empty()) break;  // cluster too degraded to re-place
+  }
+  BS_CHECK_MSG(!stored.empty(),
+               "write failed: no provider stored the page (all replicas "
+               "crashed and no live replacement exists)");
+  *replicas = std::move(stored);
+}
+
 sim::Task<std::vector<MetaNode>> BlobClient::walk(BlobId blob, PageRange range,
                                                   Version version,
                                                   PageRange target) {
@@ -128,6 +165,53 @@ sim::Task<std::vector<MetaNode>> BlobClient::collect_leaves(
   (void)page_size;
   co_return co_await walk(blob, PageRange{0, info.cap_pages}, info.version,
                           target);
+}
+
+sim::Task<DataSpec> BlobClient::fetch_page(BlobId blob, uint64_t page_index,
+                                           const MetaNode* leaf,
+                                           uint64_t page_size,
+                                           uint64_t blob_size) {
+  // Bytes of this page that exist at this version.
+  const uint64_t page_off = page_index * page_size;
+  const uint64_t logical_len =
+      std::min(page_size, blob_size > page_off ? blob_size - page_off : 0);
+  if (leaf == nullptr) {
+    // Hole: never-written pages read as zeros.
+    co_return DataSpec::from_bytes(Bytes(logical_len, 0));
+  }
+
+  BS_CHECK_MSG(!leaf->providers.empty(), "leaf with no replicas");
+  const std::vector<net::NodeId> order = net::replica_order(
+      leaf->providers, node_, net_.config(), cfg_.liveness, page_index);
+
+  const PageKey key{blob, page_index, leaf->version};
+  for (size_t i = 0; i < order.size(); ++i) {
+    Provider* provider = providers_.find(order[i]);
+    if (provider == nullptr) continue;  // unknown/retired node in the leaf
+    auto page = co_await provider->get_page(node_, key);
+    if (!page.has_value()) {
+      ++read_failovers_;
+      continue;  // down or lost the replica: fail over to the next one
+    }
+    ++pages_read_;
+    if (page->size() > logical_len) {
+      // Stored page is longer than this version's logical extent (an old
+      // full page under a version whose size ends inside it).
+      co_return page->slice(0, logical_len);
+    }
+    if (page->size() < logical_len) {
+      // A short page written as the then-end of the blob, later extended
+      // past it by another version: the gap bytes read as zeros.
+      Bytes padded = page->materialize();
+      padded.resize(logical_len, 0);
+      co_return DataSpec::from_bytes(std::move(padded));
+    }
+    co_return *std::move(page);
+  }
+  BS_CHECK_MSG(false,
+               "read failed: every replica of the page is gone (all "
+               "providers in the leaf are down, unknown, or lost it)");
+  co_return DataSpec::from_bytes(Bytes{});  // unreachable
 }
 
 sim::Task<DataSpec> BlobClient::read(BlobId blob, Version version,
@@ -163,55 +247,7 @@ sim::Task<DataSpec> BlobClient::read(BlobId blob, Version version,
   for (uint64_t p = first_page; p < end_page; ++p) {
     auto it = leaf_by_page.find(p);
     const MetaNode* leaf = it == leaf_by_page.end() ? nullptr : it->second;
-    auto fetch_one = [](BlobClient* self, BlobId b, uint64_t page_index,
-                        const MetaNode* lf, uint64_t page_sz,
-                        uint64_t blob_size) -> sim::Task<DataSpec> {
-      // Bytes of this page that exist at this version.
-      const uint64_t page_off = page_index * page_sz;
-      const uint64_t logical_len =
-          std::min(page_sz, blob_size > page_off ? blob_size - page_off : 0);
-      if (lf == nullptr) {
-        // Hole: never-written pages read as zeros.
-        co_return DataSpec::from_bytes(Bytes(logical_len, 0));
-      }
-      // Prefer a local replica, then rack-local, then spread by hash.
-      const auto& reps = lf->providers;
-      net::NodeId chosen = reps[0];
-      const auto& ncfg = self->net_.config();
-      bool local = false, rack = false;
-      for (net::NodeId r : reps) {
-        if (r == self->node_) {
-          chosen = r;
-          local = true;
-          break;
-        }
-        if (!rack && ncfg.same_rack(r, self->node_)) {
-          chosen = r;
-          rack = true;
-        }
-      }
-      if (!local && !rack && reps.size() > 1) {
-        chosen = reps[fnv1a64_u64(page_index ^ self->node_) % reps.size()];
-      }
-      const PageKey key{b, page_index, lf->version};
-      auto page = co_await self->providers_.at(chosen).get_page(self->node_, key);
-      BS_CHECK_MSG(page.has_value(), "provider lost a page");
-      ++self->pages_read_;
-      if (page->size() > logical_len) {
-        // Stored page is longer than this version's logical extent (an old
-        // full page under a version whose size ends inside it).
-        co_return page->slice(0, logical_len);
-      }
-      if (page->size() < logical_len) {
-        // A short page written as the then-end of the blob, later extended
-        // past it by another version: the gap bytes read as zeros.
-        Bytes padded = page->materialize();
-        padded.resize(logical_len, 0);
-        co_return DataSpec::from_bytes(std::move(padded));
-      }
-      co_return *std::move(page);
-    };
-    fetches.push_back(fetch_one(this, blob, p, leaf, ps, info.size));
+    fetches.push_back(fetch_page(blob, p, leaf, ps, info.size));
   }
   auto pages = co_await sim::when_all_limited(sim_, std::move(fetches),
                                               cfg_.page_parallelism);

@@ -40,6 +40,14 @@ struct ClientConfig {
   uint32_t page_parallelism = 8;
   // Max in-flight DHT operations during tree build/walk.
   uint32_t meta_parallelism = 16;
+  // Liveness view consulted before contacting a provider (typically the
+  // failure detector). Replicas believed dead are tried last, so reads
+  // between a crash and its detection pay the RPC timeout once, and reads
+  // after detection fail over for free. Null = assume everything is up.
+  const net::LivenessView* liveness = nullptr;
+  // How many times a writer re-requests replacement providers for a page
+  // whose replica stores failed (provider crashed mid-write).
+  uint32_t write_retry_limit = 2;
 };
 
 // Directory of provider services, shared by clients and the cluster
@@ -48,6 +56,12 @@ class ProviderDirectory {
  public:
   void add(Provider* p) { by_node_[p->node()] = p; }
   Provider& at(net::NodeId n) const { return *by_node_.at(n); }
+  // Null when no provider runs on `n` (an unknown/retired node in a leaf's
+  // replica list must not crash the reader).
+  Provider* find(net::NodeId n) const {
+    auto it = by_node_.find(n);
+    return it == by_node_.end() ? nullptr : it->second;
+  }
   size_t size() const { return by_node_.size(); }
 
  private:
@@ -90,6 +104,10 @@ class BlobClient {
   uint64_t pages_read() const { return pages_read_; }
   uint64_t meta_nodes_written() const { return meta_nodes_written_; }
   uint64_t meta_nodes_read() const { return meta_nodes_read_; }
+  // Degraded-mode counters: reads that fell over to a backup replica, and
+  // replica stores dropped/re-placed because a provider died mid-write.
+  uint64_t read_failovers() const { return read_failovers_; }
+  uint64_t write_replica_failures() const { return write_replica_failures_; }
 
  private:
   struct LeafInfo {
@@ -108,6 +126,19 @@ class BlobClient {
   // Fetches (and caches) the blob's immutable descriptor.
   sim::Task<BlobDescriptor> descriptor(BlobId blob);
 
+  // Stores one page on `replicas`, replacing failed targets via the
+  // provider manager; on return `*replicas` holds the nodes that actually
+  // stored the page (at least one, or the simulation aborts).
+  sim::Task<void> store_page_replicas(PageKey key, DataSpec data,
+                                      uint64_t page_size,
+                                      uint32_t replication,
+                                      std::vector<net::NodeId>* replicas);
+
+  // One page fetch with replica failover (live replicas preferred).
+  sim::Task<DataSpec> fetch_page(BlobId blob, uint64_t page_index,
+                                 const MetaNode* leaf, uint64_t page_size,
+                                 uint64_t blob_size);
+
   net::NodeId node_;
   sim::Simulator& sim_;
   net::Network& net_;
@@ -122,6 +153,8 @@ class BlobClient {
   uint64_t pages_read_ = 0;
   uint64_t meta_nodes_written_ = 0;
   uint64_t meta_nodes_read_ = 0;
+  uint64_t read_failovers_ = 0;
+  uint64_t write_replica_failures_ = 0;
 };
 
 }  // namespace bs::blob

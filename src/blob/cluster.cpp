@@ -42,6 +42,21 @@ std::unique_ptr<BlobClient> BlobSeerCluster::make_client(net::NodeId node) {
                                       *dht_, cfg_.client);
 }
 
+void BlobSeerCluster::set_liveness(const net::LivenessView* view) {
+  cfg_.client.liveness = view;
+  pm_->set_liveness(view);
+}
+
+void BlobSeerCluster::crash_provider(net::NodeId node, bool wipe_storage) {
+  net_.set_node_up(node, false);
+  directory_.at(node).crash(wipe_storage);
+}
+
+void BlobSeerCluster::recover_provider(net::NodeId node) {
+  net_.set_node_up(node, true);
+  directory_.at(node).recover();
+}
+
 sim::Task<void> BlobSeerCluster::drain_all() {
   std::vector<sim::Task<void>> drains;
   drains.reserve(providers_.size());

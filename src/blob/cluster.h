@@ -41,6 +41,7 @@ class BlobSeerCluster {
   // simulated process.
   std::unique_ptr<BlobClient> make_client(net::NodeId node);
 
+  sim::Simulator& simulator() { return sim_; }
   VersionManager& version_manager() { return *vm_; }
   ProviderManager& provider_manager() { return *pm_; }
   dht::Dht& metadata_dht() { return *dht_; }
@@ -52,6 +53,18 @@ class BlobSeerCluster {
 
   // Waits until every provider flushed its RAM buffer to disk.
   sim::Task<void> drain_all();
+
+  // --- fault tolerance wiring ---
+
+  // Plugs a liveness view (typically the failure detector) into placement
+  // and into clients created afterwards. Null = assume everything is up.
+  void set_liveness(const net::LivenessView* view);
+
+  // Fail-stop crash / recovery of the provider on `node` (fault-injector
+  // hooks): flips the network's ground truth and the provider's own
+  // down-state. wipe_storage models a disk loss.
+  void crash_provider(net::NodeId node, bool wipe_storage = false);
+  void recover_provider(net::NodeId node);
 
  private:
   sim::Simulator& sim_;

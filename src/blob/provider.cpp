@@ -37,14 +37,20 @@ void Provider::cache_evict_for(uint64_t need) {
   }
 }
 
-sim::Task<void> Provider::put_page(net::NodeId client, PageKey key,
-                                   DataSpec data) {
+sim::Task<bool> Provider::put_page(net::NodeId client, PageKey key,
+                                   DataSpec data, double rate_cap) {
   const uint64_t size = data.size();
   BS_CHECK(size > 0);
   BS_CHECK_MSG(size <= cfg_.ram_bytes,
                "page larger than provider RAM cannot be admitted");
+  if (down_) {
+    co_await sim_.delay(net_.config().rpc_timeout_s);
+    co_return false;
+  }
   // Page body travels client → provider.
-  co_await net_.transfer(client, cfg_.node, static_cast<double>(size));
+  co_await net_.transfer(client, cfg_.node, static_cast<double>(size),
+                         rate_cap);
+  if (down_) co_return false;  // crashed mid-transfer: bytes discarded
 
   // Admission: wait until the page fits in RAM. Clean pages are evicted
   // first; if dirty pages alone exceed RAM we must wait for the flusher.
@@ -54,6 +60,8 @@ sim::Task<void> Provider::put_page(net::NodeId client, PageKey key,
     co_await ram_freed_.wait();
     cache_evict_for(size);
   }
+  // Crashed while blocked on admission: the connection died with the node.
+  if (down_) co_return false;
   ram_used_ += size;
 
   // The page is logically stored now (write-behind persistence).
@@ -67,6 +75,7 @@ sim::Task<void> Provider::put_page(net::NodeId client, PageKey key,
     flusher_running_ = true;
     sim_.spawn(flusher());
   }
+  co_return true;
 }
 
 sim::Task<void> Provider::flusher() {
@@ -102,6 +111,10 @@ sim::Task<void> Provider::flusher() {
 sim::Task<std::optional<DataSpec>> Provider::get_page(net::NodeId client,
                                                       PageKey key) {
   const std::string skey = key.to_string();
+  if (down_) {
+    co_await sim_.delay(net_.config().rpc_timeout_s);
+    co_return std::nullopt;
+  }
   // Request reaches the provider first.
   co_await net_.control(client, cfg_.node);
   auto raw = store_.get(skey);
@@ -122,11 +135,58 @@ sim::Task<std::optional<DataSpec>> Provider::get_page(net::NodeId client,
   }
   // Page body travels provider → client.
   co_await net_.transfer(cfg_.node, client, static_cast<double>(data.size()));
+  // Crashed while serving (mid-read): the stream resets; the client fails
+  // over to another replica (symmetric with put_page's mid-transfer check).
+  if (down_) co_return std::nullopt;
   co_return data;
 }
 
+sim::Task<bool> Provider::replicate_to(Provider& dst, PageKey key,
+                                       double rate_cap) {
+  if (down_ || dst.down_) co_return false;
+  const std::string skey = key.to_string();
+  auto raw = store_.get(skey);
+  if (!raw.has_value()) co_return false;
+  DataSpec data = DataSpec::deserialize(raw->data(), raw->size());
+  if (ram_resident(skey)) {
+    if (dirty_set_.count(skey) == 0) cache_touch(skey, data.size());
+  } else {
+    co_await net_.disk(cfg_.node).read(static_cast<double>(data.size()));
+    cache_touch(skey, data.size());
+  }
+  // put_page pays the provider→provider flow (client = this node).
+  co_return co_await dst.put_page(cfg_.node, key, std::move(data), rate_cap);
+}
+
+void Provider::crash(bool wipe_storage) {
+  down_ = true;
+  if (wipe_storage) {
+    // Disk loss: forget every persisted page. The flusher tolerates queued
+    // entries vanishing (it re-checks store_ before each disk write), so
+    // the dirty queue's RAM accounting is left to drain normally — but the
+    // clean-cache LRU must be released here: a stale entry for a wiped key
+    // would otherwise double-count RAM (and corrupt the LRU index) when the
+    // key is re-stored after recovery, e.g. by the repair service.
+    std::vector<std::string> keys;
+    store_.scan("", "", [&](const std::string& k, const Bytes&) {
+      keys.push_back(k);
+      return true;
+    });
+    for (const auto& k : keys) store_.erase(k);
+    for (const auto& [key, size] : lru_) ram_used_ -= size;
+    lru_.clear();
+    lru_index_.clear();
+  }
+}
+
+void Provider::recover() { down_ = false; }
+
 sim::Task<bool> Provider::erase_page(net::NodeId client, PageKey key) {
   const std::string skey = key.to_string();
+  if (down_) {
+    co_await sim_.delay(net_.config().rpc_timeout_s);
+    co_return false;
+  }
   co_await net_.control(client, cfg_.node);
   const bool present = store_.erase(skey);
   if (present) {

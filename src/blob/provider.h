@@ -48,15 +48,36 @@ class Provider {
 
   net::NodeId node() const { return cfg_.node; }
 
-  // Receives one page from `client` and stores it. Returns once the page is
-  // safely in RAM (durability is the flusher's job, as in BlobSeer's
-  // write-behind BerkeleyDB layer).
-  sim::Task<void> put_page(net::NodeId client, PageKey key,
-                           DataSpec data);
+  // Receives one page from `client` and stores it. Returns true once the
+  // page is safely in RAM (durability is the flusher's job, as in
+  // BlobSeer's write-behind BerkeleyDB layer); false if the provider is
+  // down — at request time (the caller waits out the connection timeout)
+  // or mid-transfer (the bytes are discarded). `rate_cap` caps the incoming
+  // flow's rate (used by the repair service to throttle background
+  // re-replication traffic; 0 = uncapped).
+  sim::Task<bool> put_page(net::NodeId client, PageKey key, DataSpec data,
+                           double rate_cap = 0);
 
-  // Sends the page back to `client`; nullopt if unknown.
+  // Sends the page back to `client`; nullopt if unknown or down (a down
+  // provider costs the caller the connection timeout).
   sim::Task<std::optional<DataSpec>> get_page(net::NodeId client,
                                               PageKey key);
+
+  // Copies one page replica straight to another provider (repair traffic:
+  // disk read here if not RAM-resident, then a provider→provider flow).
+  // False if either end is down or the page is unknown here.
+  sim::Task<bool> replicate_to(Provider& dst, PageKey key, double rate_cap);
+
+  // --- fault injection (called by the fault layer, not clients) ---
+  //
+  // A crash is fail-stop at the network level: every request fails until
+  // recover(). Storage semantics: pages already acknowledged survive a
+  // plain crash (the KV journal replays on reboot, and the model treats
+  // buffered pages as flushed before power loss); wipe_storage models a
+  // disk loss, after which only re-replication can restore the data.
+  void crash(bool wipe_storage = false);
+  void recover();
+  bool is_down() const { return down_; }
 
   // Blocks until every buffered page is on disk (used by tests/benches to
   // measure full-durability time).
@@ -64,6 +85,13 @@ class Provider {
 
   // Deletes a page replica (garbage collection). Returns true if present.
   sim::Task<bool> erase_page(net::NodeId client, PageKey key);
+
+  // Whether this provider's store holds the page (repair's "block report":
+  // a wiped-and-recovered node is up but empty, and only this tells the
+  // repair service the replica needs re-creating). Local, no modeled cost.
+  bool has_page(const PageKey& key) const {
+    return store_.contains(key.to_string());
+  }
 
   // --- introspection ---
   uint64_t pages_stored() const { return pages_stored_; }
@@ -103,6 +131,7 @@ class Provider {
   uint64_t pages_stored_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  bool down_ = false;
 };
 
 }  // namespace bs::blob

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "net/replica_order.h"
 
 namespace bs::blob {
 
@@ -19,11 +20,23 @@ ProviderManager::ProviderManager(sim::Simulator& sim, net::Network& net,
   }
 }
 
+size_t ProviderManager::eligible_count(
+    const std::vector<net::NodeId>& exclude) const {
+  size_t n = 0;
+  for (net::NodeId p : providers_) {
+    if (node_dead(p)) continue;
+    if (std::find(exclude.begin(), exclude.end(), p) != exclude.end()) continue;
+    ++n;
+  }
+  return n;
+}
+
 net::NodeId ProviderManager::pick_one(net::NodeId client,
                                       const std::vector<net::NodeId>& exclude,
                                       uint32_t exclude_rack) {
   const auto& cfg = net_.config();
   auto excluded = [&](net::NodeId n) {
+    if (node_dead(n)) return true;
     if (std::find(exclude.begin(), exclude.end(), n) != exclude.end()) {
       return true;
     }
@@ -84,6 +97,21 @@ net::NodeId ProviderManager::pick_one(net::NodeId client,
       best = n;
     }
   }
+  if (best_load == std::numeric_limits<uint64_t>::max()) {
+    // Rack spreading is best-effort: when liveness has shrunk the cluster
+    // to (mostly) the first replica's rack, place there rather than abort.
+    for (size_t i = 0; i < providers_.size(); ++i) {
+      const net::NodeId n = providers_[(start + i) % providers_.size()];
+      if (node_dead(n) ||
+          std::find(exclude.begin(), exclude.end(), n) != exclude.end()) {
+        continue;
+      }
+      if (load_[n] < best_load) {
+        best_load = load_[n];
+        best = n;
+      }
+    }
+  }
   BS_CHECK_MSG(best_load != std::numeric_limits<uint64_t>::max(),
                "no eligible provider");
   return best;
@@ -100,18 +128,55 @@ sim::Task<std::vector<std::vector<net::NodeId>>> ProviderManager::allocate(
   ++requests_;
 
   const auto& ncfg = net_.config();
+  // Live-provider census once per call: the selection loop below runs
+  // between the two control awaits, so liveness cannot change under it,
+  // and every pick is live — a page degrades to fewer replicas exactly
+  // when the live count runs out.
+  size_t live_providers = 0;
+  for (net::NodeId p : providers_) {
+    if (!node_dead(p)) ++live_providers;
+  }
   std::vector<std::vector<net::NodeId>> out(page_count);
   for (uint64_t p = 0; p < page_count; ++p) {
     std::vector<net::NodeId>& replicas = out[p];
     replicas.reserve(replication);
     uint32_t first_rack = UINT32_MAX;
     for (uint32_t r = 0; r < replication; ++r) {
+      if (replicas.size() >= live_providers) break;  // degraded placement
       const net::NodeId n =
           pick_one(client, replicas, r == 1 ? first_rack : UINT32_MAX);
       if (r == 0) first_rack = ncfg.rack_of(n);
       replicas.push_back(n);
       load_[n] += page_size;
     }
+    BS_CHECK_MSG(!replicas.empty(), "no live provider for page placement");
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return out;
+}
+
+sim::Task<std::vector<net::NodeId>> ProviderManager::allocate_replacements(
+    net::NodeId client, uint64_t page_size, std::vector<net::NodeId> holders,
+    std::vector<net::NodeId> avoid, uint32_t count) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  ++requests_;
+  const auto& ncfg = net_.config();
+  std::vector<net::NodeId> out;
+  for (uint32_t r = 0; r < count; ++r) {
+    std::vector<net::NodeId> keep = holders;
+    keep.insert(keep.end(), out.begin(), out.end());
+    // Preserve the initial placement's rack diversity: while every replica
+    // of the page sits in one rack, steer the pick off that rack so a
+    // later rack failure cannot take out the whole set (best-effort, as
+    // with initial placement).
+    const uint32_t exclude_rack = net::single_rack_of(keep, ncfg);
+    std::vector<net::NodeId> taken = std::move(keep);
+    taken.insert(taken.end(), avoid.begin(), avoid.end());
+    if (eligible_count(taken) == 0) break;
+    const net::NodeId n = pick_one(client, taken, exclude_rack);
+    out.push_back(n);
+    load_[n] += page_size;
   }
   co_await net_.control(cfg_.node, client);
   co_return out;

@@ -21,6 +21,7 @@
 
 #include "blob/types.h"
 #include "common/rng.h"
+#include "net/liveness.h"
 #include "net/network.h"
 #include "net/rpc.h"
 #include "sim/task.h"
@@ -45,10 +46,29 @@ class ProviderManager {
 
   // Chooses `replication` distinct providers for each of `page_count`
   // pages of `page_size` bytes written by `client`. Returns page-major:
-  // result[i] = providers for page i.
+  // result[i] = providers for page i. Providers the liveness view reports
+  // dead are excluded; a page may get fewer than `replication` replicas if
+  // not enough live providers remain (degraded placement, repaired later).
   sim::Task<std::vector<std::vector<net::NodeId>>> allocate(
       net::NodeId client, uint64_t page_count, uint64_t page_size,
       uint32_t replication);
+
+  // Chooses up to `count` live providers to host new replicas of one
+  // `page_size` page. `holders` are the replicas that still hold the page
+  // (excluded, and used to preserve rack diversity: while the replica set
+  // would otherwise sit in a single rack, picks prefer other racks —
+  // best-effort, like initial placement); `avoid` are other exclusions
+  // (dead or already-failed nodes). Used by writers whose replica stores
+  // failed mid-crash and by the repair services; may return fewer than
+  // `count` when the cluster is too degraded.
+  sim::Task<std::vector<net::NodeId>> allocate_replacements(
+      net::NodeId client, uint64_t page_size,
+      std::vector<net::NodeId> holders, std::vector<net::NodeId> avoid,
+      uint32_t count);
+
+  // Placement consults this view (typically the failure detector) so dead
+  // nodes stop receiving new pages once detected. Null = everything is up.
+  void set_liveness(const net::LivenessView* view) { liveness_ = view; }
 
   // Allocated bytes per provider (the PM's own load view).
   const std::unordered_map<net::NodeId, uint64_t>& load() const {
@@ -57,6 +77,11 @@ class ProviderManager {
   uint64_t total_requests() const { return requests_; }
 
  private:
+  bool node_dead(net::NodeId n) const {
+    return liveness_ != nullptr && !liveness_->is_up(n);
+  }
+  // Providers not in `exclude` and not detected dead.
+  size_t eligible_count(const std::vector<net::NodeId>& exclude) const;
   net::NodeId pick_one(net::NodeId client,
                        const std::vector<net::NodeId>& exclude,
                        uint32_t exclude_rack);
@@ -68,6 +93,7 @@ class ProviderManager {
   std::vector<net::NodeId> providers_;
   std::unordered_map<net::NodeId, uint64_t> load_;
   std::unordered_map<net::NodeId, size_t> index_of_;
+  const net::LivenessView* liveness_ = nullptr;
   Rng rng_;
   size_t rr_cursor_ = 0;
   uint64_t requests_ = 0;

@@ -1,0 +1,83 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blob/cluster.h"
+#include "common/assert.h"
+#include "hdfs/hdfs.h"
+
+namespace bs::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, net::Network& net,
+                             FaultInjectorConfig cfg)
+    : sim_(sim), net_(net), cfg_(cfg), rng_(cfg.seed) {}
+
+sim::Task<void> FaultInjector::fire_crash(net::NodeId node, double t) {
+  co_await sim_.delay(t - sim_.now());
+  net_.set_node_up(node, false);
+  if (crash_hook_) crash_hook_(node, cfg_.wipe_storage);
+  ++crashes_fired_;
+}
+
+sim::Task<void> FaultInjector::fire_recovery(net::NodeId node, double t) {
+  co_await sim_.delay(t - sim_.now());
+  net_.set_node_up(node, true);
+  if (recovery_hook_) recovery_hook_(node);
+  ++recoveries_fired_;
+}
+
+void FaultInjector::crash_at(net::NodeId node, double t) {
+  BS_CHECK(t >= sim_.now());
+  sim_.spawn(fire_crash(node, t));
+}
+
+void FaultInjector::recover_at(net::NodeId node, double t) {
+  BS_CHECK(t >= sim_.now());
+  sim_.spawn(fire_recovery(node, t));
+}
+
+std::vector<net::NodeId> FaultInjector::crash_fraction_at(
+    const std::vector<net::NodeId>& candidates, double fraction, double t) {
+  BS_CHECK(fraction >= 0 && fraction <= 1);
+  const size_t k = static_cast<size_t>(
+      std::min<double>(candidates.size(),
+                       std::ceil(fraction * static_cast<double>(candidates.size()))));
+  // Partial Fisher–Yates over a copy: the first k entries are the victims.
+  std::vector<net::NodeId> pool = candidates;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + rng_.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  for (net::NodeId n : pool) crash_at(n, t);
+  return pool;
+}
+
+std::vector<net::NodeId> FaultInjector::crash_rack_at(
+    uint32_t rack, const std::vector<net::NodeId>& candidates, double t) {
+  std::vector<net::NodeId> victims;
+  for (net::NodeId n : candidates) {
+    if (net_.config().rack_of(n) == rack) victims.push_back(n);
+  }
+  for (net::NodeId n : victims) crash_at(n, t);
+  return victims;
+}
+
+void wire_blobseer(FaultInjector& injector, blob::BlobSeerCluster& cluster) {
+  injector.set_crash_hook([&cluster](net::NodeId node, bool wipe) {
+    cluster.crash_provider(node, wipe);
+  });
+  injector.set_recovery_hook(
+      [&cluster](net::NodeId node) { cluster.recover_provider(node); });
+}
+
+void wire_hdfs(FaultInjector& injector, hdfs::Hdfs& fs) {
+  injector.set_crash_hook([&fs](net::NodeId node, bool wipe) {
+    fs.crash_datanode(node, wipe);
+  });
+  injector.set_recovery_hook(
+      [&fs](net::NodeId node) { fs.recover_datanode(node); });
+}
+
+}  // namespace bs::fault

@@ -1,0 +1,96 @@
+// Fault injector — schedules deterministic crash and recovery events on
+// the simulator clock.
+//
+// The injector is deployment-agnostic: it flips the network's ground-truth
+// power state and calls per-node hooks, which the wiring helpers bind to
+// BlobSeer providers or HDFS datanodes. All randomness (picking victims
+// for fractional or rack-correlated failures) flows through the seeded
+// Rng, so two runs with the same seeds crash the same nodes at the same
+// instants — the property every fault test and bench in this repo asserts.
+//
+// Supported scenarios:
+//   * crash_at / recover_at        — scripted single-node events,
+//   * crash_fraction_at            — kill k% of a node set at time t
+//                                    (crash-during-write when t lands
+//                                    inside a workload),
+//   * crash_rack_at                — correlated top-of-rack/PDU failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace bs::blob {
+class BlobSeerCluster;
+}
+namespace bs::hdfs {
+class Hdfs;
+}
+
+namespace bs::fault {
+
+struct FaultInjectorConfig {
+  uint64_t seed = 0xfa117;
+  // Whether crashed nodes lose their persisted pages/blocks (disk loss).
+  // With false, a recovered node still serves everything it stored; with
+  // true, only re-replication can restore the data — the repair services
+  // exist for this case.
+  bool wipe_storage = true;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, net::Network& net,
+                FaultInjectorConfig cfg = {});
+
+  // How to crash/recover one node. The injector always flips the network
+  // ground truth itself; hooks add the service-level state change.
+  void set_crash_hook(std::function<void(net::NodeId, bool wipe)> fn) {
+    crash_hook_ = std::move(fn);
+  }
+  void set_recovery_hook(std::function<void(net::NodeId)> fn) {
+    recovery_hook_ = std::move(fn);
+  }
+
+  // --- scheduling (call before sim.run(); events fire at absolute time t) ---
+
+  void crash_at(net::NodeId node, double t);
+  void recover_at(net::NodeId node, double t);
+
+  // Kills ceil(fraction * candidates) distinct nodes at time t; returns the
+  // victims (chosen now, deterministically, so callers can assert on them).
+  std::vector<net::NodeId> crash_fraction_at(
+      const std::vector<net::NodeId>& candidates, double fraction, double t);
+
+  // Kills every candidate in `rack` at time t (correlated rack failure).
+  std::vector<net::NodeId> crash_rack_at(
+      uint32_t rack, const std::vector<net::NodeId>& candidates, double t);
+
+  // --- introspection ---
+  uint64_t crashes_fired() const { return crashes_fired_; }
+  uint64_t recoveries_fired() const { return recoveries_fired_; }
+
+ private:
+  sim::Task<void> fire_crash(net::NodeId node, double t);
+  sim::Task<void> fire_recovery(net::NodeId node, double t);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  FaultInjectorConfig cfg_;
+  Rng rng_;
+  std::function<void(net::NodeId, bool)> crash_hook_;
+  std::function<void(net::NodeId)> recovery_hook_;
+  uint64_t crashes_fired_ = 0;
+  uint64_t recoveries_fired_ = 0;
+};
+
+// Binds the injector's hooks to a deployment's storage services.
+void wire_blobseer(FaultInjector& injector, blob::BlobSeerCluster& cluster);
+void wire_hdfs(FaultInjector& injector, hdfs::Hdfs& fs);
+
+}  // namespace bs::fault

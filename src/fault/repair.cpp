@@ -1,0 +1,124 @@
+#include "fault/repair.h"
+
+#include <algorithm>
+
+#include "blob/metadata.h"
+#include "common/assert.h"
+#include "sim/parallel.h"
+
+namespace bs::fault {
+
+using blob::MetaNode;
+using blob::PageKey;
+using blob::Version;
+
+RepairService::RepairService(blob::BlobSeerCluster& cluster,
+                             const net::LivenessView& live, RepairConfig cfg)
+    : cluster_(cluster), live_(live), cfg_(cfg) {}
+
+sim::Task<void> RepairService::repair_leaf(blob::BlobId blob, uint64_t page,
+                                           Version version,
+                                           uint32_t target_degree,
+                                           uint64_t page_size,
+                                           RepairStats* stats) {
+  auto& dht = cluster_.metadata_dht();
+  const std::string key = blob::meta_key(blob, {page, 1}, version);
+  auto raw = co_await dht.get(cfg_.node, key);
+  if (!raw.has_value()) co_return;  // pruned/GC'd version
+  MetaNode leaf = MetaNode::deserialize(*raw);
+  ++stats->leaves_scanned;
+
+  // "alive" means up AND holding the page (the has_page check models the
+  // block report a restarted node sends): a provider that crashed with a
+  // wiped disk and recovered is up but empty — its replica is gone and
+  // must be re-created, not trusted.
+  const PageKey pkey{blob, page, version};
+  std::vector<net::NodeId> alive, dead;
+  for (net::NodeId r : leaf.providers) {
+    const blob::Provider* p = cluster_.providers().find(r);
+    (p != nullptr && live_.is_up(r) && p->has_page(pkey) ? alive : dead)
+        .push_back(r);
+  }
+  if (dead.empty() && alive.size() >= target_degree) co_return;
+  ++stats->under_replicated;
+  if (alive.empty()) {
+    // Every replica is on a dead node: nothing to copy from. The leaf is
+    // left untouched so the data comes back if a node recovers un-wiped.
+    ++stats->unrepairable;
+    co_return;
+  }
+
+  const uint32_t need =
+      target_degree > alive.size()
+          ? target_degree - static_cast<uint32_t>(alive.size())
+          : 0;
+  std::vector<net::NodeId> healthy = alive;
+  if (need > 0) {
+    auto targets = co_await cluster_.provider_manager().allocate_replacements(
+        cfg_.node, page_size, alive, dead, need);
+    for (net::NodeId target : targets) {
+      // Copy from the first surviving replica that can actually serve it
+      // (the liveness view may lag a second crash).
+      bool copied = false;
+      for (net::NodeId src : alive) {
+        copied = co_await cluster_.provider_on(src).replicate_to(
+            cluster_.provider_on(target), pkey, cfg_.copy_rate_cap_bps);
+        if (copied) break;
+      }
+      if (copied) {
+        healthy.push_back(target);
+        ++stats->replicas_restored;
+        stats->bytes_copied += leaf.page_length;
+      }
+    }
+  }
+
+  // Publish the healthy replica set (drop dead nodes even when enough live
+  // replicas remain, so readers stop paying timeouts on them).
+  if (healthy != leaf.providers) {
+    stats->replicas_dropped += dead.size();
+    leaf.providers = std::move(healthy);
+    co_await dht.put(cfg_.node, key, leaf.serialize());
+  }
+}
+
+sim::Task<RepairStats> RepairService::repair_blob(blob::BlobId blob) {
+  RepairStats stats;
+  auto& vm = cluster_.version_manager();
+  const blob::BlobDescriptor desc = co_await vm.describe(cfg_.node, blob);
+  const blob::VersionInfo latest = co_await vm.latest(cfg_.node, blob);
+  if (latest.version == blob::kNoVersion) {
+    stats.finished_at = cluster_.simulator().now();
+    co_return stats;
+  }
+  const auto history = co_await vm.full_history(cfg_.node, blob);
+
+  // Every leaf any published version created; leaves of pruned versions
+  // drop out when the DHT lookup misses.
+  std::vector<sim::Task<void>> leaves;
+  for (Version u = 1; u <= latest.version; ++u) {
+    const blob::WriteRecord& rec = history[u - 1];
+    BS_CHECK(rec.version == u);
+    for (uint64_t p = rec.range.first; p < rec.range.end(); ++p) {
+      leaves.push_back(repair_leaf(blob, p, u, desc.replication,
+                                   desc.page_size, &stats));
+    }
+  }
+  co_await sim::when_all_limited(cluster_.simulator(), std::move(leaves),
+                                 cfg_.copy_parallelism);
+  stats.finished_at = cluster_.simulator().now();
+  co_return stats;
+}
+
+sim::Task<RepairStats> RepairService::repair_blobs(
+    std::vector<blob::BlobId> blobs) {
+  RepairStats total;
+  for (blob::BlobId b : blobs) {
+    const RepairStats one = co_await repair_blob(b);
+    total.merge(one);
+  }
+  total.finished_at = cluster_.simulator().now();
+  co_return total;
+}
+
+}  // namespace bs::fault

@@ -29,8 +29,12 @@ void DataNode::cache_touch(BlockId id, uint64_t size) {
   ram_used_ += size;
 }
 
-sim::Task<void> DataNode::receive_block(net::NodeId from, BlockId id,
+sim::Task<bool> DataNode::receive_block(net::NodeId from, BlockId id,
                                         DataSpec data, double rate_cap) {
+  if (down_) {
+    co_await sim_.delay(net_.config().rpc_timeout_s);
+    co_return false;
+  }
   const double bytes = static_cast<double>(data.size());
   // Streaming write-through: the network transfer and the disk write run
   // concurrently; the block is acked when both finish.
@@ -38,15 +42,21 @@ sim::Task<void> DataNode::receive_block(net::NodeId from, BlockId id,
   legs.push_back(net_.transfer(from, node_, bytes, rate_cap));
   legs.push_back(net_.disk(node_).write(bytes));
   co_await sim::when_all(sim_, std::move(legs));
+  if (down_) co_return false;  // crashed mid-transfer: bytes discarded
   store_.put(block_key(id), data.serialize());
   cache_touch(id, data.size());  // freshly written blocks sit in page cache
   ++blocks_stored_;
+  co_return true;
 }
 
 sim::Task<std::optional<DataSpec>> DataNode::read_block(net::NodeId client,
                                                         BlockId id,
                                                         uint64_t offset,
                                                         uint64_t length) {
+  if (down_) {
+    co_await sim_.delay(net_.config().rpc_timeout_s);
+    co_return std::nullopt;
+  }
   co_await net_.control(client, node_);
   auto raw = store_.get(block_key(id));
   if (!raw.has_value()) {
@@ -71,8 +81,54 @@ sim::Task<std::optional<DataSpec>> DataNode::read_block(net::NodeId client,
     co_await sim::when_all(sim_, std::move(legs));
     cache_touch(id, block.size());
   }
+  // Crashed while serving (mid-read): the stream resets; the reader fails
+  // over to another replica.
+  if (down_) co_return std::nullopt;
   bytes_served_ += length;
   co_return out;
+}
+
+sim::Task<bool> DataNode::replicate_to(DataNode& dst, BlockId id,
+                                       double rate_cap) {
+  if (down_ || dst.down_) co_return false;
+  auto raw = store_.get(block_key(id));
+  if (!raw.has_value()) co_return false;
+  DataSpec block = DataSpec::deserialize(raw->data(), raw->size());
+  if (cache_contains(id)) {
+    ++cache_hits_;
+    cache_touch(id, block.size());
+  } else {
+    ++cache_misses_;
+    co_await net_.disk(node_).read(static_cast<double>(block.size()));
+    cache_touch(id, block.size());
+  }
+  // receive_block pays the dn→dn flow and the destination disk write.
+  co_return co_await dst.receive_block(node_, id, std::move(block), rate_cap);
+}
+
+void DataNode::forget_block(BlockId id) {
+  store_.erase(block_key(id));
+  auto it = lru_index_.find(id);
+  if (it != lru_index_.end()) {
+    ram_used_ -= it->second->second;
+    lru_.erase(it->second);
+    lru_index_.erase(it);
+  }
+}
+
+void DataNode::crash(bool wipe_storage) {
+  down_ = true;
+  if (wipe_storage) {
+    std::vector<std::string> keys;
+    store_.scan("", "", [&](const std::string& k, const Bytes&) {
+      keys.push_back(k);
+      return true;
+    });
+    for (const auto& k : keys) store_.erase(k);
+    lru_.clear();
+    lru_index_.clear();
+    ram_used_ = 0;
+  }
 }
 
 bool DataNode::has_block(BlockId id) const {

@@ -37,15 +37,32 @@ class DataNode {
 
   // Receives a block body from `from` (client or upstream datanode) and
   // writes it through to the local disk. The transfer and the disk write
-  // overlap (streaming), so the cost is max(network, disk) + seek.
-  sim::Task<void> receive_block(net::NodeId from, BlockId id, DataSpec data,
+  // overlap (streaming), so the cost is max(network, disk) + seek. False
+  // when the datanode is down (at request time — the sender waits out the
+  // connection timeout — or mid-transfer, discarding the bytes).
+  sim::Task<bool> receive_block(net::NodeId from, BlockId id, DataSpec data,
                                 double rate_cap = 0);
 
   // Serves `length` bytes of a block starting at `offset`: disk read plus
-  // network transfer back to the client, overlapped.
+  // network transfer back to the client, overlapped. nullopt if unknown or
+  // down (a down datanode costs the caller the connection timeout).
   sim::Task<std::optional<DataSpec>> read_block(net::NodeId client, BlockId id,
                                                 uint64_t offset,
                                                 uint64_t length);
+
+  // Copies a whole block straight to another datanode (NameNode-driven
+  // re-replication): disk read here, then a dn→dn pipeline hop.
+  sim::Task<bool> replicate_to(DataNode& dst, BlockId id, double rate_cap);
+
+  // Drops a stored block immediately (pipeline teardown: a hop downstream
+  // of a dead datanode discards what it streamed). No modeled cost.
+  void forget_block(BlockId id);
+
+  // Fail-stop crash / recovery (fault-injector hooks). wipe_storage models
+  // a disk loss; otherwise stored blocks survive the reboot.
+  void crash(bool wipe_storage = false);
+  void recover() { down_ = false; }
+  bool is_down() const { return down_; }
 
   bool has_block(BlockId id) const;
   uint64_t blocks_stored() const { return blocks_stored_; }
@@ -72,6 +89,7 @@ class DataNode {
   uint64_t bytes_served_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  bool down_ = false;
 };
 
 }  // namespace bs::hdfs

@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "common/assert.h"
-#include "common/hash.h"
+#include "net/replica_order.h"
 #include "sim/parallel.h"
 
 namespace bs::hdfs {
@@ -27,6 +27,75 @@ Hdfs::Hdfs(sim::Simulator& sim, net::Network& net, HdfsConfig cfg,
 
 std::unique_ptr<fs::FsClient> Hdfs::make_client(net::NodeId node) {
   return std::make_unique<HdfsClient>(*this, node);
+}
+
+void Hdfs::set_liveness(const net::LivenessView* view) {
+  liveness_ = view;
+  namenode_->set_liveness(view);
+}
+
+void Hdfs::crash_datanode(net::NodeId node, bool wipe_storage) {
+  net_.set_node_up(node, false);
+  datanodes_.at(node)->crash(wipe_storage);
+}
+
+void Hdfs::recover_datanode(net::NodeId node) {
+  net_.set_node_up(node, true);
+  datanodes_.at(node)->recover();
+}
+
+sim::Task<void> Hdfs::repair_block(NameNode::UnderReplicated block,
+                                   double rate_cap_bps, RepairStats* stats) {
+  ++stats->blocks_scanned;
+  if (block.live.empty()) {
+    // Every replica died: the block is lost until a node recovers un-wiped.
+    ++stats->unrepairable;
+    co_return;
+  }
+  std::vector<net::NodeId> healthy = block.live;
+  if (block.missing > 0) {
+    auto targets =
+        namenode_->choose_replacements(block.live, block.missing);
+    for (net::NodeId target : targets) {
+      bool copied = false;
+      for (net::NodeId src : block.live) {
+        copied = co_await datanodes_.at(src)->replicate_to(
+            *datanodes_.at(target), block.block, rate_cap_bps);
+        if (copied) break;
+      }
+      if (copied) {
+        healthy.push_back(target);
+        ++stats->replicas_restored;
+        stats->bytes_copied += block.size;
+      }
+    }
+  }
+  namenode_->set_block_replicas(block.path, block.block, std::move(healthy));
+}
+
+sim::Task<Hdfs::RepairStats> Hdfs::repair_under_replicated(
+    net::NodeId initiator, uint32_t copy_parallelism, double rate_cap_bps) {
+  RepairStats stats;
+  // One modeled round trip for the namespace scan (the NameNode owns all
+  // block metadata, so the scan itself is a local walk there).
+  co_await net_.control(initiator, cfg_.namenode.node);
+  // Block reports: only replicas whose datanode actually holds the block
+  // count (a wiped-and-recovered node is up but empty).
+  auto under = namenode_->scan_under_replicated(
+      [this](net::NodeId n, BlockId id) {
+        return datanodes_.at(n)->has_block(id);
+      });
+  stats.under_replicated = under.size();
+  co_await net_.control(cfg_.namenode.node, initiator);
+
+  std::vector<sim::Task<void>> copies;
+  copies.reserve(under.size());
+  for (auto& u : under) {
+    copies.push_back(repair_block(std::move(u), rate_cap_bps, &stats));
+  }
+  co_await sim::when_all_limited(sim_, std::move(copies), copy_parallelism);
+  stats.finished_at = sim_.now();
+  co_return stats;
 }
 
 // ---------- HdfsClient ----------
@@ -131,24 +200,57 @@ sim::Task<bool> HdfsWriter::flush(uint64_t threshold) {
     pending_bytes_ -= taken;
     DataSpec block = concat(chunk);
 
-    auto binfo = co_await owner_.namenode_->add_block(node_, path_);
-    if (!binfo.has_value()) co_return false;
     // Stream the block through the replica pipeline. In the fluid model all
     // hops run concurrently (cut-through); each hop is one network stream
-    // (capped at stream efficiency) plus the receiver's disk write.
+    // (capped at stream efficiency) plus the receiver's disk write. A hop
+    // whose datanode died truncates the pipeline there: downstream hops may
+    // have streamed bytes before learning their upstream died (cut-through
+    // again), but discard them at teardown. One retry asks the NameNode for
+    // a fresh pipeline, which avoids nodes already detected dead.
     const double cap =
         owner_.cfg_.stream_efficiency * owner_.net_.config().nic_bps;
-    std::vector<sim::Task<void>> hops;
-    net::NodeId from = node_;
-    for (net::NodeId dn : binfo->replicas) {
-      hops.push_back(
-          owner_.datanodes_.at(dn)->receive_block(from, binfo->id, block, cap));
-      from = dn;
+    bool stored_any = false;
+    std::vector<net::NodeId> failed_nodes;  // excludedNodes on retry
+    for (int attempt = 0; attempt < 2 && !stored_any; ++attempt) {
+      auto binfo =
+          co_await owner_.namenode_->add_block(node_, path_, failed_nodes);
+      if (!binfo.has_value() || binfo->replicas.empty()) co_return false;
+      std::vector<sim::Task<bool>> hops;
+      net::NodeId from = node_;
+      for (net::NodeId dn : binfo->replicas) {
+        hops.push_back(owner_.datanodes_.at(dn)->receive_block(
+            from, binfo->id, block, cap));
+        from = dn;
+      }
+      auto acks = co_await sim::when_all(owner_.sim_, std::move(hops));
+      std::vector<net::NodeId> stored;
+      size_t prefix = 0;
+      while (prefix < acks.size() && acks[prefix]) {
+        stored.push_back(binfo->replicas[prefix]);
+        ++prefix;
+      }
+      for (size_t j = prefix; j < acks.size(); ++j) {
+        if (!acks[j]) failed_nodes.push_back(binfo->replicas[j]);
+      }
+      // Pipeline teardown: hops past the first failure discard what they
+      // received (their upstream never forwarded a commit).
+      for (size_t j = prefix + 1; j < acks.size(); ++j) {
+        if (acks[j]) {
+          owner_.datanodes_.at(binfo->replicas[j])->forget_block(binfo->id);
+        }
+      }
+      stored_any = !stored.empty();
+      if (stored_any) {
+        const bool ok = co_await owner_.namenode_->complete_block(
+            node_, path_, binfo->id, block.size(), std::move(stored));
+        if (!ok) co_return false;
+      } else {
+        // Whole pipeline failed from the first hop: abandon the block and
+        // ask for a fresh pipeline.
+        co_await owner_.namenode_->abandon_block(node_, path_, binfo->id);
+      }
     }
-    co_await sim::when_all(owner_.sim_, std::move(hops));
-    const bool ok = co_await owner_.namenode_->complete_block(
-        node_, path_, binfo->id, block.size());
-    if (!ok) co_return false;
+    if (!stored_any) co_return false;
   }
   co_return true;
 }
@@ -196,28 +298,20 @@ sim::Task<DataSpec> HdfsReader::read(uint64_t offset, uint64_t size) {
     // all blocks before it are full-sized.
     const uint64_t block_start =
         at / owner_.cfg_.namenode.block_size * owner_.cfg_.namenode.block_size;
-    // Choose replica: local → rack-local → hash-spread.
-    const auto& ncfg = owner_.net_.config();
-    net::NodeId chosen = block.replicas.at(0);
-    bool local = false, rack = false;
-    for (net::NodeId r : block.replicas) {
-      if (r == node_) {
-        chosen = r;
-        local = true;
-        break;
-      }
-      if (!rack && ncfg.same_rack(r, node_)) {
-        chosen = r;
-        rack = true;
-      }
+    // Replica order: local → rack-local → hash-spread remainder; replicas
+    // believed dead go last, and a failed fetch falls over to the next.
+    BS_CHECK(!block.replicas.empty());
+    const std::vector<net::NodeId> order = net::replica_order(
+        block.replicas, node_, owner_.net_.config(), owner_.liveness_,
+        block.id);
+    std::optional<DataSpec> data;
+    for (net::NodeId r : order) {
+      data = co_await owner_.datanodes_.at(r)->read_block(node_, block.id, 0,
+                                                          block.size);
+      if (data.has_value()) break;
     }
-    if (!local && !rack && block.replicas.size() > 1) {
-      chosen = block.replicas[fnv1a64_u64(block.id ^ node_) %
-                              block.replicas.size()];
-    }
-    auto data = co_await owner_.datanodes_.at(chosen)->read_block(
-        node_, block.id, 0, block.size);
-    BS_CHECK_MSG(data.has_value(), "datanode lost a block");
+    BS_CHECK_MSG(data.has_value(),
+                 "read failed: every replica of the block is gone");
     ++blocks_fetched_;
     cached_start_ = block_start;
     cached_data_ = *std::move(data);

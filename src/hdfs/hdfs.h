@@ -103,16 +103,49 @@ class Hdfs final : public fs::FileSystem {
   const HdfsConfig& config() const { return cfg_; }
   sim::Simulator& simulator() { return sim_; }
 
+  // --- fault tolerance ---
+
+  // Plugs a liveness view (typically the failure detector) into NameNode
+  // placement and into reader replica selection.
+  void set_liveness(const net::LivenessView* view);
+
+  // Fail-stop crash / recovery of the datanode on `node` (fault-injector
+  // hooks). wipe_storage models a disk loss.
+  void crash_datanode(net::NodeId node, bool wipe_storage = false);
+  void recover_datanode(net::NodeId node);
+
+  struct RepairStats {
+    uint64_t blocks_scanned = 0;
+    uint64_t under_replicated = 0;
+    uint64_t replicas_restored = 0;
+    uint64_t bytes_copied = 0;
+    uint64_t unrepairable = 0;  // no live source replica survived
+    double finished_at = 0;
+  };
+  // NameNode-driven re-replication: scans the namespace for blocks below
+  // the replication target, picks live replacement datanodes, and copies
+  // each block dn→dn from a surviving replica. `copy_parallelism` bounds
+  // concurrent copies and `rate_cap_bps` caps each copy flow (background
+  // repair bandwidth). Runs from `initiator` (usually the NameNode's own
+  // node).
+  sim::Task<RepairStats> repair_under_replicated(net::NodeId initiator,
+                                                 uint32_t copy_parallelism = 8,
+                                                 double rate_cap_bps = 0);
+
  private:
   friend class HdfsClient;
   friend class HdfsReader;
   friend class HdfsWriter;
+
+  sim::Task<void> repair_block(NameNode::UnderReplicated block,
+                               double rate_cap_bps, RepairStats* stats);
 
   sim::Simulator& sim_;
   net::Network& net_;
   HdfsConfig cfg_;
   std::unique_ptr<NameNode> namenode_;
   std::unordered_map<net::NodeId, std::unique_ptr<DataNode>> datanodes_;
+  const net::LivenessView* liveness_ = nullptr;
 };
 
 }  // namespace bs::hdfs

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "fs/filesystem.h"
+#include "net/replica_order.h"
 
 namespace bs::hdfs {
 
@@ -24,7 +25,25 @@ void NameNode::mkdirs_locked(const std::string& path) {
   }
 }
 
-std::vector<net::NodeId> NameNode::choose_replicas(net::NodeId client) {
+std::optional<net::NodeId> NameNode::pick_datanode(
+    const std::vector<net::NodeId>& taken,
+    const std::function<bool(net::NodeId)>& pred) {
+  auto eligible = [&](net::NodeId n) {
+    return std::find(taken.begin(), taken.end(), n) == taken.end() &&
+           !node_dead(n) && pred(n);
+  };
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const net::NodeId n = datanodes_[rng_.below(datanodes_.size())];
+    if (eligible(n)) return n;
+  }
+  for (net::NodeId n : datanodes_) {  // deterministic fallback sweep
+    if (eligible(n)) return n;
+  }
+  return std::nullopt;
+}
+
+std::vector<net::NodeId> NameNode::choose_replicas(
+    net::NodeId client, const std::vector<net::NodeId>& exclude) {
   // Paper §IV.B: "the first replica of a chunk is always written locally;
   // ... the second replica is stored on a datanode in the same rack as the
   // first, and the third copy is sent to a datanode belonging to a
@@ -35,26 +54,22 @@ std::vector<net::NodeId> NameNode::choose_replicas(net::NodeId client) {
     return std::find(datanodes_.begin(), datanodes_.end(), n) !=
            datanodes_.end();
   };
-  auto taken = [&](net::NodeId n) {
-    return std::find(out.begin(), out.end(), n) != out.end();
-  };
   auto pick_random = [&](auto&& pred) -> std::optional<net::NodeId> {
-    for (int attempt = 0; attempt < 64; ++attempt) {
-      const net::NodeId n = datanodes_[rng_.below(datanodes_.size())];
-      if (!taken(n) && pred(n)) return n;
-    }
-    for (net::NodeId n : datanodes_) {  // deterministic fallback sweep
-      if (!taken(n) && pred(n)) return n;
-    }
-    return std::nullopt;
+    std::vector<net::NodeId> taken = exclude;
+    taken.insert(taken.end(), out.begin(), out.end());
+    return pick_datanode(taken, pred);
+  };
+  auto excluded = [&](net::NodeId n) {
+    return std::find(exclude.begin(), exclude.end(), n) != exclude.end();
   };
 
   // First replica: local if the writer runs a datanode, else random.
-  if (is_datanode(client)) {
+  if (is_datanode(client) && !node_dead(client) && !excluded(client)) {
     out.push_back(client);
   } else if (auto n = pick_random([](net::NodeId) { return true; })) {
     out.push_back(*n);
   }
+  if (out.empty()) return out;  // every datanode believed dead
   if (out.size() >= cfg_.replication) {
     out.resize(cfg_.replication);
     return out;
@@ -95,7 +110,8 @@ sim::Task<bool> NameNode::create(net::NodeId client, const std::string& path) {
 }
 
 sim::Task<std::optional<BlockInfo>> NameNode::add_block(
-    net::NodeId client, const std::string& path) {
+    net::NodeId client, const std::string& path,
+    std::vector<net::NodeId> exclude) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   std::optional<BlockInfo> out;
@@ -104,7 +120,7 @@ sim::Task<std::optional<BlockInfo>> NameNode::add_block(
       it->second.lease_holder == client) {
     BlockInfo block;
     block.id = next_block_++;
-    block.replicas = choose_replicas(client);
+    block.replicas = choose_replicas(client, exclude);
     it->second.blocks.push_back(block);
     out = block;
   }
@@ -114,7 +130,8 @@ sim::Task<std::optional<BlockInfo>> NameNode::add_block(
 
 sim::Task<bool> NameNode::complete_block(net::NodeId client,
                                          const std::string& path,
-                                         BlockId block, uint64_t size) {
+                                         BlockId block, uint64_t size,
+                                         std::vector<net::NodeId> stored) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   bool ok = false;
@@ -123,6 +140,7 @@ sim::Task<bool> NameNode::complete_block(net::NodeId client,
     for (auto& b : it->second.blocks) {
       if (b.id == block) {
         b.size = size;
+        if (!stored.empty()) b.replicas = std::move(stored);
         it->second.size += size;
         ok = true;
         break;
@@ -131,6 +149,94 @@ sim::Task<bool> NameNode::complete_block(net::NodeId client,
   }
   co_await net_.control(cfg_.node, client);
   co_return ok;
+}
+
+sim::Task<bool> NameNode::abandon_block(net::NodeId client,
+                                        const std::string& path,
+                                        BlockId block) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  bool ok = false;
+  auto it = entries_.find(path);
+  if (it != entries_.end() && it->second.lease_holder == client) {
+    auto& blocks = it->second.blocks;
+    for (auto bit = blocks.begin(); bit != blocks.end(); ++bit) {
+      if (bit->id == block) {
+        blocks.erase(bit);
+        ok = true;
+        break;
+      }
+    }
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
+std::vector<NameNode::UnderReplicated> NameNode::scan_under_replicated(
+    const std::function<bool(net::NodeId, BlockId)>& holds) const {
+  std::vector<UnderReplicated> out;
+  for (const auto& [path, entry] : entries_) {
+    if (entry.is_dir || entry.under_construction) continue;
+    for (const BlockInfo& b : entry.blocks) {
+      std::vector<net::NodeId> live;
+      for (net::NodeId r : b.replicas) {
+        if (!node_dead(r) && (holds == nullptr || holds(r, b.id))) {
+          live.push_back(r);
+        }
+      }
+      if (live.size() >= cfg_.replication && live.size() == b.replicas.size()) {
+        continue;
+      }
+      UnderReplicated u;
+      u.path = path;
+      u.block = b.id;
+      u.size = b.size;
+      u.missing = cfg_.replication > live.size()
+                      ? cfg_.replication - static_cast<uint32_t>(live.size())
+                      : 0;
+      u.live = std::move(live);
+      out.push_back(std::move(u));
+    }
+  }
+  return out;
+}
+
+std::vector<net::NodeId> NameNode::choose_replacements(
+    const std::vector<net::NodeId>& exclude, uint32_t count) {
+  const auto& ncfg = net_.config();
+  std::vector<net::NodeId> out;
+  while (out.size() < count) {
+    std::vector<net::NodeId> taken = exclude;
+    taken.insert(taken.end(), out.begin(), out.end());
+    // Preserve rack diversity: while every replica (survivors + picks so
+    // far) sits in one rack, prefer a different rack, so a later rack
+    // failure cannot take out the whole set. Best-effort, like placement.
+    const uint32_t crowded_rack = net::single_rack_of(taken, ncfg);
+    std::optional<net::NodeId> pick;
+    if (crowded_rack != UINT32_MAX) {
+      pick = pick_datanode(taken, [&](net::NodeId n) {
+        return ncfg.rack_of(n) != crowded_rack;
+      });
+    }
+    if (!pick) pick = pick_datanode(taken, [](net::NodeId) { return true; });
+    if (!pick) break;  // cluster too degraded
+    out.push_back(*pick);
+  }
+  return out;
+}
+
+void NameNode::set_block_replicas(const std::string& path, BlockId block,
+                                  std::vector<net::NodeId> replicas) {
+  // The file (or block) may have been removed while repair copies were in
+  // flight — the result is simply dropped, like a late block report.
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return;
+  for (auto& b : it->second.blocks) {
+    if (b.id == block) {
+      b.replicas = std::move(replicas);
+      return;
+    }
+  }
 }
 
 sim::Task<bool> NameNode::close_file(net::NodeId client,

@@ -15,12 +15,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "net/liveness.h"
 #include "net/network.h"
 #include "net/rpc.h"
 #include "sim/task.h"
@@ -52,12 +54,21 @@ class NameNode {
   // Fails if the path exists (write-once) or is a directory.
   sim::Task<bool> create(net::NodeId client, const std::string& path);
   // Allocates the next block and its replica pipeline. Caller must hold the
-  // lease. Returns nullopt if not.
-  sim::Task<std::optional<BlockInfo>> add_block(net::NodeId client,
-                                                const std::string& path);
-  // Records a finished block's actual size.
+  // lease. Returns nullopt if not. `exclude` lists datanodes the writer
+  // observed failing (HDFS's excludedNodes on pipeline retry) — skipped
+  // even if the liveness view has not caught up yet.
+  sim::Task<std::optional<BlockInfo>> add_block(
+      net::NodeId client, const std::string& path,
+      std::vector<net::NodeId> exclude = {});
+  // Records a finished block's actual size and which datanodes actually
+  // stored it (a pipeline hop that died mid-write drops out of the replica
+  // set; empty = keep the allocated pipeline, the common case).
   sim::Task<bool> complete_block(net::NodeId client, const std::string& path,
-                                 BlockId block, uint64_t size);
+                                 BlockId block, uint64_t size,
+                                 std::vector<net::NodeId> stored = {});
+  // Removes a block whose entire pipeline failed (the writer re-allocates).
+  sim::Task<bool> abandon_block(net::NodeId client, const std::string& path,
+                                BlockId block);
   // Closes the file: visible to readers, lease released.
   sim::Task<bool> close_file(net::NodeId client, const std::string& path);
 
@@ -79,6 +90,33 @@ class NameNode {
   sim::Task<bool> remove(net::NodeId client, const std::string& path);
   sim::Task<bool> mkdir(net::NodeId client, const std::string& path);
 
+  // --- fault tolerance (the NameNode is the re-replication brain) ---
+
+  // Block placement and replacement choice exclude nodes this view reports
+  // dead (wired to the failure detector). Null = assume everything is up.
+  void set_liveness(const net::LivenessView* view) { liveness_ = view; }
+
+  struct UnderReplicated {
+    std::string path;
+    BlockId block = 0;
+    uint64_t size = 0;
+    std::vector<net::NodeId> live;  // surviving replicas
+    uint32_t missing = 0;           // replicas to re-create
+  };
+  // Namespace scan for blocks below the replication target (local helper
+  // for Hdfs::repair_under_replicated, which models the RPC cost once).
+  // `holds` models datanode block reports: a replica only counts as live
+  // when its node is believed up AND reports the block (a wiped-and-
+  // recovered datanode is up but empty). Null = trust liveness alone.
+  std::vector<UnderReplicated> scan_under_replicated(
+      const std::function<bool(net::NodeId, BlockId)>& holds = nullptr) const;
+  // Live replacement targets for one block, excluding `exclude`.
+  std::vector<net::NodeId> choose_replacements(
+      const std::vector<net::NodeId>& exclude, uint32_t count);
+  // Installs a repaired block's replica set.
+  void set_block_replicas(const std::string& path, BlockId block,
+                          std::vector<net::NodeId> replicas);
+
   uint64_t total_requests() const { return queue_.requests(); }
   size_t queue_depth() const { return queue_.queue_depth(); }
   const NameNodeConfig& config() const { return cfg_; }
@@ -92,7 +130,17 @@ class NameNode {
     uint64_t size = 0;
   };
 
-  std::vector<net::NodeId> choose_replicas(net::NodeId client);
+  bool node_dead(net::NodeId n) const {
+    return liveness_ != nullptr && !liveness_->is_up(n);
+  }
+  // One live datanode outside `taken` satisfying `pred`: 64 random
+  // attempts, then a deterministic sweep. The shared picker behind both
+  // initial placement and replacement choice.
+  std::optional<net::NodeId> pick_datanode(
+      const std::vector<net::NodeId>& taken,
+      const std::function<bool(net::NodeId)>& pred);
+  std::vector<net::NodeId> choose_replicas(
+      net::NodeId client, const std::vector<net::NodeId>& exclude);
   void mkdirs_locked(const std::string& path);
 
   sim::Simulator& sim_;
@@ -101,6 +149,7 @@ class NameNode {
   net::ServiceQueue queue_;
   std::vector<net::NodeId> datanodes_;
   std::map<std::string, FileEntry> entries_;
+  const net::LivenessView* liveness_ = nullptr;
   Rng rng_;
   BlockId next_block_ = 1;
 };

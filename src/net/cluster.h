@@ -27,6 +27,11 @@ struct ClusterConfig {
   // One-way latency of small control messages (RPC request or response).
   double control_latency_s = 200e-6;
 
+  // How long a caller waits on an RPC to a dead node before giving up
+  // (connection timeout). Paid once per failed attempt; the failure story's
+  // degraded-read latency between a crash and its detection comes from here.
+  double rpc_timeout_s = 1.0;
+
   // Cap applied to every individual flow (0 = none). Models the per-TCP-
   // stream ceiling of the era's stacks (checksumming, copies, window
   // tuning): one stream cannot fill a NIC even when the path is idle.

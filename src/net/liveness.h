@@ -1,0 +1,24 @@
+// Liveness view — the interface through which placement and read-path code
+// learns which nodes are believed alive.
+//
+// Two implementations matter:
+//   * net::Network's ground truth (set by the fault injector): what is
+//     *actually* up. Services use it for their own node ("am I dead?").
+//   * fault::FailureDetector's detected state: what the rest of the system
+//     *believes*, which lags reality by the detection timeout. Placement
+//     (provider manager, NameNode) and client replica selection consult
+//     this one, so the window between a crash and its detection produces
+//     realistic failed RPCs and read failovers.
+#pragma once
+
+#include "net/cluster.h"
+
+namespace bs::net {
+
+class LivenessView {
+ public:
+  virtual ~LivenessView() = default;
+  virtual bool is_up(NodeId node) const = 0;
+};
+
+}  // namespace bs::net

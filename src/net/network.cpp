@@ -47,6 +47,12 @@ Network::Network(sim::Simulator& sim, const ClusterConfig& cfg)
   }
   rx_bytes_.assign(n, 0);
   tx_bytes_.assign(n, 0);
+  up_.assign(n, 1);
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  BS_CHECK(node < cfg_.num_nodes);
+  up_[node] = up ? 1 : 0;
 }
 
 sim::Task<void> Network::transfer(NodeId src, NodeId dst, double bytes,
@@ -69,6 +75,17 @@ sim::Task<void> Network::control(NodeId src, NodeId dst) {
   (void)src;
   (void)dst;
   co_await sim_.delay(cfg_.control_latency_s);
+}
+
+sim::Task<bool> Network::try_control(NodeId src, NodeId dst) {
+  BS_CHECK(src < cfg_.num_nodes && dst < cfg_.num_nodes);
+  if (!up_[dst]) {
+    // The request vanishes; the caller learns by connection timeout.
+    co_await sim_.delay(cfg_.rpc_timeout_s);
+    co_return false;
+  }
+  co_await sim_.delay(cfg_.control_latency_s);
+  co_return true;
 }
 
 void Network::add_flow(NodeId src, NodeId dst, double bytes, double cap,

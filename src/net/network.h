@@ -20,6 +20,7 @@
 
 #include "common/stats.h"
 #include "net/cluster.h"
+#include "net/liveness.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -73,6 +74,24 @@ class Network {
   // One-way control-message latency.
   sim::Task<void> control(NodeId src, NodeId dst);
 
+  // --- node-down semantics (driven by the fault injector) ---
+  //
+  // The network holds the ground truth of which nodes are powered on. A
+  // message *to* a down node is lost; the caller only learns by timeout.
+  // In-flight bulk flows are not retroactively aborted (the fluid model
+  // completes them); the receiving service discards the bytes instead —
+  // see Provider/DataNode down-state handling.
+  void set_node_up(NodeId node, bool up);
+  bool node_up(NodeId node) const { return up_[node]; }
+  // Ground-truth liveness as a LivenessView (for tests and wiring).
+  const LivenessView& ground_truth() const { return truth_; }
+
+  // Control round trip that can fail: if `dst` is down when the request
+  // would arrive, the caller waits out the connection timeout and gets
+  // false. Returns true after a normal one-way latency otherwise (the
+  // caller models the response leg itself, as with control()).
+  sim::Task<bool> try_control(NodeId src, NodeId dst);
+
   Disk& disk(NodeId node) { return *disks_[node]; }
 
   // Introspection for tests and benches.
@@ -84,6 +103,12 @@ class Network {
   const std::vector<double>& tx_bytes() const { return tx_bytes_; }
 
  private:
+  struct GroundTruth final : LivenessView {
+    explicit GroundTruth(const Network& net) : net(net) {}
+    bool is_up(NodeId node) const override { return net.node_up(node); }
+    const Network& net;
+  };
+
   struct Flow {
     uint64_t id;
     std::vector<uint32_t> path;  // link indices
@@ -133,6 +158,8 @@ class Network {
   double bytes_moved_ = 0;
   std::vector<double> rx_bytes_;
   std::vector<double> tx_bytes_;
+  std::vector<char> up_;  // ground-truth power state per node
+  GroundTruth truth_{*this};
 };
 
 }  // namespace bs::net

@@ -1,0 +1,61 @@
+// Replica failover ordering, shared by the BSFS client's page fetch and
+// the HDFS reader's block fetch: local replica first, then rack-local,
+// then the remainder rotated by hash (spreads read load across replicas).
+// Replicas the liveness view reports dead are demoted to the back — still
+// tried, because the view can be stale in either direction. Callers walk
+// the returned order and fail over on each miss.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+#include "net/cluster.h"
+#include "net/liveness.h"
+
+namespace bs::net {
+
+inline std::vector<NodeId> replica_order(const std::vector<NodeId>& replicas,
+                                         NodeId self, const ClusterConfig& cfg,
+                                         const LivenessView* liveness,
+                                         uint64_t hash_seed) {
+  std::vector<NodeId> order;
+  order.reserve(replicas.size());
+  for (NodeId r : replicas) {
+    if (r == self) order.push_back(r);
+  }
+  for (NodeId r : replicas) {
+    if (r != self && cfg.same_rack(r, self)) order.push_back(r);
+  }
+  std::vector<NodeId> rest;
+  for (NodeId r : replicas) {
+    if (r != self && !cfg.same_rack(r, self)) rest.push_back(r);
+  }
+  if (!rest.empty()) {
+    const size_t rot = fnv1a64_u64(hash_seed ^ self) % rest.size();
+    std::rotate(rest.begin(), rest.begin() + static_cast<ptrdiff_t>(rot),
+                rest.end());
+  }
+  order.insert(order.end(), rest.begin(), rest.end());
+  if (liveness != nullptr) {
+    std::stable_partition(order.begin(), order.end(),
+                          [&](NodeId r) { return liveness->is_up(r); });
+  }
+  return order;
+}
+
+// The single rack shared by every node in `nodes`, or UINT32_MAX when the
+// set is empty or already spans racks. Replacement-placement helper: while
+// a page/block's replica set is co-racked, the next pick should steer off
+// that rack so one rack failure cannot take out the whole set.
+inline uint32_t single_rack_of(const std::vector<NodeId>& nodes,
+                               const ClusterConfig& cfg) {
+  if (nodes.empty()) return UINT32_MAX;
+  const uint32_t rack = cfg.rack_of(nodes[0]);
+  for (NodeId n : nodes) {
+    if (cfg.rack_of(n) != rack) return UINT32_MAX;
+  }
+  return rack;
+}
+
+}  // namespace bs::net

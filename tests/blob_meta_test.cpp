@@ -46,6 +46,124 @@ TEST(NodeExists, Rule) {
   EXPECT_FALSE(node_exists({0, 1}, {3, 1}, 4, 0));  // leaves are never chain
 }
 
+TEST(NodeExists, GrowthChainAcrossMultipleDoublings) {
+  // A sparse write far past the end: one page at index 30 grows a cap-2
+  // tree straight to cap 32. The growth chain must create every new
+  // root-anchored node — [0,4), [0,8), [0,16), [0,32) — even though the
+  // write itself only touches the right half.
+  const PageRange write{30, 1};
+  for (uint64_t c : {4ull, 8ull, 16ull, 32ull}) {
+    EXPECT_TRUE(node_exists({0, c}, write, 32, 2)) << "chain node [0," << c << ")";
+  }
+  // [0,2) existed before the growth: not re-created.
+  EXPECT_FALSE(node_exists({0, 2}, write, 32, 2));
+  // Non-root-anchored nodes in the untouched gap are NOT part of the chain.
+  EXPECT_FALSE(node_exists({4, 4}, write, 32, 2));
+  EXPECT_FALSE(node_exists({8, 8}, write, 32, 2));
+  EXPECT_FALSE(node_exists({2, 2}, write, 32, 2));
+  // Ancestors of the written page exist by intersection as usual.
+  EXPECT_TRUE(node_exists({30, 1}, write, 32, 2));
+  EXPECT_TRUE(node_exists({30, 2}, write, 32, 2));
+  EXPECT_TRUE(node_exists({28, 4}, write, 32, 2));
+  EXPECT_TRUE(node_exists({24, 8}, write, 32, 2));
+  EXPECT_TRUE(node_exists({16, 16}, write, 32, 2));
+}
+
+TEST(NodeExists, FirstWriteHasNoChainBelowItsOwnPaths) {
+  // cap_before = 0 (first version): every root-anchored inner node within
+  // the new capacity is chain-created, but single-page "roots" are leaves
+  // and never chain nodes.
+  const PageRange write{5, 1};
+  EXPECT_TRUE(node_exists({0, 2}, write, 8, 0));
+  EXPECT_TRUE(node_exists({0, 4}, write, 8, 0));
+  EXPECT_TRUE(node_exists({0, 8}, write, 8, 0));
+  EXPECT_FALSE(node_exists({0, 1}, write, 8, 0));  // leaf, not chain
+  EXPECT_FALSE(node_exists({2, 2}, write, 8, 0));  // not root-anchored
+}
+
+TEST(NodeExists, NoChainWhenCapacityUnchanged) {
+  // Same sparse write, but the tree was already cap 32: only the
+  // intersecting paths exist.
+  const PageRange write{30, 1};
+  EXPECT_FALSE(node_exists({0, 4}, write, 32, 32));
+  EXPECT_FALSE(node_exists({0, 8}, write, 32, 32));
+  EXPECT_FALSE(node_exists({0, 16}, write, 32, 32));
+  EXPECT_TRUE(node_exists({0, 32}, write, 32, 32));  // root intersects
+  EXPECT_TRUE(node_exists({28, 4}, write, 32, 32));
+}
+
+TEST(LatestOwner, GrowthChainNodesResolveAcrossDoublings) {
+  // v1 fills a cap-4 tree; v2 writes page 25, growing capacity 4 → 32.
+  std::vector<WriteRecord> history = {
+      {1, {0, 4}, 0, 4},
+      {2, {25, 1}, 0, 32},
+  };
+  // All new root-anchored nodes belong to v2 (chain), including [0,8) and
+  // [0,16) which v2's write range does not intersect.
+  EXPECT_EQ(latest_owner({0, 8}, history, 3), 2u);
+  EXPECT_EQ(latest_owner({0, 16}, history, 3), 2u);
+  EXPECT_EQ(latest_owner({0, 32}, history, 3), 2u);
+  // [0,4) was v1's root; v2 didn't touch pages 0-3, so v1 still owns it.
+  EXPECT_EQ(latest_owner({0, 4}, history, 3), 1u);
+  // Untouched non-anchored subtrees in the gap belong to nobody (holes).
+  EXPECT_EQ(latest_owner({4, 4}, history, 3), kNoVersion);
+  EXPECT_EQ(latest_owner({8, 8}, history, 3), kNoVersion);
+  EXPECT_EQ(latest_owner({16, 8}, history, 3), kNoVersion);  // pages 16-23
+  EXPECT_EQ(latest_owner({24, 8}, history, 3), 2u);  // contains page 25
+}
+
+TEST(BuildWriteNodes, SparseWriteFarPastEndBuildsReachableTree) {
+  // v1 wrote pages 0-1 (cap 2); v2 writes page 30 (cap 32). The produced
+  // node set must contain the full leaf→root path for page 30 AND the
+  // growth chain, with child pointers that keep v1's data reachable.
+  std::vector<WriteRecord> history = {{1, {0, 2}, 0, 2}};
+  auto nodes = build_write_nodes({30, 1}, 32, 2, history);
+  // leaf 30, [30,32), [28,32), [24,32), [16,32) — plus chain [0,4), [0,8),
+  // [0,16), [0,32).
+  ASSERT_EQ(nodes.size(), 9u);
+  std::map<std::pair<uint64_t, uint64_t>, const MetaNode*> by_range;
+  for (const auto& n : nodes) by_range[{n.range.first, n.range.count}] = &n;
+  ASSERT_TRUE(by_range.count({30, 1}));
+  ASSERT_TRUE(by_range.count({0, 32}));
+  // Chain node [0,4): left child is v1's old root [0,2), right is a hole.
+  const MetaNode* chain4 = by_range.at({0, 4});
+  EXPECT_EQ(chain4->left, 1u);
+  EXPECT_EQ(chain4->right, kNoVersion);
+  // Chain nodes above it point left at the chain node below (also v2's).
+  EXPECT_EQ(by_range.at({0, 8})->left, 2u);
+  EXPECT_EQ(by_range.at({0, 8})->right, kNoVersion);
+  EXPECT_EQ(by_range.at({0, 16})->left, 2u);
+  // Root: left half is the chain, right half holds the new write.
+  EXPECT_EQ(by_range.at({0, 32})->left, 2u);
+  EXPECT_EQ(by_range.at({0, 32})->right, 2u);
+  // Down the write path, the untouched siblings are holes.
+  EXPECT_EQ(by_range.at({16, 16})->left, kNoVersion);
+  EXPECT_EQ(by_range.at({16, 16})->right, 2u);
+  EXPECT_EQ(by_range.at({28, 4})->left, kNoVersion);
+  EXPECT_EQ(by_range.at({30, 2})->left, 2u);
+  EXPECT_EQ(by_range.at({30, 2})->right, kNoVersion);
+}
+
+TEST(BuildWriteNodes, RepeatedDoublingChainsStayConsistent) {
+  // Capacity doubles on three consecutive appends; each version's chain
+  // must point at the previous version's root.
+  std::vector<WriteRecord> history;
+  uint64_t cap = 1;
+  for (Version v = 1; v <= 4; ++v) {
+    const PageRange range{cap == 1 && v == 1 ? 0 : cap, v == 1 ? 1 : cap};
+    const uint64_t new_cap = v == 1 ? 1 : cap * 2;
+    auto nodes = build_write_nodes(range, new_cap, v, history);
+    if (v > 1) {
+      const MetaNode& root = nodes.back();
+      EXPECT_EQ(root.range, (PageRange{0, new_cap}));
+      EXPECT_EQ(root.left, v - 1) << "root.left must be prior root at v=" << v;
+      EXPECT_EQ(root.right, v);
+    }
+    history.push_back({v, range, 0, new_cap});
+    cap = new_cap;
+  }
+}
+
 TEST(LatestOwner, PicksNewestMatchingVersion) {
   std::vector<WriteRecord> history = {
       {1, {0, 2}, 0, 4},  // v1 wrote pages 0-1, cap 4
