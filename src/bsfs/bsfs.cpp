@@ -131,6 +131,11 @@ sim::Task<bool> BsfsClient::remove(const std::string& path) {
   co_return co_await owner_.ns_.remove(node_, path);
 }
 
+sim::Task<bool> BsfsClient::rename(const std::string& from,
+                                   const std::string& to) {
+  co_return co_await owner_.ns_.rename(node_, from, to);
+}
+
 sim::Task<std::vector<fs::BlockLocation>> BsfsClient::locations(
     const std::string& path, uint64_t offset, uint64_t length) {
   std::vector<fs::BlockLocation> out;

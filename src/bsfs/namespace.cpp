@@ -129,7 +129,11 @@ sim::Task<bool> NamespaceManager::rename(net::NodeId client,
   ++requests_;
   bool ok = false;
   auto it = entries_.find(from);
-  if (it != entries_.end() && entries_.count(to) == 0) {
+  // Same contract as the HDFS NameNode (fs::FsClient::rename): only a
+  // closed file moves — this is the MapReduce task-output commit
+  // primitive, and both back-ends must agree on its preconditions.
+  if (it != entries_.end() && !it->second.is_dir &&
+      !it->second.under_construction && entries_.count(to) == 0) {
     mkdirs_locked(fs::parent_path(to));
     entries_[to] = it->second;
     entries_.erase(it);

@@ -37,8 +37,8 @@ void FaultInjector::recover_at(net::NodeId node, double t) {
   sim_.spawn(fire_recovery(node, t));
 }
 
-std::vector<net::NodeId> FaultInjector::crash_fraction_at(
-    const std::vector<net::NodeId>& candidates, double fraction, double t) {
+std::vector<net::NodeId> FaultInjector::pick_fraction(
+    const std::vector<net::NodeId>& candidates, double fraction) {
   BS_CHECK(fraction >= 0 && fraction <= 1);
   const size_t k = static_cast<size_t>(
       std::min<double>(candidates.size(),
@@ -50,8 +50,41 @@ std::vector<net::NodeId> FaultInjector::crash_fraction_at(
     std::swap(pool[i], pool[j]);
   }
   pool.resize(k);
-  for (net::NodeId n : pool) crash_at(n, t);
   return pool;
+}
+
+std::vector<net::NodeId> FaultInjector::crash_fraction_at(
+    const std::vector<net::NodeId>& candidates, double fraction, double t) {
+  std::vector<net::NodeId> victims = pick_fraction(candidates, fraction);
+  for (net::NodeId n : victims) crash_at(n, t);
+  return victims;
+}
+
+sim::Task<void> FaultInjector::fire_perf(net::NodeId node, net::NodePerf perf,
+                                         double t) {
+  co_await sim_.delay(t - sim_.now());
+  net_.set_node_perf(node, perf);
+  ++slowdowns_fired_;
+}
+
+void FaultInjector::slow_node_at(net::NodeId node, double factor, double t) {
+  BS_CHECK(t >= sim_.now());
+  BS_CHECK(factor > 1);
+  const double s = 1.0 / factor;
+  sim_.spawn(fire_perf(node, net::NodePerf{s, s, s}, t));
+}
+
+void FaultInjector::restore_node_at(net::NodeId node, double t) {
+  BS_CHECK(t >= sim_.now());
+  sim_.spawn(fire_perf(node, net::NodePerf{}, t));
+}
+
+std::vector<net::NodeId> FaultInjector::slow_fraction_at(
+    const std::vector<net::NodeId>& candidates, double fraction, double factor,
+    double t) {
+  std::vector<net::NodeId> victims = pick_fraction(candidates, fraction);
+  for (net::NodeId n : victims) slow_node_at(n, factor, t);
+  return victims;
 }
 
 std::vector<net::NodeId> FaultInjector::crash_rack_at(

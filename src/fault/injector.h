@@ -13,7 +13,12 @@
 //   * crash_fraction_at            — kill k% of a node set at time t
 //                                    (crash-during-write when t lands
 //                                    inside a workload),
-//   * crash_rack_at                — correlated top-of-rack/PDU failure.
+//   * crash_rack_at                — correlated top-of-rack/PDU failure,
+//   * slow_node_at / restore_node_at / slow_fraction_at — degradation
+//     instead of death: the node's disk, NIC, and CPU run `factor`×
+//     slower (a failing drive, a half-negotiated link). Slow nodes keep
+//     heartbeating and keep accepting work, which is precisely the
+//     straggler scenario speculative execution exists to beat.
 #pragma once
 
 #include <cstdint>
@@ -71,13 +76,28 @@ class FaultInjector {
   std::vector<net::NodeId> crash_rack_at(
       uint32_t rack, const std::vector<net::NodeId>& candidates, double t);
 
+  // Degrades one node at time t: disk, NIC, and CPU all run `factor`×
+  // slower until restore_node_at. factor > 1.
+  void slow_node_at(net::NodeId node, double factor, double t);
+  void restore_node_at(net::NodeId node, double t);
+
+  // Degrades ceil(fraction * candidates) distinct nodes at time t; returns
+  // the victims (chosen now, deterministically).
+  std::vector<net::NodeId> slow_fraction_at(
+      const std::vector<net::NodeId>& candidates, double fraction,
+      double factor, double t);
+
   // --- introspection ---
   uint64_t crashes_fired() const { return crashes_fired_; }
   uint64_t recoveries_fired() const { return recoveries_fired_; }
+  uint64_t slowdowns_fired() const { return slowdowns_fired_; }
 
  private:
   sim::Task<void> fire_crash(net::NodeId node, double t);
   sim::Task<void> fire_recovery(net::NodeId node, double t);
+  sim::Task<void> fire_perf(net::NodeId node, net::NodePerf perf, double t);
+  std::vector<net::NodeId> pick_fraction(
+      const std::vector<net::NodeId>& candidates, double fraction);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -87,6 +107,7 @@ class FaultInjector {
   std::function<void(net::NodeId)> recovery_hook_;
   uint64_t crashes_fired_ = 0;
   uint64_t recoveries_fired_ = 0;
+  uint64_t slowdowns_fired_ = 0;
 };
 
 // Binds the injector's hooks to a deployment's storage services.

@@ -71,6 +71,13 @@ class FsClient {
   virtual sim::Task<std::optional<FileStat>> stat(const std::string& path) = 0;
   virtual sim::Task<std::vector<std::string>> list(const std::string& dir) = 0;
   virtual sim::Task<bool> remove(const std::string& path) = 0;
+  // Atomically moves a closed file to a new path (metadata-only, like
+  // HDFS's rename). Fails if `from` is missing or under construction, or
+  // `to` exists. This is the task-output commit primitive the MapReduce
+  // engine relies on: speculative attempts write to attempt-private temp
+  // paths and the first finisher renames into place.
+  virtual sim::Task<bool> rename(const std::string& from,
+                                 const std::string& to) = 0;
   virtual sim::Task<std::vector<BlockLocation>> locations(
       const std::string& path, uint64_t offset, uint64_t length) = 0;
 };

@@ -144,6 +144,11 @@ sim::Task<bool> HdfsClient::remove(const std::string& path) {
   co_return co_await owner_.namenode_->remove(node_, path);
 }
 
+sim::Task<bool> HdfsClient::rename(const std::string& from,
+                                   const std::string& to) {
+  co_return co_await owner_.namenode_->rename(node_, from, to);
+}
+
 sim::Task<std::vector<fs::BlockLocation>> HdfsClient::locations(
     const std::string& path, uint64_t offset, uint64_t length) {
   auto blocks =

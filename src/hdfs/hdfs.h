@@ -80,6 +80,8 @@ class HdfsClient final : public fs::FsClient {
   sim::Task<std::optional<fs::FileStat>> stat(const std::string& path) override;
   sim::Task<std::vector<std::string>> list(const std::string& dir) override;
   sim::Task<bool> remove(const std::string& path) override;
+  sim::Task<bool> rename(const std::string& from,
+                         const std::string& to) override;
   sim::Task<std::vector<fs::BlockLocation>> locations(
       const std::string& path, uint64_t offset, uint64_t length) override;
 

@@ -311,6 +311,23 @@ sim::Task<bool> NameNode::remove(net::NodeId client, const std::string& path) {
   co_return ok;
 }
 
+sim::Task<bool> NameNode::rename(net::NodeId client, const std::string& from,
+                                 const std::string& to) {
+  co_await net_.control(client, cfg_.node);
+  co_await queue_.process();
+  bool ok = false;
+  auto it = entries_.find(from);
+  if (it != entries_.end() && !it->second.is_dir &&
+      !it->second.under_construction && entries_.count(to) == 0) {
+    mkdirs_locked(fs::parent_path(to));
+    entries_[to] = std::move(it->second);
+    entries_.erase(from);
+    ok = true;
+  }
+  co_await net_.control(cfg_.node, client);
+  co_return ok;
+}
+
 sim::Task<bool> NameNode::mkdir(net::NodeId client, const std::string& path) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();

@@ -88,6 +88,11 @@ class NameNode {
   sim::Task<std::vector<std::string>> list(net::NodeId client,
                                            const std::string& dir);
   sim::Task<bool> remove(net::NodeId client, const std::string& path);
+  // Moves a closed file (metadata only; block replicas stay where they
+  // are). Fails if `from` is missing, a directory, or under construction,
+  // or `to` already exists.
+  sim::Task<bool> rename(net::NodeId client, const std::string& from,
+                         const std::string& to);
   sim::Task<bool> mkdir(net::NodeId client, const std::string& path);
 
   // --- fault tolerance (the NameNode is the re-replication brain) ---

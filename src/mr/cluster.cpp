@@ -1,6 +1,8 @@
 #include "mr/cluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "common/assert.h"
@@ -56,6 +58,19 @@ class VectorEmitter final : public Emitter {
   std::vector<std::pair<std::string, std::string>>* out_;
 };
 
+void append_num(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%a\n", key, v);
+  *out += buf;
+}
+
+void append_num(std::string* out, const char* key, uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
 }  // namespace
 
 void for_each_line(const std::string& text, uint64_t base_offset,
@@ -72,85 +87,100 @@ void for_each_line(const std::string& text, uint64_t base_offset,
   }
 }
 
-MapReduceCluster::MapReduceCluster(sim::Simulator& sim, net::Network& net,
-                                   fs::FileSystem& filesystem, MrConfig cfg)
-    : sim_(sim), net_(net), fs_(filesystem), cfg_(std::move(cfg)),
-      rng_(cfg_.failure_seed) {
-  if (cfg_.tasktracker_nodes.empty()) {
-    cfg_.tasktracker_nodes.resize(net.config().num_nodes);
-    std::iota(cfg_.tasktracker_nodes.begin(), cfg_.tasktracker_nodes.end(), 0);
+std::string debug_string(const JobStats& s) {
+  std::string out;
+  out.reserve(256 + 64 * s.launches.size());
+  append_num(&out, "job_id", static_cast<uint64_t>(s.job_id));
+  out += "job_name=" + s.job_name + "\n";
+  out += "fs_name=" + s.fs_name + "\n";
+  append_num(&out, "submit_time", s.submit_time);
+  append_num(&out, "duration", s.duration);
+  append_num(&out, "map_phase_s", s.map_phase_s);
+  append_num(&out, "reduce_phase_s", s.reduce_phase_s);
+  append_num(&out, "first_reduce_start", s.first_reduce_start);
+  append_num(&out, "maps", s.maps);
+  append_num(&out, "reduces", s.reduces);
+  append_num(&out, "input_bytes", s.input_bytes);
+  append_num(&out, "shuffle_bytes", s.shuffle_bytes);
+  append_num(&out, "output_bytes", s.output_bytes);
+  append_num(&out, "data_local_maps", s.data_local_maps);
+  append_num(&out, "rack_local_maps", s.rack_local_maps);
+  append_num(&out, "remote_maps", s.remote_maps);
+  append_num(&out, "map_failures", s.map_failures);
+  append_num(&out, "reduce_failures", s.reduce_failures);
+  append_num(&out, "speculative_maps", s.speculative_maps);
+  append_num(&out, "speculative_reduces", s.speculative_reduces);
+  append_num(&out, "speculative_wins", s.speculative_wins);
+  append_num(&out, "killed_attempts", s.killed_attempts);
+  for (const TaskLaunch& l : s.launches) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "launch %c%u a%u node=%u t=%a spec=%d\n",
+                  l.kind, l.task, l.attempt, l.node, l.time,
+                  l.speculative ? 1 : 0);
+    out += buf;
   }
-}
-
-MapReduceCluster::Assignment MapReduceCluster::schedule(JobState& job,
-                                                        net::NodeId node,
-                                                        bool map_slot_free,
-                                                        bool reduce_slot_free) {
-  Assignment out;
-  if (map_slot_free && !job.pending_maps.empty()) {
-    const auto& ncfg = net_.config();
-    // Node-local split?
-    for (auto it = job.pending_maps.begin(); it != job.pending_maps.end(); ++it) {
-      if (std::find(it->hosts.begin(), it->hosts.end(), node) !=
-          it->hosts.end()) {
-        out.kind = AssignKind::kMap;
-        out.split = *it;
-        job.pending_maps.erase(it);
-        ++job.stats.data_local_maps;
-        return out;
-      }
-    }
-    // Rack-local?
-    for (auto it = job.pending_maps.begin(); it != job.pending_maps.end(); ++it) {
-      const bool rack_local =
-          std::any_of(it->hosts.begin(), it->hosts.end(), [&](net::NodeId h) {
-            return ncfg.same_rack(h, node);
-          });
-      if (rack_local) {
-        out.kind = AssignKind::kMap;
-        out.split = *it;
-        job.pending_maps.erase(it);
-        ++job.stats.rack_local_maps;
-        return out;
-      }
-    }
-    // Anything.
-    out.kind = AssignKind::kMap;
-    out.split = job.pending_maps.front();
-    job.pending_maps.pop_front();
-    ++job.stats.remote_maps;
-    return out;
-  }
-  // Reduces start once the map phase completes (slowstart = 1.0).
-  if (reduce_slot_free && job.maps_done == job.maps_total &&
-      !job.pending_reduces.empty()) {
-    out.kind = AssignKind::kReduce;
-    out.reduce_index = job.pending_reduces.front();
-    job.pending_reduces.pop_front();
-    return out;
+  for (const auto& [k, v] : s.results) {
+    out += "result " + k + "\t" + v + "\n";
   }
   return out;
 }
 
-sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
-  BS_CHECK(config.app != nullptr);
-  MapReduceApp& app = *config.app;
+MapReduceCluster::MapReduceCluster(sim::Simulator& sim, net::Network& net,
+                                   fs::FileSystem& filesystem, MrConfig cfg)
+    : sim_(sim), net_(net), fs_(filesystem), cfg_(std::move(cfg)),
+      rng_(cfg_.failure_seed), scheduler_(make_scheduler(cfg_.scheduler)) {
+  if (cfg_.tasktracker_nodes.empty()) {
+    cfg_.tasktracker_nodes.resize(net.config().num_nodes);
+    std::iota(cfg_.tasktracker_nodes.begin(), cfg_.tasktracker_nodes.end(), 0);
+  }
+  slots_.resize(net.config().num_nodes);
+  node_slowness_.assign(net.config().num_nodes, 0);
+  tracker_running_.assign(net.config().num_nodes, 0);
+}
 
-  JobState job;
-  job.config = std::move(config);
-  job.progress = std::make_unique<sim::CondVar>(sim_);
-  job.stats.job_name = app.name();
-  job.stats.fs_name = fs_.name();
-  job.stats.submit_time = sim_.now();
+void MapReduceCluster::record_node_speed(const JobState& job, TaskKind kind,
+                                         net::NodeId node, double elapsed) {
+  const double baseline = kind == TaskKind::kMap ? job.map_lag_baseline
+                                                 : job.reduce_lag_baseline;
+  // Before a baseline exists the earliest committers are by definition the
+  // fast ones; mark them neutral-fast.
+  node_slowness_[node] = baseline > 0 ? elapsed / baseline : 1.0;
+}
 
-  // --- plan the map phase ---
+bool MapReduceCluster::backup_eligible(const JobState& job, TaskKind kind,
+                                       net::NodeId node) const {
+  const double baseline = kind == TaskKind::kMap ? job.map_lag_baseline
+                                                 : job.reduce_lag_baseline;
+  // No straggler baseline yet: nothing to compare against, allow anyone.
+  if (baseline <= 0) return true;
+  const double slowness = node_slowness_[node];
+  return slowness > 0 && slowness <= cfg_.speculative_lag;
+}
+
+std::string MapReduceCluster::temp_path(const JobState& job,
+                                        const Attempt& att) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "att-j%u-%c-%05u-%u", job.job_id,
+                att.kind == TaskKind::kMap ? 'm' : 'r', att.task->index,
+                att.ordinal);
+  return fs::join_path(fs::join_path(job.config.output_dir, "_attempts"), buf);
+}
+
+// --- planning -------------------------------------------------------------
+
+sim::Task<void> MapReduceCluster::plan_job(JobState& job) {
+  MapReduceApp& app = *job.config.app;
+  std::vector<MapSplit> splits;
   if (app.generated_bytes_per_map() > 0) {
     BS_CHECK_MSG(job.config.num_generator_maps > 0,
                  "generator app needs num_generator_maps");
+    // Generator maps write straight to their output files and never
+    // install shuffle partitions, so a reduce phase would wait forever.
+    BS_CHECK_MSG(app.map_only(), "generator apps must be map-only");
     for (uint32_t i = 0; i < job.config.num_generator_maps; ++i) {
       MapSplit split;
       split.index = i;
-      job.pending_maps.push_back(std::move(split));
+      splits.push_back(std::move(split));
     }
   } else {
     auto planner = fs_.make_client(cfg_.jobtracker_node);
@@ -167,137 +197,571 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
         split.length = b.length;
         split.hosts = b.hosts;
         job.stats.input_bytes += b.length;
-        job.pending_maps.push_back(std::move(split));
+        splits.push_back(std::move(split));
       }
     }
   }
-  job.maps_total = static_cast<uint32_t>(job.pending_maps.size());
+  job.maps_total = static_cast<uint32_t>(splits.size());
+  job.map_tasks.resize(job.maps_total);
+  for (uint32_t i = 0; i < job.maps_total; ++i) {
+    job.map_tasks[i].index = i;
+    job.map_tasks[i].split = std::move(splits[i]);
+    job.pending_maps.push_back(i);
+  }
   job.map_outputs.resize(job.maps_total);
+  job.map_committed.assign(job.maps_total, 0);
   job.reduces_total = app.map_only() ? 0 : job.config.num_reducers;
+  job.reduce_tasks.resize(job.reduces_total);
   for (uint32_t r = 0; r < job.reduces_total; ++r) {
+    job.reduce_tasks[r].index = r;
     job.pending_reduces.push_back(r);
   }
+  const double ss = std::clamp(cfg_.reduce_slowstart, 0.0, 1.0);
+  job.slowstart_maps = static_cast<uint32_t>(
+      std::ceil(ss * static_cast<double>(job.maps_total)));
   job.stats.maps = job.maps_total;
   job.stats.reduces = job.reduces_total;
+}
 
-  // --- run tasktrackers ---
-  sim::WaitGroup tts(sim_);
-  tts.add(cfg_.tasktracker_nodes.size());
-  for (net::NodeId node : cfg_.tasktracker_nodes) {
-    auto wrapper = [](MapReduceCluster* self, JobState* j, net::NodeId n,
-                      sim::WaitGroup* wg) -> sim::Task<void> {
-      co_await self->tasktracker_loop(j, n);
-      wg->done();
-    };
-    sim_.spawn(wrapper(this, &job, node, &tts));
+// --- scheduling -----------------------------------------------------------
+
+bool MapReduceCluster::pop_map(JobState& job, net::NodeId node,
+                               Assignment* out) {
+  const auto& ncfg = net_.config();
+  // Three locality passes: node-local, rack-local, anything. Entries for
+  // already-committed tasks are dropped lazily as we encounter them.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (auto it = job.pending_maps.begin(); it != job.pending_maps.end();) {
+      TaskState& task = job.map_tasks[*it];
+      if (task.done) {
+        it = job.pending_maps.erase(it);
+        continue;
+      }
+      const auto& hosts = task.split.hosts;
+      const bool node_local =
+          std::find(hosts.begin(), hosts.end(), node) != hosts.end();
+      if (pass == 0 && !node_local) {
+        ++it;
+        continue;
+      }
+      const bool rack_local =
+          node_local ||
+          std::any_of(hosts.begin(), hosts.end(), [&](net::NodeId h) {
+            return ncfg.same_rack(h, node);
+          });
+      if (pass == 1 && !rack_local) {
+        ++it;
+        continue;
+      }
+      out->job = &job;
+      out->task = &task;
+      out->kind = TaskKind::kMap;
+      out->speculative = false;
+      out->locality = node_local ? 0 : (rack_local ? 1 : 2);
+      job.pending_maps.erase(it);
+      // Keeps the job alive across the heartbeat-response latency between
+      // this decision and launch() (see tasktracker_loop).
+      job.attempts.add(1);
+      return true;
+    }
   }
 
-  // --- wait for completion ---
-  while (job.maps_done < job.maps_total ||
-         job.reduces_done < job.reduces_total) {
+  if (!backup_eligible(job, TaskKind::kMap, node)) return false;
+  // Speculative backups: locality is matched against replicas that are NOT
+  // hosting a live attempt of the task (reading through the straggler's
+  // node would re-import the slowness the backup must escape), and a
+  // delay-scheduling wait holds out for such a node before settling for an
+  // arbitrary one.
+  const double now = sim_.now();
+  const double local_wait = 4 * cfg_.heartbeat_s;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (auto it = job.spec_maps.begin(); it != job.spec_maps.end();) {
+      TaskState& task = job.map_tasks[it->first];
+      if (task.done) {
+        it = job.spec_maps.erase(it);
+        continue;
+      }
+      // A backup must land on a different node than its live siblings.
+      if (std::find(task.attempt_nodes.begin(), task.attempt_nodes.end(),
+                    node) != task.attempt_nodes.end()) {
+        ++it;
+        continue;
+      }
+      std::vector<net::NodeId> clean_hosts;
+      for (net::NodeId h : task.split.hosts) {
+        if (std::find(task.attempt_nodes.begin(), task.attempt_nodes.end(),
+                      h) == task.attempt_nodes.end()) {
+          clean_hosts.push_back(h);
+        }
+      }
+      const bool node_local = std::find(clean_hosts.begin(), clean_hosts.end(),
+                                        node) != clean_hosts.end();
+      const bool rack_local =
+          std::any_of(clean_hosts.begin(), clean_hosts.end(),
+                      [&](net::NodeId h) { return ncfg.same_rack(h, node); });
+      if ((pass == 0 && !node_local) || (pass == 1 && !rack_local)) {
+        ++it;
+        continue;
+      }
+      if (pass == 2 && !clean_hosts.empty() && now - it->second < local_wait) {
+        ++it;
+        continue;
+      }
+      out->job = &job;
+      out->task = &task;
+      out->kind = TaskKind::kMap;
+      out->speculative = true;
+      out->locality = node_local ? 0 : (rack_local ? 1 : 2);
+      job.spec_maps.erase(it);
+      job.attempts.add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MapReduceCluster::pop_reduce(JobState& job, net::NodeId node,
+                                  Assignment* out) {
+  if (job.maps_done < job.slowstart_maps) return false;  // slowstart gate
+  for (auto it = job.pending_reduces.begin();
+       it != job.pending_reduces.end();) {
+    TaskState& task = job.reduce_tasks[*it];
+    if (task.done) {
+      it = job.pending_reduces.erase(it);
+      continue;
+    }
+    out->job = &job;
+    out->task = &task;
+    out->kind = TaskKind::kReduce;
+    out->speculative = false;
+    out->locality = 2;
+    job.pending_reduces.erase(it);
+    job.attempts.add(1);
+    return true;
+  }
+  if (!backup_eligible(job, TaskKind::kReduce, node)) return false;
+  for (auto it = job.spec_reduces.begin(); it != job.spec_reduces.end();) {
+    TaskState& task = job.reduce_tasks[it->first];
+    if (task.done) {
+      it = job.spec_reduces.erase(it);
+      continue;
+    }
+    if (std::find(task.attempt_nodes.begin(), task.attempt_nodes.end(),
+                  node) != task.attempt_nodes.end()) {
+      ++it;
+      continue;
+    }
+    out->job = &job;
+    out->task = &task;
+    out->kind = TaskKind::kReduce;
+    out->speculative = true;
+    out->locality = 2;
+    job.spec_reduces.erase(it);
+    job.attempts.add(1);
+    return true;
+  }
+  return false;
+}
+
+MapReduceCluster::Assignment MapReduceCluster::schedule(net::NodeId node) {
+  Assignment out;
+  if (jobs_.empty()) return out;
+  // Dead nodes get nothing: neither actually-down nodes nor nodes the
+  // configured failure detector currently believes dead.
+  if (!net_.node_up(node)) return out;
+  if (cfg_.liveness != nullptr && !cfg_.liveness->is_up(node)) return out;
+
+  // Reused scratch (schedule() runs on every tasktracker heartbeat — the
+  // simulation's hottest loop; see Network::recompute_rates for the same
+  // pattern).
+  std::vector<JobState*>& active = scratch_active_;
+  std::vector<SchedulableJob>& view = scratch_view_;
+  active.clear();
+  view.clear();
+  for (JobState& job : jobs_) {
+    const bool reduces_open = job.maps_done >= job.slowstart_maps;
+    uint32_t runnable =
+        static_cast<uint32_t>(job.pending_maps.size() + job.spec_maps.size());
+    if (reduces_open) {
+      runnable += static_cast<uint32_t>(job.pending_reduces.size() +
+                                        job.spec_reduces.size());
+    }
+    active.push_back(&job);
+    view.push_back(
+        {job.job_id, job.running_maps + job.running_reduces, runnable});
+  }
+  const std::vector<size_t> order = scheduler_->order(view);
+
+  const NodeSlots& slots = slots_[node];
+  if (slots.maps < cfg_.map_slots) {
+    for (size_t i : order) {
+      if (pop_map(*active[i], node, &out)) return out;
+    }
+  }
+  if (slots.reduces < cfg_.reduce_slots) {
+    for (size_t i : order) {
+      if (pop_reduce(*active[i], node, &out)) return out;
+    }
+  }
+  return out;
+}
+
+void MapReduceCluster::launch(const Assignment& a, net::NodeId node) {
+  JobState* job = a.job;
+  TaskState& task = *a.task;
+  // The task may have been committed by a sibling attempt during the
+  // heartbeat-response latency since schedule() popped it.
+  if (task.done) {
+    job->attempts.done();  // release the pop-time registration
+    return;
+  }
+  Attempt att;
+  att.job = job;
+  att.task = &task;
+  att.kind = a.kind;
+  att.node = node;
+  att.ordinal = task.attempts_started++;
+  att.speculative = a.speculative;
+  att.locality = a.locality;
+  att.meter.start(sim_.now());
+  job->live.push_back(std::move(att));
+  auto it = std::prev(job->live.end());
+
+  ++task.running;
+  task.attempt_nodes.push_back(node);
+  if (a.kind == TaskKind::kMap) {
+    ++job->running_maps;
+    ++slots_[node].maps;
+    if (a.speculative) ++job->stats.speculative_maps;
+  } else {
+    ++job->running_reduces;
+    ++slots_[node].reduces;
+    if (a.speculative) ++job->stats.speculative_reduces;
+    if (job->stats.first_reduce_start == 0) {
+      job->stats.first_reduce_start = sim_.now();
+    }
+  }
+  job->stats.launches.push_back({a.kind == TaskKind::kMap ? 'm' : 'r',
+                                 task.index, it->ordinal, node, sim_.now(),
+                                 a.speculative});
+
+  // The attempt group registration happened at pop time in schedule().
+  auto wrapper = [](MapReduceCluster* self, JobState* j,
+                    std::list<Attempt>::iterator at) -> sim::Task<void> {
+    const bool failed = co_await self->maybe_fail(&*at);
+    if (!failed) co_await self->attempt_body(&*at);
+    self->finish_attempt(&*at, at);
+    j->attempts.done();
+  };
+  sim_.spawn(wrapper(this, job, it));
+}
+
+void MapReduceCluster::finish_attempt(Attempt* att,
+                                      std::list<Attempt>::iterator it) {
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  BS_CHECK(task.running > 0);
+  --task.running;
+  auto node_it = std::find(task.attempt_nodes.begin(),
+                           task.attempt_nodes.end(), att->node);
+  BS_CHECK(node_it != task.attempt_nodes.end());
+  task.attempt_nodes.erase(node_it);
+  if (att->kind == TaskKind::kMap) {
+    --job->running_maps;
+    --slots_[att->node].maps;
+  } else {
+    --job->running_reduces;
+    --slots_[att->node].reduces;
+  }
+  // A loser: ran, didn't fail, didn't commit — another attempt won
+  // (task.done), or its own commit rename lost the race (lost).
+  if (!att->committed && !att->failed && (task.done || att->lost)) {
+    ++job->stats.killed_attempts;
+  }
+  job->live.erase(it);
+}
+
+// --- job lifecycle --------------------------------------------------------
+
+sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
+  BS_CHECK(config.app != nullptr);
+  MapReduceApp& app = *config.app;
+
+  jobs_.emplace_back(sim_);
+  auto job_it = std::prev(jobs_.end());
+  JobState& job = *job_it;
+  job.job_id = next_job_id_++;
+  job.config = std::move(config);
+  job.progress = std::make_unique<sim::CondVar>(sim_);
+  job.stats.job_id = job.job_id;
+  job.stats.job_name = app.name();
+  job.stats.fs_name = fs_.name();
+  job.stats.submit_time = sim_.now();
+
+  co_await plan_job(job);
+
+  // TaskTracker loops are engine-wide: they serve every active job and
+  // exit when the job list drains. Each submission respawns exactly the
+  // trackers that are not currently running (some may have exited in a
+  // gap between jobs while others kept going).
+  for (net::NodeId node : cfg_.tasktracker_nodes) {
+    if (!tracker_running_[node]) {
+      tracker_running_[node] = 1;
+      sim_.spawn(tasktracker_loop(node));
+    }
+  }
+  if (cfg_.speculative_execution) {
+    job.attempts.add(1);
+    sim_.spawn(speculation_loop(&job));
+  }
+
+  while (!job_complete(job)) {
     co_await job.progress->wait();
   }
   const double finished_at = sim_.now();
-  co_await tts.wait();  // let trackers observe completion and exit
-
   job.stats.duration = finished_at - job.stats.submit_time;
-  co_return job.stats;
+  if (job.maps_total > 0) {
+    job.stats.map_phase_s = job.last_map_commit - job.stats.submit_time;
+  }
+  if (job.reduces_total > 0) {
+    job.stats.reduce_phase_s =
+        job.last_reduce_commit - job.stats.first_reduce_start;
+  }
+  // Let losing attempts reach their next cancellation checkpoint and the
+  // speculation loop observe completion before the state is torn down.
+  co_await job.attempts.wait();
+
+  JobStats out = std::move(job.stats);
+  jobs_.erase(job_it);
+  co_return out;
 }
 
-sim::Task<bool> MapReduceCluster::maybe_fail(JobState* job, AssignKind kind,
-                                             MapSplit* split,
-                                             uint32_t reduce_index) {
-  if (cfg_.task_failure_prob <= 0 || !rng_.chance(cfg_.task_failure_prob)) {
-    co_return false;
-  }
-  // The attempt dies partway through: burn startup plus a random slice of
-  // the heartbeat-scale runtime, then hand the task back to the scheduler.
-  co_await sim_.delay(cfg_.task_startup_s +
-                      rng_.uniform() * 4 * cfg_.heartbeat_s);
-  if (kind == AssignKind::kMap) {
-    ++job->stats.map_failures;
-    job->pending_maps.push_back(*split);
-  } else {
-    ++job->stats.reduce_failures;
-    job->pending_reduces.push_back(reduce_index);
-  }
-  co_return true;
-}
-
-sim::Task<void> MapReduceCluster::tasktracker_loop(JobState* job,
-                                                   net::NodeId node) {
+sim::Task<void> MapReduceCluster::tasktracker_loop(net::NodeId node) {
   // Stagger heartbeats so 270 trackers don't poll in lockstep.
   const double phase =
       cfg_.heartbeat_s * static_cast<double>(node % 37) / 37.0;
   co_await sim_.delay(phase);
 
-  uint32_t maps_running = 0;
-  uint32_t reduces_running = 0;
-  sim::WaitGroup running(sim_);
-
-  auto job_complete = [job] {
-    return job->maps_done >= job->maps_total &&
-           job->reduces_done >= job->reduces_total;
-  };
-
-  while (!job_complete()) {
+  while (true) {
+    if (jobs_.empty()) break;
     // Heartbeat round trip to the JobTracker.
     co_await net_.control(node, cfg_.jobtracker_node);
-    Assignment a = schedule(*job, node, maps_running < cfg_.map_slots,
-                            reduces_running < cfg_.reduce_slots);
+    Assignment a = schedule(node);
     co_await net_.control(cfg_.jobtracker_node, node);
-
-    if (a.kind == AssignKind::kMap) {
-      ++maps_running;
-      running.add(1);
-      auto wrapper = [](MapReduceCluster* self, JobState* j, net::NodeId n,
-                        MapSplit split, uint32_t* counter,
-                        sim::WaitGroup* wg) -> sim::Task<void> {
-        const bool failed =
-            co_await self->maybe_fail(j, AssignKind::kMap, &split, 0);
-        if (!failed) {
-          if (j->config.app->generated_bytes_per_map() > 0) {
-            co_await self->run_generator_map(j, n, split.index);
-          } else {
-            co_await self->run_map_task(j, n, std::move(split));
-          }
-        }
-        --*counter;
-        wg->done();
-      };
-      sim_.spawn(wrapper(this, job, node, std::move(a.split), &maps_running,
-                         &running));
-    } else if (a.kind == AssignKind::kReduce) {
-      ++reduces_running;
-      running.add(1);
-      auto wrapper = [](MapReduceCluster* self, JobState* j, net::NodeId n,
-                        uint32_t r, uint32_t* counter,
-                        sim::WaitGroup* wg) -> sim::Task<void> {
-        const bool failed =
-            co_await self->maybe_fail(j, AssignKind::kReduce, nullptr, r);
-        if (!failed) co_await self->run_reduce_task(j, n, r);
-        --*counter;
-        wg->done();
-      };
-      sim_.spawn(wrapper(this, job, node, a.reduce_index, &reduces_running,
-                         &running));
-    }
+    if (a.valid()) launch(a, node);
     co_await sim_.delay(cfg_.heartbeat_s);
   }
-  co_await running.wait();
+  BS_CHECK(tracker_running_[node]);
+  tracker_running_[node] = 0;
 }
 
-sim::Task<void> MapReduceCluster::run_map_task(JobState* job, net::NodeId node,
-                                               MapSplit split) {
-  co_await sim_.delay(cfg_.task_startup_s);
-  auto client = fs_.make_client(node);
+// --- speculation ----------------------------------------------------------
+
+sim::Task<void> MapReduceCluster::speculation_loop(JobState* job) {
+  co_await sim::repeat_every(sim_, cfg_.speculation_interval_s, [this, job] {
+    if (job_complete(*job)) return false;
+    speculation_sweep(*job);
+    return true;
+  });
+  job->attempts.done();
+}
+
+namespace {
+
+// Median of a sample set (copy-and-sort; sweep-time sample counts are
+// bounded by the running/committed task counts).
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+// Upper quartile: the lag baseline. Committed durations are bimodal
+// (cache-served attempts finish several times faster than disk/remote
+// streams), so the straggler threshold must sit above the *slow-but-
+// healthy* mode, not above the overall median.
+double p75_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[(v.size() - 1) * 3 / 4];
+}
+
+}  // namespace
+
+void MapReduceCluster::speculation_sweep(JobState& job) {
+  const double now = sim_.now();
+  auto sweep = [&](TaskKind kind, const std::deque<uint32_t>& pending,
+                   std::deque<std::pair<uint32_t, double>>& spec_queue,
+                   const std::vector<double>& commit_durations,
+                   double* baseline_out) {
+    // Hadoop precondition: only speculate once every task of the category
+    // has been handed out — backups must not displace first attempts.
+    if (!pending.empty()) return;
+    std::vector<Attempt*> running;
+    std::vector<double> rates;
+    for (Attempt& att : job.live) {
+      if (att.kind != kind || att.task->done) continue;
+      if (att.meter.elapsed(now) < cfg_.speculative_min_runtime_s) continue;
+      running.push_back(&att);
+      rates.push_back(att.meter.rate(now));
+    }
+    if (running.empty()) return;
+    const double median_rate = median_of(rates);
+    // The lag baseline mixes committed durations with the elapsed times of
+    // still-running attempts: early in a wave only the fastest attempts
+    // have committed (censoring), and a baseline built from them alone
+    // would flag every healthy attempt that is merely slower than the
+    // cache-served ones.
+    double lag_baseline = 0;
+    if (commit_durations.size() >= 3) {
+      std::vector<double> lifetimes = commit_durations;
+      for (Attempt* att : running) {
+        lifetimes.push_back(att->meter.elapsed(now));
+      }
+      lag_baseline = p75_of(std::move(lifetimes));
+    }
+    *baseline_out = lag_baseline;
+    for (Attempt* att : running) {
+      TaskState& task = *att->task;
+      if (task.speculated || task.done) continue;
+      const double progress = att->meter.progress();
+      const double elapsed = att->meter.elapsed(now);
+      bool straggler = false;
+      // Rate test: visibly slower than the median of its running peers.
+      // Zero progress carries no rate information — a remote block stream
+      // delivers its first byte late without being a straggler — so only
+      // attempts with measured progress are compared.
+      if (progress > 0 && running.size() >= 2 && median_rate > 0 &&
+          att->meter.rate(now) < cfg_.speculative_slowness * median_rate) {
+        straggler = true;
+      }
+      // Lag test: running far beyond the upper quartile of committed
+      // attempt durations. Applies at any progress — a stuck attempt may
+      // not even have its first byte yet.
+      if (lag_baseline > 0 && elapsed > cfg_.speculative_lag * lag_baseline) {
+        straggler = true;
+      }
+      if (straggler) {
+        task.speculated = true;
+        spec_queue.emplace_back(task.index, now);
+      }
+    }
+  };
+  sweep(TaskKind::kMap, job.pending_maps, job.spec_maps,
+        job.map_commit_durations, &job.map_lag_baseline);
+  sweep(TaskKind::kReduce, job.pending_reduces, job.spec_reduces,
+        job.reduce_commit_durations, &job.reduce_lag_baseline);
+}
+
+// --- attempts -------------------------------------------------------------
+
+sim::Task<bool> MapReduceCluster::maybe_fail(Attempt* att) {
+  if (cfg_.task_failure_prob <= 0 || !rng_.chance(cfg_.task_failure_prob)) {
+    co_return false;
+  }
+  // The attempt dies partway through: burn startup plus a random slice of
+  // the heartbeat-scale runtime, then hand the task back to the scheduler.
+  co_await sim_.delay((cfg_.task_startup_s +
+                       rng_.uniform() * 4 * cfg_.heartbeat_s) /
+                      cpu_scale(att->node));
+  att->failed = true;
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  if (att->kind == TaskKind::kMap) {
+    ++job->stats.map_failures;
+  } else {
+    ++job->stats.reduce_failures;
+  }
+  // A dead backup must not permanently disable rescue: clear the flag so
+  // a later sweep may queue a fresh backup for the still-straggling task.
+  if (att->speculative) task.speculated = false;
+  // Re-execute only when this was the task's last live attempt and nothing
+  // committed — if a sibling (original or backup) is still running, it
+  // carries the task.
+  if (!task.done && task.running == 1) {
+    if (att->kind == TaskKind::kMap) {
+      job->pending_maps.push_back(task.index);
+    } else {
+      job->pending_reduces.push_back(task.index);
+    }
+  }
+  co_return true;
+}
+
+sim::Task<void> MapReduceCluster::attempt_body(Attempt* att) {
+  if (att->kind == TaskKind::kReduce) {
+    co_await run_reduce_attempt(att);
+  } else if (att->job->config.app->generated_bytes_per_map() > 0) {
+    co_await run_generator_attempt(att);
+  } else {
+    co_await run_map_attempt(att);
+  }
+}
+
+// Shared map-commit bookkeeping: flags, counters, straggler baselines,
+// locality attribution. Called with the winner decided (registry install
+// for regular maps, successful rename for generator maps).
+void MapReduceCluster::finish_map_commit(Attempt* att) {
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  task.done = true;
+  att->committed = true;
+  ++job->maps_done;
+  job->last_map_commit = sim_.now();
+  const double elapsed = att->meter.elapsed(sim_.now());
+  job->map_commit_durations.push_back(elapsed);
+  record_node_speed(*job, TaskKind::kMap, att->node, elapsed);
+  switch (att->locality) {
+    case 0: ++job->stats.data_local_maps; break;
+    case 1: ++job->stats.rack_local_maps; break;
+    default: ++job->stats.remote_maps; break;
+  }
+  if (att->speculative) ++job->stats.speculative_wins;
+  job->progress->notify_all();
+}
+
+// Reduce-side counterpart (the caller appends its stats bytes/results
+// first; the winner is already decided by the successful rename).
+void MapReduceCluster::finish_reduce_commit(Attempt* att) {
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  task.done = true;
+  att->committed = true;
+  ++job->reduces_done;
+  job->last_reduce_commit = sim_.now();
+  const double elapsed = att->meter.elapsed(sim_.now());
+  job->reduce_commit_durations.push_back(elapsed);
+  record_node_speed(*job, TaskKind::kReduce, att->node, elapsed);
+  if (att->speculative) ++job->stats.speculative_wins;
+  job->progress->notify_all();
+}
+
+bool MapReduceCluster::commit_map(Attempt* att, MapOutput&& out) {
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  if (task.done) return false;  // lost the race at the last instant
+  job->map_outputs[task.index] = std::move(out);
+  job->map_committed[task.index] = 1;
+  finish_map_commit(att);
+  return true;
+}
+
+sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  const MapSplit& split = task.split;
+  co_await sim_.delay(cfg_.task_startup_s / cpu_scale(att->node));
+  if (task.done) co_return;
+
+  auto client = fs_.make_client(att->node);
   auto reader = co_await client->open(split.file);
   BS_CHECK_MSG(reader != nullptr, "map input disappeared");
 
   MapReduceApp& app = *job->config.app;
   const uint32_t reducers = std::max<uint32_t>(1, job->reduces_total);
   MapOutput out;
-  out.node = node;
+  out.node = att->node;
   out.partition_bytes.assign(reducers, 0);
 
   const uint64_t end = split.offset + split.length;
@@ -316,13 +780,20 @@ sim::Task<void> MapReduceCluster::run_map_task(JobState* job, net::NodeId node,
     bool skip_first = split.offset > 0;
     bool done = false;
     while (!done && pos < file_size) {
+      if (task.done) co_return;  // a backup committed: stop, discard
       const uint64_t n =
           std::min<uint64_t>(job->config.record_read_size, file_size - pos);
       DataSpec chunk = co_await reader->read(pos, n);
       BS_CHECK(chunk.size() == n);
+      pos += n;
+      // The CPU factor is re-sampled per chunk: a slow-node injection that
+      // fires mid-attempt must throttle the remaining compute.
+      co_await sim_.delay(static_cast<double>(n) / app.map_rate_bps() /
+                          cpu_scale(att->node));
+      att->meter.update(static_cast<double>(pos - split.offset) /
+                        static_cast<double>(std::max<uint64_t>(1, split.length)));
       Bytes bytes = chunk.materialize();
       buf.append(bytes.begin(), bytes.end());
-      pos += n;
       // Emit complete lines from the buffer.
       size_t line_start = 0;
       for (size_t i = 0; i < buf.size(); ++i) {
@@ -350,17 +821,21 @@ sim::Task<void> MapReduceCluster::run_map_task(JobState* job, net::NodeId node,
       app.map(buf_base, buf, emitter);  // final unterminated line
     }
   } else {
-    // Cost mode: same I/O pattern, modeled compute.
+    // Cost mode: same I/O pattern, compute charged per chunk so progress
+    // is observable and a backup's commit cancels promptly.
     uint64_t pos = split.offset;
     while (pos < end) {
+      if (task.done) co_return;
       const uint64_t n =
           std::min<uint64_t>(job->config.record_read_size, end - pos);
       DataSpec chunk = co_await reader->read(pos, n);
       BS_CHECK(chunk.size() > 0);
       pos += chunk.size();
+      co_await sim_.delay(static_cast<double>(chunk.size()) /
+                          app.map_rate_bps() / cpu_scale(att->node));
+      att->meter.update(static_cast<double>(pos - split.offset) /
+                        static_cast<double>(std::max<uint64_t>(1, split.length)));
     }
-    co_await sim_.delay(static_cast<double>(split.length) /
-                        app.map_rate_bps());
     const double intermediate =
         static_cast<double>(split.length) * app.map_selectivity();
     for (uint32_t r = 0; r < reducers; ++r) {
@@ -372,66 +847,114 @@ sim::Task<void> MapReduceCluster::run_map_task(JobState* job, net::NodeId node,
   const uint64_t spill = std::accumulate(out.partition_bytes.begin(),
                                          out.partition_bytes.end(), 0ULL);
   if (spill > 0 && job->reduces_total > 0) {
-    co_await net_.disk(node).write(static_cast<double>(spill));
+    co_await net_.disk(att->node).write(static_cast<double>(spill));
   }
-  job->map_outputs[split.index] = std::move(out);
+  if (task.done) co_return;
 
-  // Report completion.
-  co_await net_.control(node, cfg_.jobtracker_node);
-  ++job->maps_done;
-  job->progress->notify_all();
+  // Report completion, then commit (exactly one attempt installs output).
+  co_await net_.control(att->node, cfg_.jobtracker_node);
+  commit_map(att, std::move(out));
 }
 
-sim::Task<void> MapReduceCluster::run_generator_map(JobState* job,
-                                                    net::NodeId node,
-                                                    uint32_t index) {
-  co_await sim_.delay(cfg_.task_startup_s);
-  auto client = fs_.make_client(node);
+sim::Task<void> MapReduceCluster::run_generator_attempt(Attempt* att) {
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  co_await sim_.delay(cfg_.task_startup_s / cpu_scale(att->node));
+  if (task.done) co_return;
+
+  auto client = fs_.make_client(att->node);
   auto& app = *job->config.app;
   const uint64_t bytes = app.generated_bytes_per_map();
-  const std::string path =
-      fs::join_path(job->config.output_dir, task_file_name("m", index));
-  auto writer = co_await client->create(path);
+  // Attempt-private temp output; the winner renames it into place.
+  const std::string tmp = temp_path(*job, *att);
+  const std::string final_path = fs::join_path(
+      job->config.output_dir, task_file_name("m", task.index));
+  auto writer = co_await client->create(tmp);
   BS_CHECK_MSG(writer != nullptr, "cannot create generator output");
 
+  bool cancelled = false;
   if (job->config.cost_model) {
     // Generate and write chunk by chunk; generation compute and FS writes
     // alternate as in the real RandomTextWriter loop.
     const uint64_t chunk = std::min<uint64_t>(bytes, fs_.block_size());
     uint64_t done = 0;
-    const uint64_t seed = fnv1a64_u64(index, 0xb10b);
+    const uint64_t seed = fnv1a64_u64(task.index, 0xb10b);
     while (done < bytes) {
+      if (task.done) {
+        cancelled = true;
+        break;
+      }
       const uint64_t n = std::min(chunk, bytes - done);
-      co_await sim_.delay(static_cast<double>(n) / app.map_rate_bps());
+      // Re-sampled per chunk so a mid-attempt slow-node injection bites.
+      co_await sim_.delay(static_cast<double>(n) / app.map_rate_bps() /
+                          cpu_scale(att->node));
       co_await writer->write(DataSpec::pattern(seed, done, n));
       done += n;
+      att->meter.update(static_cast<double>(done) /
+                        static_cast<double>(bytes));
     }
   } else {
-    Rng rng(fnv1a64_u64(index, 0xb10b));
+    Rng rng(fnv1a64_u64(task.index, 0xb10b));
     const std::string text = random_text(rng, bytes);
-    co_await sim_.delay(static_cast<double>(text.size()) / app.map_rate_bps());
-    co_await writer->write(DataSpec::from_string(text));
+    co_await sim_.delay(static_cast<double>(text.size()) / app.map_rate_bps() /
+                        cpu_scale(att->node));
+    if (task.done) {
+      cancelled = true;
+    } else {
+      co_await writer->write(DataSpec::from_string(text));
+      att->meter.update(1.0);
+    }
   }
   const uint64_t written = writer->bytes_written();
   co_await writer->close();
-  job->stats.output_bytes += written;
+  if (cancelled || task.done) {
+    co_await client->remove(tmp);
+    co_return;
+  }
 
-  co_await net_.control(node, cfg_.jobtracker_node);
-  ++job->maps_done;
-  job->progress->notify_all();
+  co_await net_.control(att->node, cfg_.jobtracker_node);
+  // The rename is the atomic commit: exactly one attempt's temp file can
+  // move to the final name.
+  const bool renamed = co_await client->rename(tmp, final_path);
+  if (!renamed || task.done) {
+    // A failed rename IS losing the race, even if the winner has not
+    // resumed to set task.done yet.
+    att->lost = true;
+    co_await client->remove(tmp);
+    co_return;
+  }
+  job->stats.output_bytes += written;
+  finish_map_commit(att);
 }
 
-sim::Task<void> MapReduceCluster::run_reduce_task(JobState* job,
-                                                  net::NodeId node,
-                                                  uint32_t reduce_index) {
-  co_await sim_.delay(cfg_.task_startup_s);
+sim::Task<void> MapReduceCluster::run_reduce_attempt(Attempt* att) {
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  const uint32_t reduce_index = task.index;
+  co_await sim_.delay(cfg_.task_startup_s / cpu_scale(att->node));
   MapReduceApp& app = *job->config.app;
 
-  // --- shuffle: fetch this reducer's partition from every map's node ---
+  // --- shuffle: fetch this reducer's partition from every map's node as
+  // map outputs commit (slowstart overlap: the copy phase runs while the
+  // map phase is still producing) ---
+  std::vector<char> fetched(job->maps_total, 0);
+  uint32_t fetched_count = 0;
   uint64_t total = 0;
-  {
+  while (fetched_count < job->maps_total) {
+    if (task.done) co_return;
+    std::vector<uint32_t> batch;
+    for (uint32_t i = 0; i < job->maps_total; ++i) {
+      if (job->map_committed[i] && !fetched[i]) batch.push_back(i);
+    }
+    if (batch.empty()) {
+      co_await job->progress->wait();
+      continue;
+    }
     std::vector<sim::Task<void>> fetches;
-    for (const MapOutput& m : job->map_outputs) {
+    for (uint32_t i : batch) {
+      fetched[i] = 1;
+      ++fetched_count;
+      const MapOutput& m = job->map_outputs[i];
       const uint64_t size = m.partition_bytes[reduce_index];
       if (size == 0) continue;
       total += size;
@@ -444,16 +967,28 @@ sim::Task<void> MapReduceCluster::run_reduce_task(JobState* job,
             self->net_.transfer(src, dst, static_cast<double>(bytes)));
         co_await sim::when_all(self->sim_, std::move(legs));
       };
-      fetches.push_back(fetch(this, m.node, node, size));
+      fetches.push_back(fetch(this, m.node, att->node, size));
     }
-    co_await sim::when_all_limited(sim_, std::move(fetches),
-                                   cfg_.shuffle_parallel_copies);
+    if (!fetches.empty()) {
+      co_await sim::when_all_limited(sim_, std::move(fetches),
+                                     cfg_.shuffle_parallel_copies);
+    }
+    att->meter.update(0.75 * static_cast<double>(fetched_count) /
+                      static_cast<double>(std::max<uint32_t>(1, job->maps_total)));
   }
-  job->stats.shuffle_bytes += total;
+  if (task.done) co_return;
 
-  // --- merge + reduce compute ---
+  // --- merge + reduce compute (sliced so progress is observable and a
+  // backup's commit cancels promptly) ---
   if (total > 0) {
-    co_await sim_.delay(static_cast<double>(total) / app.reduce_rate_bps());
+    const double compute_s = static_cast<double>(total) / app.reduce_rate_bps();
+    constexpr int kSlices = 8;
+    for (int s = 0; s < kSlices; ++s) {
+      if (task.done) co_return;
+      // CPU factor re-sampled per slice (mid-attempt slow-node injection).
+      co_await sim_.delay(compute_s / kSlices / cpu_scale(att->node));
+      att->meter.update(0.75 + 0.2 * static_cast<double>(s + 1) / kSlices);
+    }
   }
 
   std::string output_text;
@@ -483,12 +1018,15 @@ sim::Task<void> MapReduceCluster::run_reduce_task(JobState* job,
     output_bytes =
         static_cast<uint64_t>(static_cast<double>(total) * app.output_ratio());
   }
+  if (task.done) co_return;
 
-  // --- write the output file ---
-  auto client = fs_.make_client(node);
-  const std::string path =
-      fs::join_path(job->config.output_dir, task_file_name("r", reduce_index));
-  auto writer = co_await client->create(path);
+  // --- write the output to an attempt-private temp file, then commit by
+  // atomic rename (first finisher wins; losers clean up) ---
+  auto client = fs_.make_client(att->node);
+  const std::string tmp = temp_path(*job, *att);
+  const std::string final_path = fs::join_path(
+      job->config.output_dir, task_file_name("r", reduce_index));
+  auto writer = co_await client->create(tmp);
   BS_CHECK_MSG(writer != nullptr, "cannot create reduce output");
   if (output_bytes > 0) {
     if (!job->config.cost_model) {
@@ -500,16 +1038,26 @@ sim::Task<void> MapReduceCluster::run_reduce_task(JobState* job,
     }
   }
   co_await writer->close();
+  if (task.done) {
+    co_await client->remove(tmp);
+    co_return;
+  }
+
+  co_await net_.control(att->node, cfg_.jobtracker_node);
+  const bool renamed = co_await client->rename(tmp, final_path);
+  if (!renamed || task.done) {
+    att->lost = true;
+    co_await client->remove(tmp);
+    co_return;
+  }
+  job->stats.shuffle_bytes += total;
   job->stats.output_bytes += output_bytes;
   for (auto& kv : reduced) {
     if (job->stats.results.size() < 10000) {
       job->stats.results.push_back(std::move(kv));
     }
   }
-
-  co_await net_.control(node, cfg_.jobtracker_node);
-  ++job->reduces_done;
-  job->progress->notify_all();
+  finish_reduce_commit(att);
 }
 
 }  // namespace bs::mr

@@ -1,30 +1,48 @@
-// The MapReduce framework: JobTracker + TaskTrackers over an abstract
+// The MapReduce engine: one JobTracker + TaskTrackers over an abstract
 // FileSystem (paper §II.A: "a single master jobtracker and multiple slave
 // tasktrackers, one per node").
 //
-// Execution model per job:
-//   1. The JobTracker splits the input at block granularity and records
-//      each split's preferred hosts (layout exposure from the FS).
-//   2. Every TaskTracker polls on its heartbeat; the JobTracker hands out
-//      at most one task per poll, preferring node-local, then rack-local,
-//      then arbitrary splits (Hadoop's locality-aware scheduling).
-//   3. Map tasks read their split through the FS client (record-sized
+// v2 is a multi-job engine. Jobs are submitted concurrently (run_job is a
+// coroutine; spawn several); every TaskTracker polls on its heartbeat and
+// a pluggable scheduler (FIFO or Hadoop-style fair sharing, see
+// mr/scheduler.h) decides which job's task takes the offered slot —
+// locality-aware selection (node-local, then rack-local, then remote)
+// stays per-job.
+//
+// Task lifecycle per attempt:
+//   1. Map attempts read their split through the FS client (record-sized
 //      reads; the FS's caching/prefetch behavior is what the paper's §IV.C
-//      comparison exercises), run map() or charge the cost model, and
-//      spill their partitioned intermediate output to the local disk.
-//   4. When all maps finish, reduce tasks shuffle their partition from
-//      every map's node (bounded-parallel fetches), merge (cost model),
-//      run reduce(), and write part-r files back through the FS.
+//      comparison exercises), run map() or charge the cost model per
+//      chunk, and spill partitioned intermediate output to local disk.
+//   2. Reduce tasks may start once `reduce_slowstart` of the job's maps
+//      have committed (Hadoop's mapred.reduce.slowstart analog); their
+//      shuffle fetches each map's partition as it becomes available, so
+//      the copy phase overlaps the map phase.
+//   3. Speculative execution: every attempt samples a ProgressMeter at
+//      chunk boundaries; a periodic JobTracker sweep compares progress
+//      rates (and elapsed time against committed-attempt baselines) and
+//      launches one backup attempt per straggling task on a different
+//      node. First finisher wins: map commits install the output registry
+//      entry exactly once, and file-producing attempts (reduces,
+//      generator maps) write to attempt-private temp paths and commit by
+//      an atomic FS rename — losers observe the commit at their next
+//      checkpoint, abort, and clean up, so no byte is double-counted in
+//      JobStats.
 //
 // Failed task attempts (failure injection, MrConfig::task_failure_prob)
-// are re-executed by the JobTracker, as §II.A describes. Simplifications
-// vs. Hadoop, documented in DESIGN.md: no speculative execution, attempts
-// fail before producing partial output, reduces start after the map phase
-// (slowstart = 1.0), one combined merge pass.
+// are re-executed by the JobTracker, as §II.A describes. Tasks are never
+// scheduled on nodes the configured liveness view believes dead. All
+// decisions — scheduling, speculation, failure dice — are driven by the
+// deterministic event loop and seeded Rng, so identical seeds reproduce
+// identical JobStats byte-for-byte (see debug_string).
+//
+// Remaining simplifications vs. Hadoop: attempts fail before producing
+// partial output, one combined merge pass, no JVM/slot reuse modeling.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -34,7 +52,10 @@
 #include "common/stats.h"
 #include "fs/filesystem.h"
 #include "mr/app.h"
+#include "mr/scheduler.h"
+#include "net/liveness.h"
 #include "net/network.h"
+#include "sim/progress.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -55,6 +76,33 @@ struct MrConfig {
   // ones"). Deterministic given the cluster seed.
   double task_failure_prob = 0;
   uint64_t failure_seed = 0xfa11;
+
+  // --- v2 knobs ---
+  // Which job gets the next free slot when several run concurrently.
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  // Fraction of a job's maps that must commit before its reduces may be
+  // scheduled (mapred.reduce.slowstart.completed.maps). 1.0 = the classic
+  // serial phases; lower values overlap the shuffle with the map phase.
+  double reduce_slowstart = 1.0;
+  // Speculative execution: launch one backup attempt for straggling tasks.
+  bool speculative_execution = false;
+  // An attempt is a straggler when its progress rate falls below this
+  // fraction of the *median* rate of its running peers (needs >= 2 peers;
+  // the median is robust against a few cache-served outliers that would
+  // drag a mean and flag healthy disk-bound attempts)...
+  double speculative_slowness = 0.5;
+  // ...or when it has run longer than this multiple of the median
+  // committed attempt duration in its category (needs >= 3 commits). This
+  // catches the tail, where every remaining attempt sits on a slow node
+  // and rate comparison has no healthy peer left.
+  double speculative_lag = 1.5;
+  // Attempts younger than this are never speculated (startup noise).
+  double speculative_min_runtime_s = 0.5;
+  // Period of the JobTracker's straggler sweep.
+  double speculation_interval_s = 0.5;
+  // When set, tasks are never assigned to nodes this view believes dead
+  // (wire the fault::FailureDetector here).
+  const net::LivenessView* liveness = nullptr;
 };
 
 struct JobConfig {
@@ -71,37 +119,70 @@ struct JobConfig {
   uint32_t num_generator_maps = 0;
 };
 
+// One task-attempt launch decision (the scheduler's audit trail; tests
+// assert liveness and fairness invariants over it).
+struct TaskLaunch {
+  char kind = 'm';  // 'm' map, 'r' reduce
+  uint32_t task = 0;
+  uint32_t attempt = 0;
+  net::NodeId node = 0;
+  double time = 0;
+  bool speculative = false;
+  bool operator==(const TaskLaunch&) const = default;
+};
+
 struct JobStats {
+  uint32_t job_id = 0;
   std::string job_name;
   std::string fs_name;
   double submit_time = 0;
   double duration = 0;
-  double map_phase_s = 0;
-  double reduce_phase_s = 0;
+  double map_phase_s = 0;        // submit → last map commit
+  double reduce_phase_s = 0;     // first reduce launch → last reduce commit
+  double first_reduce_start = 0; // sim time of the first reduce attempt
   uint64_t maps = 0;
   uint64_t reduces = 0;
   uint64_t input_bytes = 0;
   uint64_t shuffle_bytes = 0;
   uint64_t output_bytes = 0;
-  uint64_t data_local_maps = 0;
+  uint64_t data_local_maps = 0;  // locality of the *committed* attempt
   uint64_t rack_local_maps = 0;
   uint64_t remote_maps = 0;
   uint64_t map_failures = 0;
   uint64_t reduce_failures = 0;
+  uint64_t speculative_maps = 0;     // backup map attempts launched
+  uint64_t speculative_reduces = 0;  // backup reduce attempts launched
+  uint64_t speculative_wins = 0;     // commits by a backup attempt
+  uint64_t killed_attempts = 0;      // losers cancelled/discarded
+  std::vector<TaskLaunch> launches;
   // Record-mode result sample: reduce outputs collected (small jobs only).
   std::vector<std::pair<std::string, std::string>> results;
 };
+
+// Exact serialization of every field (doubles in hex-float), used by the
+// determinism tests: two runs with identical seeds must agree
+// byte-for-byte, speculation decisions included.
+std::string debug_string(const JobStats& stats);
 
 class MapReduceCluster {
  public:
   MapReduceCluster(sim::Simulator& sim, net::Network& net,
                    fs::FileSystem& filesystem, MrConfig cfg = {});
 
-  // Runs a job to completion (a coroutine; spawn or co_await it).
+  // Submits a job and runs it to completion (a coroutine; spawn or
+  // co_await it). Several jobs may be in flight at once — the configured
+  // scheduler arbitrates between them.
+  //
+  // Lifetime: tasktracker loops are engine-wide and outlive individual
+  // jobs — they exit up to one heartbeat after the job list drains. The
+  // engine must therefore stay alive until the simulator has drained
+  // (sim.run() returning), not merely until run_job completes.
   sim::Task<JobStats> run_job(JobConfig config);
 
   fs::FileSystem& filesystem() { return fs_; }
   const MrConfig& config() const { return cfg_; }
+  const JobScheduler& scheduler() const { return *scheduler_; }
+  size_t active_jobs() const { return jobs_.size(); }
 
  private:
   struct MapSplit {
@@ -120,47 +201,150 @@ class MapReduceCluster {
     std::vector<std::vector<std::pair<std::string, std::string>>> partitions;
   };
 
+  enum class TaskKind { kMap, kReduce };
+
+  struct JobState;
+
+  // One logical task (map i or reduce r); attempts come and go.
+  struct TaskState {
+    uint32_t index = 0;
+    MapSplit split;  // maps only
+    bool done = false;        // an attempt committed
+    bool speculated = false;  // a backup was queued (at most one)
+    uint32_t attempts_started = 0;
+    uint32_t running = 0;     // live attempts
+    std::vector<net::NodeId> attempt_nodes;  // nodes with a live attempt
+  };
+
+  struct Attempt {
+    JobState* job = nullptr;
+    TaskState* task = nullptr;
+    TaskKind kind = TaskKind::kMap;
+    net::NodeId node = 0;
+    uint32_t ordinal = 0;      // attempt number within the task
+    bool speculative = false;
+    uint8_t locality = 2;      // 0 node-local, 1 rack-local, 2 remote
+    bool committed = false;
+    bool failed = false;
+    bool lost = false;  // commit rename lost the race to a sibling
+    sim::ProgressMeter meter;
+  };
+
   struct JobState {
+    explicit JobState(sim::Simulator& sim) : attempts(sim) {}
+    uint32_t job_id = 0;
     JobConfig config;
-    std::deque<MapSplit> pending_maps;
+    std::vector<TaskState> map_tasks;
+    std::vector<TaskState> reduce_tasks;
+    std::deque<uint32_t> pending_maps;     // task indices awaiting a slot
     std::deque<uint32_t> pending_reduces;
+    // Straggler backups awaiting a slot: (task index, time queued). Map
+    // backups prefer nodes local to a replica that is NOT hosting a
+    // running attempt — re-reading through the straggler's node would
+    // re-import the very slowness the backup exists to escape — and only
+    // settle for an arbitrary node after a delay-scheduling wait.
+    std::deque<std::pair<uint32_t, double>> spec_maps;
+    std::deque<std::pair<uint32_t, double>> spec_reduces;
     uint32_t maps_total = 0;
     uint32_t maps_done = 0;
     uint32_t reduces_total = 0;
     uint32_t reduces_done = 0;
+    uint32_t slowstart_maps = 0;  // maps_done gate for scheduling reduces
+    uint32_t running_maps = 0;
+    uint32_t running_reduces = 0;
     std::vector<MapOutput> map_outputs;
+    std::vector<char> map_committed;  // per map index: output available
+    double last_map_commit = 0;
+    double last_reduce_commit = 0;
+    // Committed-attempt durations, the straggler-detection baselines.
+    std::vector<double> map_commit_durations;
+    std::vector<double> reduce_commit_durations;
+    // Current lag thresholds (upper-quartile attempt lifetime, set by the
+    // speculation sweep); 0 until enough commits exist.
+    double map_lag_baseline = 0;
+    double reduce_lag_baseline = 0;
     JobStats stats;
-    std::unique_ptr<sim::CondVar> progress;
-    bool failed = false;
+    std::unique_ptr<sim::CondVar> progress;  // commit notifications
+    sim::WaitGroup attempts;   // live attempt coroutines + speculation loop
+    std::list<Attempt> live;   // attempts currently running
   };
 
-  enum class AssignKind { kNone, kMap, kReduce };
+  // A scheduling decision, made at the JobTracker on a heartbeat.
   struct Assignment {
-    AssignKind kind = AssignKind::kNone;
-    MapSplit split;
-    uint32_t reduce_index = 0;
+    JobState* job = nullptr;
+    TaskState* task = nullptr;
+    TaskKind kind = TaskKind::kMap;
+    bool speculative = false;
+    uint8_t locality = 2;
+    bool valid() const { return job != nullptr; }
   };
 
-  // Scheduling decision, made at the JobTracker on a heartbeat from `node`.
-  Assignment schedule(JobState& job, net::NodeId node, bool map_slot_free,
-                      bool reduce_slot_free);
+  struct NodeSlots {
+    uint32_t maps = 0;
+    uint32_t reduces = 0;
+  };
 
-  sim::Task<void> tasktracker_loop(JobState* job, net::NodeId node);
+  bool job_complete(const JobState& job) const {
+    return job.maps_done >= job.maps_total &&
+           job.reduces_done >= job.reduces_total;
+  }
+  double cpu_scale(net::NodeId node) const {
+    return net_.node_perf(node).cpu;
+  }
+
+  sim::Task<void> plan_job(JobState& job);
+  sim::Task<void> tasktracker_loop(net::NodeId node);
+  Assignment schedule(net::NodeId node);
+  bool pop_map(JobState& job, net::NodeId node, Assignment* out);
+  bool pop_reduce(JobState& job, net::NodeId node, Assignment* out);
+  // LATE-style backup placement: a node may run backup tasks only while
+  // its commit history proves it fast (launching the backup on another
+  // slow node — or an unknown one — wastes the one backup the task gets).
+  bool backup_eligible(const JobState& job, TaskKind kind,
+                       net::NodeId node) const;
+  void record_node_speed(const JobState& job, TaskKind kind, net::NodeId node,
+                         double elapsed);
+  void finish_map_commit(Attempt* att);
+  void finish_reduce_commit(Attempt* att);
+  void launch(const Assignment& a, net::NodeId node);
+  void finish_attempt(Attempt* att, std::list<Attempt>::iterator it);
+
+  sim::Task<void> attempt_body(Attempt* att);
   // Rolls the failure dice for one attempt; if it fails, burns a partial
-  // execution and requeues the task. Returns true if the attempt failed.
-  sim::Task<bool> maybe_fail(JobState* job, AssignKind kind, MapSplit* split,
-                             uint32_t reduce_index);
-  sim::Task<void> run_map_task(JobState* job, net::NodeId node, MapSplit split);
-  sim::Task<void> run_reduce_task(JobState* job, net::NodeId node,
-                                  uint32_t reduce_index);
-  sim::Task<void> run_generator_map(JobState* job, net::NodeId node,
-                                    uint32_t index);
+  // execution and (when no other attempt can finish the task) requeues it.
+  sim::Task<bool> maybe_fail(Attempt* att);
+  sim::Task<void> run_map_attempt(Attempt* att);
+  sim::Task<void> run_generator_attempt(Attempt* att);
+  sim::Task<void> run_reduce_attempt(Attempt* att);
+  bool commit_map(Attempt* att, MapOutput&& out);
+
+  sim::Task<void> speculation_loop(JobState* job);
+  void speculation_sweep(JobState& job);
+
+  std::string temp_path(const JobState& job, const Attempt& att) const;
 
   sim::Simulator& sim_;
   net::Network& net_;
   fs::FileSystem& fs_;
   MrConfig cfg_;
   Rng rng_;
+  std::unique_ptr<JobScheduler> scheduler_;
+  std::list<JobState> jobs_;     // active jobs, submission order
+  std::vector<NodeSlots> slots_; // per-node occupied slots
+  // Per-node speed evidence: the last committed attempt's lifetime as a
+  // multiple of the job's lag baseline at commit time (0 = no commits
+  // yet). Kind-agnostic — a degraded node is slow for maps and reduces
+  // alike — and normalized, so it compares across jobs.
+  std::vector<double> node_slowness_;
+  uint32_t next_job_id_ = 0;
+  // Which tasktracker loops are currently running. Trackers exit when the
+  // job list drains, each marking itself off here, so a later submission
+  // respawns exactly the missing ones (a single global counter would skip
+  // respawning while any tracker from the old generation lingered).
+  std::vector<char> tracker_running_;
+  // Scratch for schedule() (rebuilt every heartbeat; no per-call allocs).
+  std::vector<JobState*> scratch_active_;
+  std::vector<SchedulableJob> scratch_view_;
 };
 
 // Splits `text` into lines and feeds them to `fn(offset, line)`; exposed

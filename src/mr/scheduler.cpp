@@ -1,0 +1,48 @@
+#include "mr/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bs::mr {
+
+std::vector<size_t> FifoScheduler::order(
+    const std::vector<SchedulableJob>& jobs) const {
+  std::vector<size_t> out;
+  out.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].runnable_tasks > 0) out.push_back(i);
+  }
+  std::sort(out.begin(), out.end(), [&](size_t a, size_t b) {
+    return jobs[a].job_id < jobs[b].job_id;
+  });
+  return out;
+}
+
+std::vector<size_t> FairScheduler::order(
+    const std::vector<SchedulableJob>& jobs) const {
+  std::vector<size_t> out;
+  out.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].runnable_tasks > 0) out.push_back(i);
+  }
+  // Most-starved first: fewest running tasks, submission order on ties.
+  std::sort(out.begin(), out.end(), [&](size_t a, size_t b) {
+    if (jobs[a].running_tasks != jobs[b].running_tasks) {
+      return jobs[a].running_tasks < jobs[b].running_tasks;
+    }
+    return jobs[a].job_id < jobs[b].job_id;
+  });
+  return out;
+}
+
+std::unique_ptr<JobScheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFair:
+      return std::make_unique<FairScheduler>();
+    case SchedulerKind::kFifo:
+      break;
+  }
+  return std::make_unique<FifoScheduler>();
+}
+
+}  // namespace bs::mr

@@ -1,0 +1,60 @@
+// Pluggable JobTracker scheduling policy — which job may claim the slot a
+// heartbeating tasktracker just offered.
+//
+// The policy only orders *jobs*; locality-aware task selection within the
+// chosen job stays in the engine (every job keeps its own node-local →
+// rack-local → remote preference). Two policies, as in Hadoop:
+//   * FIFO       — strict submission order: the oldest job takes every
+//                  slot it can use; later jobs get the leftovers.
+//   * fair share — slots are balanced across the jobs that still have
+//                  work: the job with the fewest running tasks goes
+//                  first, so N concurrent jobs converge to 1/N of the
+//                  cluster each, and a small job finishes without waiting
+//                  for a big one's map phase to drain.
+// Ties break by submission order, which keeps every decision
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bs::mr {
+
+enum class SchedulerKind { kFifo, kFair };
+
+// What the policy sees of each active job.
+struct SchedulableJob {
+  uint32_t job_id = 0;         // submission order (monotone)
+  uint32_t running_tasks = 0;  // attempts currently holding a slot
+  uint32_t runnable_tasks = 0; // pending work (maps + reduces + backups)
+};
+
+class JobScheduler {
+ public:
+  virtual ~JobScheduler() = default;
+  virtual std::string name() const = 0;
+  // Returns indices into `jobs` in assignment-preference order. Jobs with
+  // no runnable work may be omitted.
+  virtual std::vector<size_t> order(
+      const std::vector<SchedulableJob>& jobs) const = 0;
+};
+
+class FifoScheduler final : public JobScheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::vector<size_t> order(
+      const std::vector<SchedulableJob>& jobs) const override;
+};
+
+class FairScheduler final : public JobScheduler {
+ public:
+  std::string name() const override { return "fair"; }
+  std::vector<size_t> order(
+      const std::vector<SchedulableJob>& jobs) const override;
+};
+
+std::unique_ptr<JobScheduler> make_scheduler(SchedulerKind kind);
+
+}  // namespace bs::mr

@@ -15,11 +15,14 @@ constexpr double kRemainingEps = 0.5;
 
 }  // namespace
 
-sim::Task<void> Disk::io(double bytes, double bps) {
+sim::Task<void> Disk::io(double bytes, bool is_read) {
   co_await gate_.acquire();
+  // The rate is sampled when the request reaches the head of the queue, so
+  // a slow-node injection mid-queue affects every request issued after it.
+  const double bps = (is_read ? read_bps_ : write_bps_) * scale_;
   co_await sim_.delay(seek_s_ + bytes / bps);
   gate_.release();
-  if (bps == read_bps_) {
+  if (is_read) {
     bytes_read_ += bytes;
   } else {
     bytes_written_ += bytes;
@@ -48,11 +51,26 @@ Network::Network(sim::Simulator& sim, const ClusterConfig& cfg)
   rx_bytes_.assign(n, 0);
   tx_bytes_.assign(n, 0);
   up_.assign(n, 1);
+  perf_.assign(n, NodePerf{});
 }
 
 void Network::set_node_up(NodeId node, bool up) {
   BS_CHECK(node < cfg_.num_nodes);
   up_[node] = up ? 1 : 0;
+}
+
+void Network::set_node_perf(NodeId node, NodePerf perf) {
+  BS_CHECK(node < cfg_.num_nodes);
+  BS_CHECK(perf.nic > 0 && perf.disk > 0 && perf.cpu > 0);
+  perf_[node] = perf;
+  // Bill active flows for the time elapsed at the old capacities, then
+  // re-solve the fair shares at the new ones.
+  advance();
+  link_capacity_[link_node_up(node)] = cfg_.nic_bps * perf.nic;
+  link_capacity_[link_node_down(node)] = cfg_.nic_bps * perf.nic;
+  disks_[node]->set_scale(perf.disk);
+  recompute_rates();
+  retime();
 }
 
 sim::Task<void> Network::transfer(NodeId src, NodeId dst, double bytes,

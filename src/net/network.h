@@ -36,24 +36,41 @@ class Disk {
       : sim_(sim), gate_(sim, 1), read_bps_(read_bps), write_bps_(write_bps),
         seek_s_(seek_s) {}
 
-  sim::Task<void> read(double bytes) { return io(bytes, read_bps_); }
-  sim::Task<void> write(double bytes) { return io(bytes, write_bps_); }
+  sim::Task<void> read(double bytes) { return io(bytes, /*is_read=*/true); }
+  sim::Task<void> write(double bytes) { return io(bytes, /*is_read=*/false); }
 
   double bytes_read() const { return bytes_read_; }
   double bytes_written() const { return bytes_written_; }
-  double write_bps() const { return write_bps_; }
-  double read_bps() const { return read_bps_; }
+  double write_bps() const { return write_bps_ * scale_; }
+  double read_bps() const { return read_bps_ * scale_; }
+
+  // Degradation knob (slow-node fault injection): scales both directions'
+  // bandwidth. 1 = healthy. Requests already queued finish at the rate in
+  // effect when they reach the head of the FIFO.
+  void set_scale(double scale) { scale_ = scale; }
+  double scale() const { return scale_; }
 
  private:
-  sim::Task<void> io(double bytes, double bps);
+  sim::Task<void> io(double bytes, bool is_read);
 
   sim::Simulator& sim_;
   sim::Semaphore gate_;
   double read_bps_;
   double write_bps_;
   double seek_s_;
+  double scale_ = 1.0;
   double bytes_read_ = 0;
   double bytes_written_ = 0;
+};
+
+// Degraded-node performance, driven by the fault injector's slow-node
+// scenarios (a failing disk, a flaky NIC negotiation, a thermally
+// throttled CPU). Each factor scales the healthy speed: 1 = nominal,
+// 0.25 = four times slower.
+struct NodePerf {
+  double nic = 1.0;   // both NIC directions (link capacities)
+  double disk = 1.0;  // local disk bandwidth
+  double cpu = 1.0;   // task compute speed (consumed by schedulers/engines)
 };
 
 class Network {
@@ -85,6 +102,16 @@ class Network {
   bool node_up(NodeId node) const { return up_[node]; }
   // Ground-truth liveness as a LivenessView (for tests and wiring).
   const LivenessView& ground_truth() const { return truth_; }
+
+  // --- slow-node semantics (driven by the fault injector) ---
+  //
+  // Rescales a node's NIC link capacities and disk bandwidth immediately
+  // (active flows are re-solved at the new capacities) and records the CPU
+  // factor for compute-charging layers (the MapReduce engine divides task
+  // compute delays by it). The node stays up — it is degraded, not dead,
+  // which is exactly the straggler case speculative execution exists for.
+  void set_node_perf(NodeId node, NodePerf perf);
+  const NodePerf& node_perf(NodeId node) const { return perf_[node]; }
 
   // Control round trip that can fail: if `dst` is down when the request
   // would arrive, the caller waits out the connection timeout and gets
@@ -159,6 +186,7 @@ class Network {
   std::vector<double> rx_bytes_;
   std::vector<double> tx_bytes_;
   std::vector<char> up_;  // ground-truth power state per node
+  std::vector<NodePerf> perf_;  // degradation factors per node
   GroundTruth truth_{*this};
 };
 

@@ -1,0 +1,61 @@
+// Progress sampling hooks for long-running simulated activities.
+//
+// A ProgressMeter is the per-activity sample point: the activity updates
+// its completion fraction at natural checkpoints (chunk boundaries, fetch
+// completions) and observers read progress-per-simulated-second rates.
+// This is the signal Hadoop-style speculative schedulers compare across
+// task attempts to find stragglers — an attempt on a throttled node
+// advances its meter slowly, and the gap to its peers is measurable
+// without any wall-clock sampling thread.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace bs::sim {
+
+class ProgressMeter {
+ public:
+  // Marks the activity as started now; progress resets to 0.
+  void start(Time now) {
+    start_ = now;
+    progress_ = 0;
+  }
+
+  // Progress is monotone: updates never move it backwards, and it is
+  // clamped to [0, 1] so rate comparisons stay meaningful.
+  void update(double fraction) {
+    progress_ = std::max(progress_, std::clamp(fraction, 0.0, 1.0));
+  }
+
+  double progress() const { return progress_; }
+  Time started_at() const { return start_; }
+  double elapsed(Time now) const { return now - start_; }
+
+  // Completion fraction per simulated second since start (0 until the
+  // first update or while no time has passed).
+  double rate(Time now) const {
+    const double e = elapsed(now);
+    return e > 0 ? progress_ / e : 0;
+  }
+
+ private:
+  Time start_ = 0;
+  double progress_ = 0;
+};
+
+// Periodic driver for sampling loops (e.g. a speculation sweep): calls
+// `fn` every `period` simulated seconds until it returns false. The first
+// call happens one period after spawning.
+inline Task<void> repeat_every(Simulator& sim, double period,
+                               std::function<bool()> fn) {
+  while (true) {
+    co_await sim.delay(period);
+    if (!fn()) co_return;
+  }
+}
+
+}  // namespace bs::sim

@@ -1,0 +1,283 @@
+// Property-style fuzz test for the MapReduce engine: seeded, deterministic,
+// bounded iterations. Each iteration builds a fresh world on a randomized
+// configuration (scheduler policy, slowstart, speculation, slow-node
+// throttling, a crashed-and-detected storage node) and submits a
+// randomized mix of jobs against BOTH storage back-ends, then checks
+// engine invariants:
+//   * every job completes with one committed attempt per task,
+//   * all input bytes are planned and read (input_bytes == staged size),
+//   * output and shuffle bytes match the app cost model exactly,
+//   * no task attempt is ever launched on a node the failure detector
+//     believes dead.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "blob/cluster.h"
+#include "bsfs/bsfs.h"
+#include "common/rng.h"
+#include "fault/detector.h"
+#include "fault/injector.h"
+#include "hdfs/hdfs.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace bs::mr {
+namespace {
+
+constexpr uint64_t kBlock = 4096;
+constexpr uint32_t kNodes = 12;
+constexpr int kIterations = 4;
+
+struct JobPlan {
+  enum Kind { kGrep, kSort, kRtw } kind = kGrep;
+  std::string input;       // staged file (grep/sort)
+  uint64_t input_bytes = 0;
+  uint32_t reducers = 1;
+  uint32_t generator_maps = 0;   // rtw
+  uint64_t bytes_per_map = 0;    // rtw
+  std::string output_dir;
+};
+
+// Replicates the engine's cost-model arithmetic: per-map partition bytes
+// are floor(length * selectivity / reducers), per-reduce output is
+// floor(shuffled * output_ratio).
+void expected_cost(const JobPlan& plan, const MapReduceApp& app,
+                   uint64_t* maps, uint64_t* shuffle, uint64_t* output) {
+  const uint64_t m = (plan.input_bytes + kBlock - 1) / kBlock;
+  *maps = m;
+  std::vector<uint64_t> per_reduce(plan.reducers, 0);
+  for (uint64_t i = 0; i < m; ++i) {
+    const uint64_t len = std::min<uint64_t>(kBlock, plan.input_bytes - i * kBlock);
+    const double inter = static_cast<double>(len) * app.map_selectivity();
+    for (uint32_t r = 0; r < plan.reducers; ++r) {
+      per_reduce[r] += static_cast<uint64_t>(inter / plan.reducers);
+    }
+  }
+  *shuffle = 0;
+  *output = 0;
+  for (uint32_t r = 0; r < plan.reducers; ++r) {
+    *shuffle += per_reduce[r];
+    *output += static_cast<uint64_t>(static_cast<double>(per_reduce[r]) *
+                                     app.output_ratio());
+  }
+}
+
+sim::Task<void> stage_file(fs::FileSystem* f, std::string path,
+                           uint64_t bytes, uint64_t seed) {
+  auto client = f->make_client(1);
+  auto writer = co_await client->create(path);
+  co_await writer->write(DataSpec::pattern(seed, 0, bytes));
+  co_await writer->close();
+}
+
+sim::Task<void> run_into(MapReduceCluster* mr, JobConfig jc, JobStats* out,
+                         sim::WaitGroup* wg) {
+  *out = co_await mr->run_job(std::move(jc));
+  wg->done();
+}
+
+void run_iteration(const std::string& backend, uint64_t seed) {
+  SCOPED_TRACE(backend + " seed=" + std::to_string(seed));
+  Rng rng(seed);
+
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = kNodes;
+  ncfg.nodes_per_rack = 4;
+  net::Network net(sim, ncfg);
+  blob::BlobSeerCluster blobs(sim, net, {});
+  bsfs::NamespaceManager ns(sim, net, {});
+  bsfs::Bsfs bsfs_fs(sim, net, blobs, ns,
+                     bsfs::BsfsConfig{.block_size = kBlock,
+                                      .page_size = kBlock / 4,
+                                      .replication = 2,
+                                      .enable_cache = true});
+  hdfs::Hdfs hdfs_fs(sim, net,
+                     hdfs::HdfsConfig{.namenode = {.node = 0,
+                                                   .service_time_s = 150e-6,
+                                                   .block_size = kBlock,
+                                                   .replication = 2,
+                                                   .placement_seed = seed},
+                                      .stream_efficiency = 0.92});
+  const bool use_bsfs = backend == "BSFS";
+  fs::FileSystem& fs =
+      use_bsfs ? static_cast<fs::FileSystem&>(bsfs_fs)
+               : static_cast<fs::FileSystem&>(hdfs_fs);
+
+  // Stage 1-2 input files before any fault.
+  const uint32_t num_files = 1 + static_cast<uint32_t>(rng.below(2));
+  std::vector<std::pair<std::string, uint64_t>> files;
+  for (uint32_t i = 0; i < num_files; ++i) {
+    const uint64_t bytes = kBlock * (2 + rng.below(5)) + rng.below(kBlock);
+    const std::string path = "/in/f" + std::to_string(i);
+    files.emplace_back(path, bytes);
+    sim.spawn(stage_file(&fs, path, bytes, seed + i));
+  }
+  sim.run();
+
+  // Fault plumbing: one storage node crashes (disk wiped) and must be
+  // detected before jobs run; another node is merely slow.
+  fault::FaultInjector injector(sim, net, {.seed = seed ^ 0xfa117});
+  if (use_bsfs) {
+    fault::wire_blobseer(injector, blobs);
+  } else {
+    fault::wire_hdfs(injector, hdfs_fs);
+  }
+  std::vector<net::NodeId> storage;
+  for (net::NodeId n = 1; n < kNodes; ++n) storage.push_back(n);
+  fault::FailureDetector detector(sim, net, storage, {.node = 0});
+  if (use_bsfs) {
+    blobs.set_liveness(&detector);
+  } else {
+    hdfs_fs.set_liveness(&detector);
+  }
+
+  const net::NodeId victim =
+      1 + static_cast<net::NodeId>(rng.below(kNodes - 1));
+  net::NodeId slow = victim;
+  while (slow == victim) {
+    slow = 1 + static_cast<net::NodeId>(rng.below(kNodes - 1));
+  }
+  const double slow_factor = 2.0 + rng.uniform() * 4.0;
+
+  detector.start();
+  injector.crash_at(victim, 0.1);
+
+  // Randomized engine configuration.
+  MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.scheduler = rng.chance(0.5) ? SchedulerKind::kFair : SchedulerKind::kFifo;
+  const double slowstarts[] = {0.0, 0.5, 1.0};
+  mcfg.reduce_slowstart = slowstarts[rng.below(3)];
+  mcfg.speculative_execution = rng.chance(0.5);
+  mcfg.speculative_min_runtime_s = 0.05;
+  mcfg.speculation_interval_s = 0.1;
+  mcfg.liveness = &detector;
+  MapReduceCluster mr(sim, net, fs, mcfg);
+
+  // Randomized job mix.
+  DistributedGrep grep("needle");
+  SortApp sort_app;
+  RandomTextWriter rtw(kBlock * 2);
+  const uint32_t num_jobs = 1 + static_cast<uint32_t>(rng.below(2));
+  std::vector<JobPlan> plans;
+  for (uint32_t j = 0; j < num_jobs; ++j) {
+    JobPlan plan;
+    const uint64_t pick = rng.below(3);
+    plan.kind = pick == 0 ? JobPlan::kGrep
+                          : (pick == 1 ? JobPlan::kSort : JobPlan::kRtw);
+    plan.reducers = 1 + static_cast<uint32_t>(rng.below(3));
+    plan.output_dir = "/out/j" + std::to_string(j);
+    if (plan.kind == JobPlan::kRtw) {
+      plan.generator_maps = 3 + static_cast<uint32_t>(rng.below(4));
+      plan.bytes_per_map = kBlock * 2;
+    } else {
+      const auto& [path, bytes] = files[rng.below(files.size())];
+      plan.input = path;
+      plan.input_bytes = bytes;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  std::vector<JobStats> stats(plans.size());
+  auto orchestrate = [](sim::Simulator* s, fault::FailureDetector* det,
+                        fault::FaultInjector* inj, net::NodeId slow_node,
+                        double factor, MapReduceCluster* engine,
+                        std::vector<JobPlan>* ps, DistributedGrep* g,
+                        SortApp* so, RandomTextWriter* rt,
+                        std::vector<JobStats>* out) -> sim::Task<void> {
+    // Jobs start only after the crash is detected, so the scheduler's
+    // liveness view already knows the victim is dead.
+    while (det->dead_nodes().empty()) {
+      co_await s->delay(0.2);
+    }
+    inj->slow_node_at(slow_node, factor, s->now() + 0.2);
+    sim::WaitGroup wg(*s);
+    wg.add(ps->size());
+    for (size_t j = 0; j < ps->size(); ++j) {
+      const JobPlan& plan = (*ps)[j];
+      JobConfig jc;
+      jc.output_dir = plan.output_dir;
+      jc.num_reducers = plan.reducers;
+      jc.cost_model = true;
+      jc.record_read_size = kBlock;
+      switch (plan.kind) {
+        case JobPlan::kGrep:
+          jc.app = g;
+          jc.input_files = {plan.input};
+          break;
+        case JobPlan::kSort:
+          jc.app = so;
+          jc.input_files = {plan.input};
+          break;
+        case JobPlan::kRtw:
+          jc.app = rt;
+          jc.num_generator_maps = plan.generator_maps;
+          break;
+      }
+      s->spawn(run_into(engine, std::move(jc), &(*out)[j], &wg));
+    }
+    co_await wg.wait();
+    det->stop();
+  };
+  sim.spawn(orchestrate(&sim, &detector, &injector, slow, slow_factor, &mr,
+                        &plans, &grep, &sort_app, &rtw, &stats));
+  sim.run();
+
+  // --- invariants ---
+  for (size_t j = 0; j < plans.size(); ++j) {
+    const JobPlan& plan = plans[j];
+    const JobStats& s = stats[j];
+    SCOPED_TRACE("job " + std::to_string(j) + " (" + s.job_name + ")");
+    if (plan.kind == JobPlan::kRtw) {
+      EXPECT_EQ(s.maps, plan.generator_maps);
+      EXPECT_EQ(s.reduces, 0u);
+      // Generator output is exact: committed bytes == maps * payload.
+      EXPECT_EQ(s.output_bytes, plan.generator_maps * plan.bytes_per_map);
+    } else {
+      const MapReduceApp& app =
+          plan.kind == JobPlan::kGrep
+              ? static_cast<const MapReduceApp&>(grep)
+              : static_cast<const MapReduceApp&>(sort_app);
+      uint64_t want_maps = 0, want_shuffle = 0, want_output = 0;
+      expected_cost(plan, app, &want_maps, &want_shuffle, &want_output);
+      // All inputs fully planned and read.
+      EXPECT_EQ(s.maps, want_maps);
+      EXPECT_EQ(s.input_bytes, plan.input_bytes);
+      // Output/shuffle bytes match the cost model exactly — losers of
+      // speculative races must not double-count.
+      EXPECT_EQ(s.shuffle_bytes, want_shuffle);
+      EXPECT_EQ(s.output_bytes, want_output);
+      EXPECT_EQ(s.reduces, plan.reducers);
+    }
+    // Every committed map has exactly one locality attribution.
+    EXPECT_EQ(s.data_local_maps + s.rack_local_maps + s.remote_maps, s.maps);
+    // The scheduler never hands tasks to the node the detector saw die.
+    ASSERT_FALSE(s.launches.empty());
+    for (const auto& l : s.launches) {
+      EXPECT_NE(l.node, victim) << "task launched on detected-dead node";
+    }
+  }
+}
+
+TEST(MrFuzz, RandomJobMixesHoldInvariantsOnBsfs) {
+  for (int i = 0; i < kIterations; ++i) {
+    run_iteration("BSFS", 0xf002ULL + static_cast<uint64_t>(i));
+  }
+}
+
+TEST(MrFuzz, RandomJobMixesHoldInvariantsOnHdfs) {
+  for (int i = 0; i < kIterations; ++i) {
+    run_iteration("HDFS", 0xf002ULL + static_cast<uint64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace bs::mr
