@@ -100,6 +100,19 @@ sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::append(
                                          entry->blob);
 }
 
+sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::append_shared(
+    const std::string& path) {
+  // Same namespace handshake as append() — BlobSeer takes no lease, so any
+  // number of these writers may coexist — but the writer commits every
+  // chunk through the version manager's append-offset assignment instead
+  // of tracking the file end locally (which only one writer could do).
+  auto writer = co_await append(path);
+  if (writer != nullptr) {
+    static_cast<BsfsWriter*>(writer.get())->set_shared_append();
+  }
+  co_return writer;
+}
+
 sim::Task<std::optional<fs::FileStat>> BsfsClient::stat(
     const std::string& path) {
   auto [base, version] = parse_versioned_path(path);
@@ -203,7 +216,7 @@ sim::Task<bool> BsfsWriter::write(DataSpec data) {
 
 sim::Task<void> BsfsWriter::flush(uint64_t threshold) {
   if (pending_bytes_ < threshold || pending_bytes_ == 0) co_return;
-  if (end_bytes_ == UINT64_MAX) {
+  if (end_bytes_ == UINT64_MAX && !shared_append_) {
     end_bytes_ = co_await client_->size(blob_);  // append: resolve the end
   }
   while (pending_bytes_ >= threshold && pending_bytes_ > 0) {
@@ -227,6 +240,16 @@ sim::Task<void> BsfsWriter::flush(uint64_t threshold) {
     }
     pending_bytes_ -= taken;
     const uint64_t page = owner_.cfg_.page_size;
+    if (shared_append_) {
+      // Concurrent-append mode: the version manager assigns this chunk a
+      // disjoint range at the blob's assigned end, so interleaved writers
+      // never collide. The end must stay page-aligned for the *next*
+      // appender, hence the whole-block precondition on callers.
+      BS_CHECK_MSG(taken % page == 0,
+                   "shared appends must be page-aligned (append whole blocks)");
+      co_await client_->append(blob_, concat(chunk));
+      continue;
+    }
     const uint64_t pad = end_bytes_ % page;
     if (pad == 0) {
       co_await client_->append(blob_, concat(chunk));

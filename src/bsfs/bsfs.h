@@ -48,6 +48,11 @@ class BsfsWriter final : public fs::FsWriter {
   uint64_t bytes_written() const override { return bytes_written_; }
   // Declares the blob's current end (skips the size lookup at first flush).
   void set_known_end(uint64_t end);
+  // Switches this writer to shared-append mode (FsClient::append_shared):
+  // every flush commits through BlobSeer's append-offset assignment, so
+  // concurrent writers get disjoint ranges. Each flushed chunk must be a
+  // page multiple (callers append whole blocks; block % page == 0).
+  void set_shared_append() { shared_append_ = true; }
 
  private:
   sim::Task<void> flush(uint64_t threshold);
@@ -62,9 +67,10 @@ class BsfsWriter final : public fs::FsWriter {
   // Current end of the blob; UINT64_MAX until resolved at first flush.
   // When the end is not page-aligned (a short final page), the next flush
   // re-writes that page (read-modify-write) so appends of any size work.
-  // NOTE: concurrent appenders must append whole blocks (as MapReduce
-  // outputs do) — a mid-page RMW is single-writer by nature.
+  // NOTE: the RMW path is single-writer by nature — concurrent appenders
+  // must use shared-append mode, which never tracks the end locally.
   uint64_t end_bytes_ = UINT64_MAX;
+  bool shared_append_ = false;
   bool closed_ = false;
 };
 
@@ -98,6 +104,8 @@ class BsfsClient final : public fs::FsClient {
   sim::Task<std::unique_ptr<fs::FsWriter>> create(const std::string& path) override;
   sim::Task<std::unique_ptr<fs::FsReader>> open(const std::string& path) override;
   sim::Task<std::unique_ptr<fs::FsWriter>> append(const std::string& path) override;
+  sim::Task<std::unique_ptr<fs::FsWriter>> append_shared(
+      const std::string& path) override;
   sim::Task<std::optional<fs::FileStat>> stat(const std::string& path) override;
   sim::Task<std::vector<std::string>> list(const std::string& dir) override;
   sim::Task<bool> remove(const std::string& path) override;

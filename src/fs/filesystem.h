@@ -67,6 +67,18 @@ class FsClient {
   // Appends to an existing file. Back-ends without append support (HDFS,
   // per the paper) return null.
   virtual sim::Task<std::unique_ptr<FsWriter>> append(const std::string& path) = 0;
+  // Opens the file for a CONCURRENT append (paper §V: many reduce tasks
+  // appending their output to one shared job file). Unlike append(), many
+  // writers may hold one of these at once: every flushed chunk gets its
+  // own disjoint byte range assigned centrally (BlobSeer's version
+  // manager), so interleaved appenders never overwrite each other.
+  // Precondition: the file's size stays storage-block-aligned — each
+  // writer must append whole blocks (the MapReduce engine pads reduce
+  // output up to the block size). Back-ends without append support return
+  // null and callers fall back to per-writer files plus a serialized
+  // concat (see MapReduceCluster's shared-output commit path).
+  virtual sim::Task<std::unique_ptr<FsWriter>> append_shared(
+      const std::string& path) = 0;
 
   virtual sim::Task<std::optional<FileStat>> stat(const std::string& path) = 0;
   virtual sim::Task<std::vector<std::string>> list(const std::string& dir) = 0;

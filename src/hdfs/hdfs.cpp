@@ -124,6 +124,12 @@ sim::Task<std::unique_ptr<fs::FsWriter>> HdfsClient::append(
   co_return nullptr;
 }
 
+sim::Task<std::unique_ptr<fs::FsWriter>> HdfsClient::append_shared(
+    const std::string& path) {
+  (void)path;
+  co_return nullptr;
+}
+
 sim::Task<std::optional<fs::FileStat>> HdfsClient::stat(
     const std::string& path) {
   auto st = co_await owner_.namenode_->stat(node_, path);

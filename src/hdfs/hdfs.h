@@ -75,8 +75,12 @@ class HdfsClient final : public fs::FsClient {
 
   sim::Task<std::unique_ptr<fs::FsWriter>> create(const std::string& path) override;
   sim::Task<std::unique_ptr<fs::FsReader>> open(const std::string& path) override;
-  // HDFS does not support appends (paper §II.C): always null.
+  // HDFS does not support appends (paper §II.C): always null. The same
+  // goes for concurrent shared appends — callers must fall back to
+  // per-writer part files plus a serialized concat.
   sim::Task<std::unique_ptr<fs::FsWriter>> append(const std::string& path) override;
+  sim::Task<std::unique_ptr<fs::FsWriter>> append_shared(
+      const std::string& path) override;
   sim::Task<std::optional<fs::FileStat>> stat(const std::string& path) override;
   sim::Task<std::vector<std::string>> list(const std::string& dir) override;
   sim::Task<bool> remove(const std::string& path) override;

@@ -112,6 +112,11 @@ std::string debug_string(const JobStats& s) {
   append_num(&out, "speculative_reduces", s.speculative_reduces);
   append_num(&out, "speculative_wins", s.speculative_wins);
   append_num(&out, "killed_attempts", s.killed_attempts);
+  append_num(&out, "shared_appends", s.shared_appends);
+  append_num(&out, "shared_append_bytes", s.shared_append_bytes);
+  append_num(&out, "concat_parts", s.concat_parts);
+  append_num(&out, "concat_bytes", s.concat_bytes);
+  append_num(&out, "concat_s", s.concat_s);
   for (const TaskLaunch& l : s.launches) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "launch %c%u a%u node=%u t=%a spec=%d\n",
@@ -164,6 +169,71 @@ std::string MapReduceCluster::temp_path(const JobState& job,
                 att.kind == TaskKind::kMap ? 'm' : 'r', att.task->index,
                 att.ordinal);
   return fs::join_path(fs::join_path(job.config.output_dir, "_attempts"), buf);
+}
+
+std::string MapReduceCluster::shared_output_path(const JobState& job) const {
+  return fs::join_path(job.config.output_dir, "output-shared");
+}
+
+sim::Task<void> MapReduceCluster::setup_shared_output(JobState& job) {
+  auto client = fs_.make_client(cfg_.jobtracker_node);
+  const std::string shared = shared_output_path(job);
+  auto writer = co_await client->create(shared);
+  BS_CHECK_MSG(writer != nullptr, "cannot create shared output file");
+  co_await writer->close();
+  // Capability probe: back-ends without concurrent append (HDFS, §II.C)
+  // make the job fall back to per-reduce parts + a serialized concat.
+  auto probe = co_await client->append_shared(shared);
+  if (probe == nullptr) {
+    job.shared_fallback = true;
+  } else {
+    co_await probe->close();
+    job.shared_output = true;
+  }
+}
+
+sim::Task<void> MapReduceCluster::concat_shared_output(JobState& job) {
+  // The reduces committed classic part-r files; one client now reads each
+  // part and rewrites it into the shared job file, strictly serialized —
+  // the §II.C bottleneck that BSFS's concurrent appends avoid (ext5
+  // measures exactly this gap).
+  const double started = sim_.now();
+  auto client = fs_.make_client(cfg_.jobtracker_node);
+  const std::string shared = shared_output_path(job);
+  co_await client->remove(shared);  // replace the empty probe-time file
+  auto writer = co_await client->create(shared);
+  BS_CHECK_MSG(writer != nullptr, "cannot recreate shared output for concat");
+  for (uint32_t r = 0; r < job.reduces_total; ++r) {
+    const std::string part =
+        fs::join_path(job.config.output_dir, task_file_name("r", r));
+    auto reader = co_await client->open(part);
+    BS_CHECK_MSG(reader != nullptr, "committed part file missing");
+    const uint64_t size = reader->size();
+    uint64_t at = 0;
+    while (at < size) {
+      const uint64_t n = std::min<uint64_t>(fs_.block_size(), size - at);
+      DataSpec chunk = co_await reader->read(at, n);
+      co_await writer->write(std::move(chunk));
+      at += n;
+    }
+    ++job.stats.concat_parts;
+    job.stats.concat_bytes += size;
+    co_await client->remove(part);
+  }
+  co_await writer->close();
+  job.stats.concat_s = sim_.now() - started;
+}
+
+sim::Task<void> MapReduceCluster::cleanup_attempt_dir(JobState& job) {
+  // Losers remove their own temp files; what is still listed once every
+  // attempt has drained is an orphan from a crashed attempt.
+  auto client = fs_.make_client(cfg_.jobtracker_node);
+  const std::string dir = fs::join_path(job.config.output_dir, "_attempts");
+  auto leftovers = co_await client->list(dir);
+  for (const std::string& path : leftovers) {
+    co_await client->remove(path);
+  }
+  co_await client->remove(dir);  // the now-childless directory entry
 }
 
 // --- planning -------------------------------------------------------------
@@ -479,6 +549,9 @@ void MapReduceCluster::finish_attempt(Attempt* att,
     ++job->stats.killed_attempts;
   }
   job->live.erase(it);
+  // Wake run_job: the shared-output fallback delays its concat until the
+  // last loser reduce attempt has drained (see the running_reduces wait).
+  job->progress->notify_all();
 }
 
 // --- job lifecycle --------------------------------------------------------
@@ -499,6 +572,10 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   job.stats.submit_time = sim_.now();
 
   co_await plan_job(job);
+  if (job.config.output_mode == JobConfig::OutputMode::kSharedAppend &&
+      job.reduces_total > 0) {
+    co_await setup_shared_output(job);
+  }
 
   // TaskTracker loops are engine-wide: they serve every active job and
   // exit when the job list drains. Each submission respawns exactly the
@@ -518,6 +595,24 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   while (!job_complete(job)) {
     co_await job.progress->wait();
   }
+  // The fallback concat pass is part of producing the job's output, so it
+  // runs before the clock stops — its serialization is the HDFS cost the
+  // shared-append comparison exists to expose. Losing reduce attempts
+  // must drain FIRST: a straggling loser whose commit rename is still in
+  // flight would otherwise land it on a part path the concat has already
+  // consumed (rename succeeds once the destination is gone), leaving a
+  // stray part file whose bytes the shared output lacks. Waiting on
+  // running_reduces (not the whole attempts group) keeps the measured
+  // makespan honest: the attempts group also holds the speculation loop's
+  // token, which only clears at its next idle tick. A reduce attempt
+  // launched after this drain aborts at its first task.done checkpoint,
+  // long before it creates any file.
+  if (job.shared_fallback && job.reduces_total > 0) {
+    while (job.running_reduces > 0) {
+      co_await job.progress->wait();
+    }
+    co_await concat_shared_output(job);
+  }
   const double finished_at = sim_.now();
   job.stats.duration = finished_at - job.stats.submit_time;
   if (job.maps_total > 0) {
@@ -530,6 +625,7 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   // Let losing attempts reach their next cancellation checkpoint and the
   // speculation loop observe completion before the state is torn down.
   co_await job.attempts.wait();
+  co_await cleanup_attempt_dir(job);
 
   JobStats out = std::move(job.stats);
   jobs_.erase(job_it);
@@ -604,7 +700,13 @@ void MapReduceCluster::speculation_sweep(JobState& job) {
       if (att.kind != kind || att.task->done) continue;
       if (att.meter.elapsed(now) < cfg_.speculative_min_runtime_s) continue;
       running.push_back(&att);
-      rates.push_back(att.meter.rate(now));
+      // Attempts at progress 1 are excluded from the peer-rate pool: their
+      // pending compute is zero and their rate can be infinite when they
+      // completed within one sample period (see ProgressMeter::rate), which
+      // would poison the median. They remain lag-test candidates below — a
+      // map at progress 1 can still be stuck in its spill write or commit
+      // on a degraded disk, exactly what a backup should rescue.
+      if (att.meter.progress() < 1.0) rates.push_back(att.meter.rate(now));
     }
     if (running.empty()) return;
     const double median_rate = median_of(rates);
@@ -630,9 +732,11 @@ void MapReduceCluster::speculation_sweep(JobState& job) {
       bool straggler = false;
       // Rate test: visibly slower than the median of its running peers.
       // Zero progress carries no rate information — a remote block stream
-      // delivers its first byte late without being a straggler — so only
-      // attempts with measured progress are compared.
-      if (progress > 0 && running.size() >= 2 && median_rate > 0 &&
+      // delivers its first byte late without being a straggler — and
+      // finished attempts (progress 1) have no pending compute to be slow
+      // at, so only attempts with measured partial progress are compared.
+      if (progress > 0 && progress < 1.0 && rates.size() >= 2 &&
+          median_rate > 0 &&
           att->meter.rate(now) < cfg_.speculative_slowness * median_rate) {
         straggler = true;
       }
@@ -672,6 +776,20 @@ sim::Task<bool> MapReduceCluster::maybe_fail(Attempt* att) {
     ++job->stats.map_failures;
   } else {
     ++job->stats.reduce_failures;
+  }
+  // File-producing attempts (reduces, generator maps) die mid-write and
+  // leave a partial temp file under _attempts/ — real Hadoop leaves these
+  // too. Nothing ever references the file again; the job-completion
+  // cleanup sweep is what keeps them from leaking forever.
+  const bool writes_file = att->kind == TaskKind::kReduce ||
+                           job->config.app->generated_bytes_per_map() > 0;
+  if (writes_file) {
+    auto client = fs_.make_client(att->node);
+    auto writer = co_await client->create(temp_path(*job, *att));
+    if (writer != nullptr) {
+      co_await writer->write(DataSpec::pattern(0xdead, 0, 256));
+      co_await writer->close();
+    }
   }
   // A dead backup must not permanently disable rescue: clear the flag so
   // a later sweep may queue a fresh backup for the still-straggling task.
@@ -735,6 +853,20 @@ void MapReduceCluster::finish_reduce_commit(Attempt* att) {
   record_node_speed(*job, TaskKind::kReduce, att->node, elapsed);
   if (att->speculative) ++job->stats.speculative_wins;
   job->progress->notify_all();
+}
+
+void MapReduceCluster::record_reduce_output(
+    Attempt* att, uint64_t shuffled, uint64_t output_bytes,
+    std::vector<std::pair<std::string, std::string>>* reduced) {
+  JobState* job = att->job;
+  job->stats.shuffle_bytes += shuffled;
+  job->stats.output_bytes += output_bytes;
+  for (auto& kv : *reduced) {
+    if (job->stats.results.size() < 10000) {
+      job->stats.results.push_back(std::move(kv));
+    }
+  }
+  finish_reduce_commit(att);
 }
 
 bool MapReduceCluster::commit_map(Attempt* att, MapOutput&& out) {
@@ -1020,9 +1152,46 @@ sim::Task<void> MapReduceCluster::run_reduce_attempt(Attempt* att) {
   }
   if (task.done) co_return;
 
+  auto client = fs_.make_client(att->node);
+
+  if (job->shared_output) {
+    // --- shared-append commit (OutputMode::kSharedAppend, live path) ---
+    // Claim the commit right at the JobTracker BEFORE touching the file:
+    // an append is permanent the moment it lands, so the arbitration that
+    // rename performs implicitly must happen up front — a losing sibling
+    // that appended anyway would leave a duplicate block in the output.
+    co_await net_.control(att->node, cfg_.jobtracker_node);
+    if (task.done || task.commit_claimed) {
+      att->lost = true;
+      co_return;
+    }
+    task.commit_claimed = true;
+    auto writer = co_await client->append_shared(shared_output_path(*job));
+    BS_CHECK_MSG(writer != nullptr, "shared append writer unavailable");
+    // Whole-block appends (§V): pad up to the storage block size so
+    // concurrent appenders keep the shared file block-aligned.
+    const uint64_t block = fs_.block_size();
+    const uint64_t pad = (block - output_bytes % block) % block;
+    if (output_bytes > 0) {
+      if (!job->config.cost_model) {
+        output_text.append(pad, '\n');
+        co_await writer->write(DataSpec::from_string(output_text));
+      } else {
+        co_await writer->write(DataSpec::pattern(
+            fnv1a64_u64(reduce_index, 0x5ead), 0, output_bytes + pad));
+      }
+    }
+    co_await writer->close();
+    ++job->stats.shared_appends;
+    if (output_bytes > 0) {
+      job->stats.shared_append_bytes += output_bytes + pad;
+    }
+    record_reduce_output(att, total, output_bytes, &reduced);
+    co_return;
+  }
+
   // --- write the output to an attempt-private temp file, then commit by
   // atomic rename (first finisher wins; losers clean up) ---
-  auto client = fs_.make_client(att->node);
   const std::string tmp = temp_path(*job, *att);
   const std::string final_path = fs::join_path(
       job->config.output_dir, task_file_name("r", reduce_index));
@@ -1050,14 +1219,7 @@ sim::Task<void> MapReduceCluster::run_reduce_attempt(Attempt* att) {
     co_await client->remove(tmp);
     co_return;
   }
-  job->stats.shuffle_bytes += total;
-  job->stats.output_bytes += output_bytes;
-  for (auto& kv : reduced) {
-    if (job->stats.results.size() < 10000) {
-      job->stats.results.push_back(std::move(kv));
-    }
-  }
-  finish_reduce_commit(att);
+  record_reduce_output(att, total, output_bytes, &reduced);
 }
 
 }  // namespace bs::mr

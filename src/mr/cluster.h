@@ -27,7 +27,10 @@
 //      generator maps) write to attempt-private temp paths and commit by
 //      an atomic FS rename — losers observe the commit at their next
 //      checkpoint, abort, and clean up, so no byte is double-counted in
-//      JobStats.
+//      JobStats. Under JobConfig::OutputMode::kSharedAppend reduces
+//      instead append to one shared job file; because an append cannot be
+//      un-landed, the winner is arbitrated by a commit claim at the
+//      JobTracker *before* the append, and losers never emit a block.
 //
 // Failed task attempts (failure injection, MrConfig::task_failure_prob)
 // are re-executed by the JobTracker, as §II.A describes. Tasks are never
@@ -106,10 +109,23 @@ struct MrConfig {
 };
 
 struct JobConfig {
+  // Where reduce output lands (paper §V):
+  //  * kPartFiles — every reduce commits its own part-r file by atomic
+  //    rename (classic Hadoop);
+  //  * kSharedAppend — every reduce APPENDS its output to ONE shared job
+  //    file. On BSFS these are true concurrent whole-block appends
+  //    (FsClient::append_shared; BlobSeer serializes only the offset
+  //    assignment). On back-ends without append support (HDFS, §II.C)
+  //    the engine falls back to per-reduce parts plus a serialized
+  //    concat pass after the last reduce commit, so both systems run the
+  //    identical workload and the makespan gap is the storage layer's.
+  enum class OutputMode { kPartFiles, kSharedAppend };
+
   std::vector<std::string> input_files;
   std::string output_dir;
   MapReduceApp* app = nullptr;
   uint32_t num_reducers = 4;
+  OutputMode output_mode = OutputMode::kPartFiles;
   // Cost mode (paper-scale benches) vs record mode (tests/examples).
   bool cost_model = false;
   // Record-sized FS reads: "MapReduce applications usually process data in
@@ -154,6 +170,12 @@ struct JobStats {
   uint64_t speculative_reduces = 0;  // backup reduce attempts launched
   uint64_t speculative_wins = 0;     // commits by a backup attempt
   uint64_t killed_attempts = 0;      // losers cancelled/discarded
+  // Shared-output commit path (OutputMode::kSharedAppend):
+  uint64_t shared_appends = 0;       // reduces committed by concurrent append
+  uint64_t shared_append_bytes = 0;  // bytes appended, block padding included
+  uint64_t concat_parts = 0;         // fallback: part files concatenated
+  uint64_t concat_bytes = 0;         // bytes rewritten by the serialized concat
+  double concat_s = 0;               // wall time of the fallback concat pass
   std::vector<TaskLaunch> launches;
   // Record-mode result sample: reduce outputs collected (small jobs only).
   std::vector<std::pair<std::string, std::string>> results;
@@ -210,6 +232,12 @@ class MapReduceCluster {
     uint32_t index = 0;
     MapSplit split;  // maps only
     bool done = false;        // an attempt committed
+    // Shared-append commit arbitration: an append is permanent the moment
+    // it lands, so (unlike rename) the winner must be decided BEFORE any
+    // byte reaches the shared file. The first attempt to claim at the
+    // JobTracker appends; siblings that arrive later abort without
+    // emitting a duplicate block.
+    bool commit_claimed = false;
     bool speculated = false;  // a backup was queued (at most one)
     uint32_t attempts_started = 0;
     uint32_t running = 0;     // live attempts
@@ -252,6 +280,10 @@ class MapReduceCluster {
     uint32_t slowstart_maps = 0;  // maps_done gate for scheduling reduces
     uint32_t running_maps = 0;
     uint32_t running_reduces = 0;
+    // Shared-output mode, resolved at job setup by probing the back-end:
+    // live concurrent appends (BSFS) or the part+concat fallback (HDFS).
+    bool shared_output = false;
+    bool shared_fallback = false;
     std::vector<MapOutput> map_outputs;
     std::vector<char> map_committed;  // per map index: output available
     double last_map_commit = 0;
@@ -306,6 +338,11 @@ class MapReduceCluster {
                          double elapsed);
   void finish_map_commit(Attempt* att);
   void finish_reduce_commit(Attempt* att);
+  // Winner-side reduce accounting shared by both commit paths (append and
+  // rename): byte counters, the result sample, then the commit itself.
+  void record_reduce_output(
+      Attempt* att, uint64_t shuffled, uint64_t output_bytes,
+      std::vector<std::pair<std::string, std::string>>* reduced);
   void launch(const Assignment& a, net::NodeId node);
   void finish_attempt(Attempt* att, std::list<Attempt>::iterator it);
 
@@ -322,6 +359,16 @@ class MapReduceCluster {
   void speculation_sweep(JobState& job);
 
   std::string temp_path(const JobState& job, const Attempt& att) const;
+  std::string shared_output_path(const JobState& job) const;
+  // Creates the shared output file and probes the back-end for concurrent
+  // append support; flips shared_output/shared_fallback on the job.
+  sim::Task<void> setup_shared_output(JobState& job);
+  // Fallback commit tail: one client serializes every committed part file
+  // into the shared output (the HDFS path ext5 measures).
+  sim::Task<void> concat_shared_output(JobState& job);
+  // Deletes orphaned _attempts/ temp files after the job drains (crashed
+  // attempts die mid-write and cannot clean up after themselves).
+  sim::Task<void> cleanup_attempt_dir(JobState& job);
 
   sim::Simulator& sim_;
   net::Network& net_;

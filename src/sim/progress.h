@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -36,10 +37,14 @@ class ProgressMeter {
   double elapsed(Time now) const { return now - start_; }
 
   // Completion fraction per simulated second since start (0 until the
-  // first update or while no time has passed).
+  // first update). An activity that made progress in zero elapsed time
+  // finished within one sample period: it is maximally FAST, not rate-0 —
+  // returning 0 here made instant finishers look like maximal stragglers
+  // to median-rate comparisons.
   double rate(Time now) const {
     const double e = elapsed(now);
-    return e > 0 ? progress_ / e : 0;
+    if (e > 0) return progress_ / e;
+    return progress_ > 0 ? std::numeric_limits<double>::infinity() : 0;
   }
 
  private:

@@ -138,7 +138,8 @@ TEST(Determinism, BackendsDifferButAgreeOnResults) {
 // speculative execution, failure injection, AND a slow-node injection all
 // active — an identical seed must yield byte-identical JobStats (every
 // speculation decision included) across two fresh clusters.
-std::string run_engine_v2(const std::string& backend) {
+std::string run_engine_v2(const std::string& backend,
+                          bool shared_output = false) {
   sim::Simulator sim;
   net::ClusterConfig ncfg;
   ncfg.num_nodes = 20;
@@ -211,6 +212,10 @@ std::string run_engine_v2(const std::string& backend) {
   jc2.num_reducers = 2;
   jc2.cost_model = true;
   jc2.record_read_size = 1024;
+  if (shared_output) {
+    jc1.output_mode = mr::JobConfig::OutputMode::kSharedAppend;
+    jc2.output_mode = mr::JobConfig::OutputMode::kSharedAppend;
+  }
   mr::JobStats s1, s2;
   sim.spawn(run(&cluster, std::move(jc1), &s1));
   sim.spawn(run(&cluster, std::move(jc2), &s2));
@@ -238,6 +243,33 @@ TEST(Determinism, EngineV2HdfsIsBitReproducible) {
   const std::string a = run_engine_v2("HDFS");
   const std::string b = run_engine_v2("HDFS");
   EXPECT_EQ(a, b);
+}
+
+// Shared-append output (OutputMode::kSharedAppend) with speculation,
+// failure injection, and the slow-node throttle all enabled: the commit
+// claim arbitration and the concurrent appends must be as deterministic as
+// the rename path — byte-identical JobStats, append counters included.
+TEST(Determinism, EngineV2SharedAppendBsfsIsBitReproducible) {
+  const std::string a = run_engine_v2("BSFS", /*shared_output=*/true);
+  const std::string b = run_engine_v2("BSFS", /*shared_output=*/true);
+  EXPECT_EQ(a, b);
+  // Every reduce of both jobs (3 + 2) committed by exactly one concurrent
+  // append; the fallback never engaged on BSFS.
+  EXPECT_NE(a.find("shared_appends=3"), std::string::npos);
+  EXPECT_NE(a.find("shared_appends=2"), std::string::npos);
+  EXPECT_EQ(a.find("concat_parts=1"), std::string::npos);
+  EXPECT_EQ(a.find("concat_parts=2"), std::string::npos);
+  EXPECT_EQ(a.find("concat_parts=3"), std::string::npos);
+}
+
+TEST(Determinism, EngineV2SharedAppendHdfsIsBitReproducible) {
+  const std::string a = run_engine_v2("HDFS", /*shared_output=*/true);
+  const std::string b = run_engine_v2("HDFS", /*shared_output=*/true);
+  EXPECT_EQ(a, b);
+  // HDFS refuses appends: both jobs fell back to parts + serialized concat.
+  EXPECT_NE(a.find("concat_parts=3"), std::string::npos);
+  EXPECT_NE(a.find("concat_parts=2"), std::string::npos);
+  EXPECT_NE(a.find("shared_appends=0"), std::string::npos);
 }
 
 TEST(Determinism, BlobWritesProduceIdenticalPlacement) {

@@ -283,6 +283,65 @@ TEST_P(FsInterfaceTest, LocationsCoverWholeFile) {
   }
 }
 
+TEST_P(FsInterfaceTest, RenameOntoExistingDestinationFails) {
+  // The MapReduce commit primitive: a rename must never overwrite an
+  // existing destination — both back-ends have to agree, or a task commit
+  // that lost a speculative race on one system would silently clobber the
+  // winner's output on the other.
+  FsWorld w;
+  auto client = w.get(GetParam()).make_client(0);
+  bool renamed = true;
+  std::optional<Bytes> dst_after, src_after;
+  auto proc = [](fs::FsClient& c, bool* rn, std::optional<Bytes>* dst,
+                 std::optional<Bytes>* src) -> sim::Task<void> {
+    co_await write_file(c, "/out/part", DataSpec::from_string("winner"));
+    co_await write_file(c, "/out/tmp", DataSpec::from_string("latecomer"));
+    *rn = co_await c.rename("/out/tmp", "/out/part");
+    *dst = co_await read_file(c, "/out/part");
+    *src = co_await read_file(c, "/out/tmp");
+  };
+  w.sim.spawn(proc(*client, &renamed, &dst_after, &src_after));
+  w.sim.run();
+  EXPECT_FALSE(renamed);
+  ASSERT_TRUE(dst_after.has_value());
+  EXPECT_EQ(std::string(dst_after->begin(), dst_after->end()), "winner");
+  // The failed rename leaves the source in place for the loser to remove.
+  ASSERT_TRUE(src_after.has_value());
+  EXPECT_EQ(std::string(src_after->begin(), src_after->end()), "latecomer");
+}
+
+TEST_P(FsInterfaceTest, RacingCommitsToOnePartFileLeaveOneWinner) {
+  // Two attempts commit the same part file concurrently; exactly one
+  // rename may win, and the surviving file is exactly the winner's bytes.
+  FsWorld w;
+  auto c1 = w.get(GetParam()).make_client(1);
+  auto c2 = w.get(GetParam()).make_client(2);
+  bool won1 = false, won2 = false;
+  auto committer = [](fs::FsClient& c, std::string tmp,
+                      std::string text, bool* won) -> sim::Task<void> {
+    co_await write_file(c, tmp, DataSpec::from_string(std::move(text)));
+    *won = co_await c.rename(tmp, "/out/part-r-00000");
+    if (!*won) co_await c.remove(tmp);
+  };
+  w.sim.spawn(committer(*c1, "/out/_attempts/a0", "attempt-zero", &won1));
+  w.sim.spawn(committer(*c2, "/out/_attempts/a1", "attempt-one!", &won2));
+  w.sim.run();
+  EXPECT_NE(won1, won2) << "exactly one racing rename must win";
+  std::optional<Bytes> final_bytes;
+  std::vector<std::string> leftovers;
+  auto check = [](fs::FsClient& c, std::optional<Bytes>* out,
+                  std::vector<std::string>* tmp) -> sim::Task<void> {
+    *out = co_await read_file(c, "/out/part-r-00000");
+    *tmp = co_await c.list("/out/_attempts");
+  };
+  w.sim.spawn(check(*c1, &final_bytes, &leftovers));
+  w.sim.run();
+  ASSERT_TRUE(final_bytes.has_value());
+  const std::string got(final_bytes->begin(), final_bytes->end());
+  EXPECT_EQ(got, won1 ? "attempt-zero" : "attempt-one!");
+  EXPECT_TRUE(leftovers.empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, FsInterfaceTest,
                          ::testing::Values("BSFS", "HDFS"));
 
@@ -390,6 +449,67 @@ TEST(BsfsSpecific, UnalignedAppendAcrossPageBoundary) {
   EXPECT_TRUE(ok);
 }
 
+TEST(BsfsSpecific, ConcurrentSharedAppendersNeverOverwrite) {
+  // The §V primitive behind OutputMode::kSharedAppend: many writers hold
+  // append_shared() writers on ONE file at once, each appending a whole
+  // block. Every block must land exactly once — the version manager
+  // assigns disjoint ranges, so no interleaving may lose or duplicate a
+  // writer's data (the plain append() RMW path would).
+  constexpr int kWriters = 6;
+  FsWorld w;
+  auto setup = w.bsfs.make_client(0);
+  auto seed_file = [](fs::FsClient& c) -> sim::Task<void> {
+    auto writer = co_await c.create("/shared");
+    co_await writer->close();
+  };
+  w.sim.spawn(seed_file(*setup));
+  w.sim.run();
+
+  std::vector<std::unique_ptr<fs::FsClient>> clients;
+  for (int i = 0; i < kWriters; ++i) {
+    clients.push_back(w.bsfs.make_client(1 + i));
+  }
+  auto appender = [](fs::FsClient& c, uint64_t seed) -> sim::Task<void> {
+    auto writer = co_await c.append_shared("/shared");
+    if (writer == nullptr) co_return;  // asserted via the final size check
+    co_await writer->write(DataSpec::pattern(seed, 0, kBlock));
+    co_await writer->close();
+  };
+  for (int i = 0; i < kWriters; ++i) {
+    w.sim.spawn(appender(*clients[i], 100 + i));
+  }
+  w.sim.run();
+
+  std::optional<Bytes> all;
+  auto read_back = [](fs::FsClient& c, std::optional<Bytes>* out)
+      -> sim::Task<void> { *out = co_await read_file(c, "/shared"); };
+  w.sim.spawn(read_back(*setup, &all));
+  w.sim.run();
+  ASSERT_TRUE(all.has_value());
+  ASSERT_EQ(all->size(), kWriters * kBlock);
+  // Each writer's block appears exactly once, intact.
+  std::set<uint64_t> seen;
+  for (int b = 0; b < kWriters; ++b) {
+    const uint64_t base = static_cast<uint64_t>(b) * kBlock;
+    uint64_t matched = 0;
+    for (int i = 0; i < kWriters; ++i) {
+      const uint64_t seed = 100 + i;
+      bool match = true;
+      for (uint64_t off = 0; off < kBlock && match; off += 97) {
+        match = (*all)[base + off] == pattern_byte(seed, off);
+      }
+      if (match) {
+        matched = seed;
+        break;
+      }
+    }
+    ASSERT_NE(matched, 0u) << "block " << b << " matches no writer";
+    EXPECT_TRUE(seen.insert(matched).second)
+        << "writer " << matched << " appended twice";
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kWriters));
+}
+
 TEST(BsfsSpecific, SnapshotReadersSeeOldVersion) {
   FsWorld w;
   auto client_ptr = w.bsfs.make_client(2);
@@ -442,14 +562,18 @@ TEST(HdfsSpecific, AppendIsUnsupported) {
   FsWorld w;
   auto client = w.hdfs.make_client(0);
   bool null_append = false;
-  auto proc = [](fs::FsClient& c, bool* out) -> sim::Task<void> {
+  bool null_shared = false;
+  auto proc = [](fs::FsClient& c, bool* out, bool* shared) -> sim::Task<void> {
     co_await write_file(c, "/f", DataSpec::from_string("data"));
     auto writer = co_await c.append("/f");
     *out = writer == nullptr;
+    auto shared_writer = co_await c.append_shared("/f");
+    *shared = shared_writer == nullptr;
   };
-  w.sim.spawn(proc(*client, &null_append));
+  w.sim.spawn(proc(*client, &null_append, &null_shared));
   w.sim.run();
   EXPECT_TRUE(null_append);
+  EXPECT_TRUE(null_shared);
 }
 
 TEST(HdfsSpecific, SingleWriterLease) {

@@ -138,6 +138,54 @@ TEST(Failure, FailuresExtendJobDuration) {
   EXPECT_EQ(faulty.shuffle_bytes, clean.shuffle_bytes);
 }
 
+TEST(Failure, CrashedAttemptsLeaveNoTempFileLeak) {
+  // Crashed file-producing attempts die mid-write and leave partial temp
+  // files under _attempts/ that nothing ever references again; the
+  // job-completion cleanup must sweep them, or every crashy job leaks
+  // namespace entries forever.
+  FWorld w;
+  Rng rng(23);
+  std::string text;
+  while (text.size() < kBlock * 6) {
+    text += random_sentence(rng, 1 + rng.below(8));
+  }
+  w.sim.spawn(put_text(&w.bsfs, "/in", text));
+  w.sim.run();
+
+  WordCount app;
+  MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.task_failure_prob = 0.5;
+  MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+  JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 3;
+  jc.record_read_size = 512;
+  JobStats stats;
+  w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+  w.sim.run();
+  // The scenario must actually crash attempts for the sweep to matter.
+  EXPECT_GT(stats.map_failures + stats.reduce_failures, 0u);
+
+  std::vector<std::string> leftovers;
+  bool dir_gone = false;
+  auto check = [](fs::FileSystem* f, std::vector<std::string>* tmp,
+                  bool* gone) -> sim::Task<void> {
+    auto client = f->make_client(1);
+    *tmp = co_await client->list("/out/_attempts");
+    auto st = co_await client->stat("/out/_attempts");
+    *gone = !st.has_value();
+  };
+  w.sim.spawn(check(&w.bsfs, &leftovers, &dir_gone));
+  w.sim.run();
+  EXPECT_TRUE(leftovers.empty())
+      << leftovers.size() << " orphaned temp files leaked";
+  EXPECT_TRUE(dir_gone) << "_attempts directory entry not cleaned up";
+}
+
 TEST(Failure, GeneratorMapsAreRetriedToo) {
   FWorld w;
   RandomTextWriter app(kBlock);

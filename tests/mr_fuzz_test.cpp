@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct JobPlan {
   uint32_t reducers = 1;
   uint32_t generator_maps = 0;   // rtw
   uint64_t bytes_per_map = 0;    // rtw
+  bool shared_output = false;    // OutputMode::kSharedAppend
   std::string output_dir;
 };
 
@@ -174,6 +176,7 @@ void run_iteration(const std::string& backend, uint64_t seed) {
     plan.kind = pick == 0 ? JobPlan::kGrep
                           : (pick == 1 ? JobPlan::kSort : JobPlan::kRtw);
     plan.reducers = 1 + static_cast<uint32_t>(rng.below(3));
+    plan.shared_output = rng.chance(0.5);
     plan.output_dir = "/out/j" + std::to_string(j);
     if (plan.kind == JobPlan::kRtw) {
       plan.generator_maps = 3 + static_cast<uint32_t>(rng.below(4));
@@ -208,6 +211,9 @@ void run_iteration(const std::string& backend, uint64_t seed) {
       jc.num_reducers = plan.reducers;
       jc.cost_model = true;
       jc.record_read_size = kBlock;
+      if (plan.shared_output) {
+        jc.output_mode = JobConfig::OutputMode::kSharedAppend;
+      }
       switch (plan.kind) {
         case JobPlan::kGrep:
           jc.app = g;
@@ -257,12 +263,74 @@ void run_iteration(const std::string& backend, uint64_t seed) {
       EXPECT_EQ(s.output_bytes, want_output);
       EXPECT_EQ(s.reduces, plan.reducers);
     }
+    // Shared-output accounting: on BSFS every reduce commits by exactly
+    // one concurrent append; on HDFS every reduce falls back to a part
+    // file that the serialized concat pass consumes. Exactly one of the
+    // two mechanisms fires, exactly reducers times.
+    if (plan.shared_output && plan.kind != JobPlan::kRtw) {
+      if (use_bsfs) {
+        EXPECT_EQ(s.shared_appends, plan.reducers);
+        EXPECT_EQ(s.concat_parts, 0u);
+        EXPECT_GE(s.shared_append_bytes, s.output_bytes);
+      } else {
+        EXPECT_EQ(s.concat_parts, plan.reducers);
+        EXPECT_EQ(s.shared_appends, 0u);
+        EXPECT_EQ(s.concat_bytes, s.output_bytes);
+      }
+    } else {
+      EXPECT_EQ(s.shared_appends, 0u);
+      EXPECT_EQ(s.concat_parts, 0u);
+    }
     // Every committed map has exactly one locality attribution.
     EXPECT_EQ(s.data_local_maps + s.rack_local_maps + s.remote_maps, s.maps);
     // The scheduler never hands tasks to the node the detector saw die.
     ASSERT_FALSE(s.launches.empty());
     for (const auto& l : s.launches) {
       EXPECT_NE(l.node, victim) << "task launched on detected-dead node";
+    }
+  }
+
+  // On-disk invariants: shared jobs leave ONE shared file holding at least
+  // the job's logical output (exactly the appended bytes on BSFS) and no
+  // part-r files; nobody leaks _attempts/ temp files.
+  struct DirCheck {
+    std::vector<std::string> names;
+    std::optional<uint64_t> shared_size;
+    std::vector<std::string> leftovers;
+  };
+  std::vector<DirCheck> checks(plans.size());
+  auto inspect = [](fs::FileSystem* f, const std::vector<JobPlan>* ps,
+                    std::vector<DirCheck>* out) -> sim::Task<void> {
+    auto client = f->make_client(0);
+    for (size_t j = 0; j < ps->size(); ++j) {
+      const std::string& dir = (*ps)[j].output_dir;
+      (*out)[j].names = co_await client->list(dir);
+      auto st = co_await client->stat(dir + "/output-shared");
+      if (st.has_value()) (*out)[j].shared_size = st->size;
+      (*out)[j].leftovers = co_await client->list(dir + "/_attempts");
+    }
+  };
+  sim.spawn(inspect(&fs, &plans, &checks));
+  sim.run();
+  for (size_t j = 0; j < plans.size(); ++j) {
+    const JobPlan& plan = plans[j];
+    const DirCheck& c = checks[j];
+    SCOPED_TRACE("dir check, job " + std::to_string(j));
+    EXPECT_TRUE(c.leftovers.empty()) << c.leftovers.size() << " temp leaks";
+    if (plan.shared_output && plan.kind != JobPlan::kRtw) {
+      ASSERT_TRUE(c.shared_size.has_value());
+      if (use_bsfs) {
+        EXPECT_EQ(*c.shared_size, stats[j].shared_append_bytes);
+      } else {
+        EXPECT_EQ(*c.shared_size, stats[j].output_bytes);
+      }
+      EXPECT_GE(*c.shared_size, stats[j].output_bytes);
+      for (const auto& name : c.names) {
+        EXPECT_EQ(name.find("part-r-"), std::string::npos)
+            << "part file in shared mode: " << name;
+      }
+    } else {
+      EXPECT_FALSE(c.shared_size.has_value());
     }
   }
 }

@@ -348,6 +348,152 @@ TEST(Speculation, LoserKillLeavesSingleCommittedOutputPerTask) {
   EXPECT_LT(stats.output_bytes, 2 * 8 * kBlock);
 }
 
+TEST(SharedOutput, SpeculativeLosersNeverAppendDuplicateBlocks) {
+  // kSharedAppend under speculation: reduces append to ONE shared file, so
+  // first-finisher-wins must be arbitrated BEFORE the append — a loser
+  // that appended anyway would leave a duplicate block that no rename race
+  // could take back. The throttled node guarantees a backup/loser exists.
+  SchedWorld w;
+  Rng rng(91);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlock * 6) {
+    std::string line = random_sentence(rng, 1 + rng.below(8));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+  w.sim.spawn(put_text(&w.bsfs, "/in", text));
+  w.sim.run();
+  w.net.set_node_perf(1, net::NodePerf{1.0 / 16, 1.0 / 16, 1.0 / 16});
+
+  SlowWordCount app;
+  MrConfig mcfg;
+  mcfg.tasktracker_nodes = {1, 2};
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.speculative_execution = true;
+  mcfg.speculative_min_runtime_s = 0.05;
+  mcfg.speculation_interval_s = 0.05;
+  MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+  JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  jc.output_mode = JobConfig::OutputMode::kSharedAppend;
+  JobStats stats;
+  w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+  w.sim.run();
+
+  // Results are exact despite the speculative race.
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got, expect);
+  // Every reduce committed by exactly one concurrent append; no fallback.
+  EXPECT_EQ(stats.shared_appends, 2u);
+  EXPECT_EQ(stats.concat_parts, 0u);
+
+  // On disk: one shared file whose size equals the appended bytes exactly
+  // (a duplicate block would show up as excess size), no part-r files, no
+  // temp leftovers.
+  std::vector<std::string> names;
+  uint64_t shared_size = 0;
+  std::vector<std::string> leftovers;
+  auto check = [](fs::FileSystem* f, std::vector<std::string>* out,
+                  uint64_t* size,
+                  std::vector<std::string>* tmp) -> sim::Task<void> {
+    auto client = f->make_client(2);
+    *out = co_await client->list("/out");
+    auto st = co_await client->stat("/out/output-shared");
+    if (st.has_value()) *size = st->size;
+    *tmp = co_await client->list("/out/_attempts");
+  };
+  w.sim.spawn(check(&w.bsfs, &names, &shared_size, &leftovers));
+  w.sim.run();
+  EXPECT_EQ(shared_size, stats.shared_append_bytes);
+  EXPECT_GE(shared_size, stats.output_bytes);
+  for (const auto& name : names) {
+    EXPECT_EQ(name.find("part-r-"), std::string::npos)
+        << "part file in shared-append mode: " << name;
+  }
+  EXPECT_TRUE(leftovers.empty()) << leftovers.size() << " temp files leaked";
+}
+
+TEST(SharedOutput, HdfsFallsBackToSerializedConcat) {
+  // The same job against HDFS: append_shared() is refused (§II.C), so the
+  // reduces commit part files and the engine concatenates them into the
+  // shared file afterwards — same final layout, serialized cost.
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = 8;
+  ncfg.nodes_per_rack = 4;
+  net::Network net(sim, ncfg);
+  hdfs::Hdfs hdfs_fs(sim, net,
+                     hdfs::HdfsConfig{.namenode = {.node = 0,
+                                                   .service_time_s = 150e-6,
+                                                   .block_size = kBlock,
+                                                   .replication = 1,
+                                                   .placement_seed = 7}});
+  Rng rng(91);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlock * 6) {
+    std::string line = random_sentence(rng, 1 + rng.below(8));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+  sim.spawn(put_text(&hdfs_fs, "/in", text));
+  sim.run();
+
+  SlowWordCount app;
+  MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  MapReduceCluster mr(sim, net, hdfs_fs, mcfg);
+  JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  jc.output_mode = JobConfig::OutputMode::kSharedAppend;
+  JobStats stats;
+  sim.spawn(run_one(&mr, std::move(jc), &stats));
+  sim.run();
+
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(stats.shared_appends, 0u);
+  EXPECT_EQ(stats.concat_parts, 2u);
+  EXPECT_EQ(stats.concat_bytes, stats.output_bytes);
+  EXPECT_GT(stats.concat_s, 0.0);
+
+  // Final layout matches the live path: one shared file holding all output
+  // bytes, the part files consumed by the concat.
+  std::vector<std::string> names;
+  uint64_t shared_size = 0;
+  auto check = [](fs::FileSystem* f, std::vector<std::string>* out,
+                  uint64_t* size) -> sim::Task<void> {
+    auto client = f->make_client(2);
+    *out = co_await client->list("/out");
+    auto st = co_await client->stat("/out/output-shared");
+    if (st.has_value()) *size = st->size;
+  };
+  sim.spawn(check(&hdfs_fs, &names, &shared_size));
+  sim.run();
+  EXPECT_EQ(shared_size, stats.output_bytes);
+  for (const auto& name : names) {
+    EXPECT_EQ(name.find("part-r-"), std::string::npos)
+        << "part file survived the concat: " << name;
+  }
+}
+
 TEST(Slowstart, ReducesOverlapMapPhase) {
   auto run_with = [](double slowstart) {
     SchedWorld w;
