@@ -1,0 +1,187 @@
+// Extension X6: pluggable intermediate data — DFS-backed shuffle vs
+// local-disk spills under mapper-node crashes.
+//
+// Classic Hadoop spills map outputs to the mapper's local disk: free of
+// replication cost, but a tasktracker crash after the map committed
+// destroys the spill, and every reduce that still needs it reports fetch
+// failures until the JobTracker re-executes the *completed* map — the
+// re-execution cascade. The Moise/Antoniu/Bougé intermediate-data line of
+// work makes this pluggable: store map outputs in the DFS itself (BSFS,
+// replicated, crash-survivable through ordinary replica failover), paying
+// replicated write traffic inside the map phase instead.
+//
+// Setup: 30-node cluster, cost-model Sort (selectivity 1.0 — every input
+// byte crosses the shuffle) over 3 GiB with 8 reduces, serial phases
+// (slowstart 1.0) and 12 tasktrackers, so the 48 maps run in two waves.
+// Four runs: each IntermediateMode crash-free, then each with 3 mapper
+// nodes crashing (disks wiped) right at the end of that mode's own map
+// phase — every map committed, the shuffle just starting, nothing
+// fetched yet.
+//
+// The crossover under test:
+//   * crash-free, kLocalDisk wins — kDfs pays 3x write traffic in the map
+//     phase for nothing;
+//   * crash-heavy, kDfs-on-BSFS wins — kLocalDisk pays fetch-failure
+//     timeouts plus the re-execution cascade, kDfs just fails over.
+//
+// Exit status: nonzero unless kLocalDisk suffers measurable re-execution
+// cost under the crashes AND kDfs-on-BSFS beats it on makespan there.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "fault/injector.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
+#include "mr/shuffle.h"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+constexpr uint64_t kInputBytes = 3ULL * kGiB;  // 48 maps at 64 MiB
+constexpr uint32_t kReducers = 8;
+constexpr uint32_t kIntermediateReplication = 3;
+constexpr uint32_t kTasktrackers = 12;  // 24 map slots: the job runs 2 waves
+const std::vector<net::NodeId> kVictims = {3, 7, 11};
+
+WorldOptions world_options() {
+  WorldOptions opt;
+  opt.cluster.num_nodes = 30;
+  opt.cluster.nodes_per_rack = 10;
+  opt.bsfs_replication = 3;  // input and output must survive the crashes
+  return opt;
+}
+
+sim::Task<void> run_one(mr::MapReduceCluster* mr, mr::JobConfig jc,
+                        mr::JobStats* out) {
+  *out = co_await mr->run_job(std::move(jc));
+}
+
+// One sort job with the given intermediate mode; when crash_time > 0 the
+// victim tasktrackers die (disks wiped) at that simulated time.
+mr::JobStats sort_run(mr::IntermediateMode mode, double crash_time) {
+  BsfsWorld world(world_options());
+  world.sim.spawn(bsfs_stage_file(world, "/in/huge", kInputBytes, 4242));
+  world.sim.run();
+
+  fault::FaultInjector injector(world.sim, world.net, {});
+  fault::wire_blobseer(injector, *world.blobs);
+  // Ground-truth liveness: replica failover skips dead providers without
+  // paying a timeout per page (detection latency is ext3's subject).
+  world.blobs->set_liveness(&world.net.ground_truth());
+  if (crash_time > 0) {
+    for (net::NodeId v : kVictims) injector.crash_at(v, crash_time);
+  }
+
+  mr::SortApp app;
+  mr::MrConfig cfg;
+  cfg.jobtracker_node = 0;
+  // Fewer tasktrackers than maps: the map phase runs in two waves, so at
+  // the crash point the first wave's outputs are committed-but-unfetched.
+  for (net::NodeId n = 1; n <= kTasktrackers; ++n) {
+    cfg.tasktracker_nodes.push_back(n);
+  }
+  mr::MapReduceCluster cluster(world.sim, world.net, *world.fs, cfg);
+  mr::JobConfig jc;
+  jc.input_files = {"/in/huge"};
+  jc.output_dir = "/out/s";
+  jc.app = &app;
+  jc.num_reducers = kReducers;
+  jc.cost_model = true;
+  jc.record_read_size = kMiB;
+  jc.intermediate_mode = mode;
+  jc.intermediate_replication = kIntermediateReplication;
+  mr::JobStats stats;
+  world.sim.spawn(run_one(&cluster, jc, &stats));
+  world.sim.run();
+  return stats;
+}
+
+void report_run(BenchReport& report, Table& table, const char* key,
+                const mr::JobStats& s) {
+  table.add_row({key, Table::num(s.duration), Table::num(s.map_phase_s),
+                 std::to_string(s.fetch_failures),
+                 std::to_string(s.maps_reexecuted),
+                 Table::num(static_cast<double>(s.intermediate_bytes_written) /
+                            static_cast<double>(kMiB)),
+                 Table::num(static_cast<double>(s.intermediate_bytes_read) /
+                            static_cast<double>(kMiB))});
+  report.metric(std::string(key) + "/makespan_s", s.duration);
+  report.metric(std::string(key) + "/map_phase_s", s.map_phase_s);
+  report.metric(std::string(key) + "/fetch_failures",
+                static_cast<double>(s.fetch_failures));
+  report.metric(std::string(key) + "/maps_reexecuted",
+                static_cast<double>(s.maps_reexecuted));
+  report.metric(std::string(key) + "/intermediate_mib_written",
+                static_cast<double>(s.intermediate_bytes_written) /
+                    static_cast<double>(kMiB));
+  report.metric(std::string(key) + "/intermediate_mib_read",
+                static_cast<double>(s.intermediate_bytes_read) /
+                    static_cast<double>(kMiB));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReport report("ext6_intermediate_data", argc, argv);
+  report.say(
+      "X6: where should intermediate (map-output) data live?\n"
+      "shape: local-disk spills win crash-free (no replicated write\n"
+      "traffic in the map phase), but once mapper nodes crash they force\n"
+      "fetch-failure detection and re-execution of completed maps; BSFS-\n"
+      "backed intermediates pay the replication up front and ride the\n"
+      "crash out through replica failover\n\n");
+
+  // Crash-free baselines, and each mode's own map-phase length.
+  mr::JobStats base_local = sort_run(mr::IntermediateMode::kLocalDisk, 0);
+  mr::JobStats base_dfs = sort_run(mr::IntermediateMode::kDfs, 0);
+
+  // Crash-heavy runs: the victims die at 98% of the mode's own map phase
+  // — nearly every map is committed and nothing has been fetched (serial
+  // phases), and the reduces have not launched yet, so the scheduler
+  // places them on live nodes. This is the worst case for local-disk
+  // intermediates: each victim takes ~4 completed maps' outputs with it.
+  const double local_crash_t =
+      base_local.submit_time + 0.98 * base_local.map_phase_s;
+  const double dfs_crash_t =
+      base_dfs.submit_time + 0.98 * base_dfs.map_phase_s;
+  mr::JobStats crash_local =
+      sort_run(mr::IntermediateMode::kLocalDisk, local_crash_t);
+  mr::JobStats crash_dfs = sort_run(mr::IntermediateMode::kDfs, dfs_crash_t);
+
+  Table table({"run", "makespan (s)", "map phase (s)", "fetch fails",
+               "maps re-run", "inter wr (MiB)", "inter rd (MiB)"});
+  report_run(report, table, "local", base_local);
+  report_run(report, table, "dfs", base_dfs);
+  report_run(report, table, "local_crash", crash_local);
+  report_run(report, table, "dfs_crash", crash_dfs);
+  report.table(table);
+
+  const double dfs_write_tax = base_dfs.duration / base_local.duration;
+  const double reexec_cost = crash_local.duration / base_local.duration;
+  const double crossover = crash_local.duration / crash_dfs.duration;
+  report.metric("dfs_write_tax", dfs_write_tax);
+  report.metric("local_reexec_cost", reexec_cost);
+  report.metric("crash_crossover", crossover);
+  report.say(
+      "\ncrash-free: kDfs pays %.2fx for replicated intermediate writes\n"
+      "crash-heavy: re-execution cascades cost kLocalDisk %.2fx; kDfs\n"
+      "beats it by %.2fx on the same crash schedule\n",
+      dfs_write_tax, reexec_cost, crossover);
+
+  // The claim under test: local wins crash-free; under mapper crashes the
+  // local mode measurably pays re-execution and DFS intermediates win.
+  const bool cascade_real = crash_local.maps_reexecuted > 0 &&
+                            crash_local.fetch_failures > 0 &&
+                            crash_local.duration > 1.05 * base_local.duration;
+  const bool dfs_rides_it_out = crash_dfs.maps_reexecuted == 0;
+  const bool ok = cascade_real && dfs_rides_it_out &&
+                  base_local.duration < base_dfs.duration &&
+                  crash_dfs.duration < crash_local.duration;
+  report.say("%s\n", ok ? "kDfs-on-BSFS beats kLocalDisk once the crashes "
+                          "start; kLocalDisk wins crash-free"
+                        : "WARNING: expected shape not met");
+  return ok ? 0 : 1;
+}

@@ -51,9 +51,15 @@ BsfsClient::BsfsClient(Bsfs& owner, net::NodeId node)
 
 sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::create(
     const std::string& path) {
+  co_return co_await create_replicated(path, 0);
+}
+
+sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::create_replicated(
+    const std::string& path, uint32_t replication) {
   auto blob_client = owner_.cluster_.make_client(node_);
-  const auto desc = co_await blob_client->create(owner_.cfg_.page_size,
-                                                 owner_.cfg_.replication);
+  const auto desc = co_await blob_client->create(
+      owner_.cfg_.page_size,
+      replication > 0 ? replication : owner_.cfg_.replication);
   const bool ok =
       co_await owner_.ns_.add_file(node_, path, desc.id, owner_.cfg_.block_size);
   if (!ok) co_return nullptr;

@@ -102,6 +102,11 @@ class BsfsClient final : public fs::FsClient {
   net::NodeId node() const override { return node_; }
 
   sim::Task<std::unique_ptr<fs::FsWriter>> create(const std::string& path) override;
+  // Per-file replication: the file's blob is created with its own degree
+  // (BlobSeer replication is a per-blob property), so transient data can
+  // ride a different degree than the configured default.
+  sim::Task<std::unique_ptr<fs::FsWriter>> create_replicated(
+      const std::string& path, uint32_t replication) override;
   sim::Task<std::unique_ptr<fs::FsReader>> open(const std::string& path) override;
   sim::Task<std::unique_ptr<fs::FsWriter>> append(const std::string& path) override;
   sim::Task<std::unique_ptr<fs::FsWriter>> append_shared(

@@ -19,6 +19,13 @@
 //     slower (a failing drive, a half-negotiated link). Slow nodes keep
 //     heartbeating and keep accepting work, which is precisely the
 //     straggler scenario speculative execution exists to beat.
+//
+// Every crash also bumps the victim's power-loss incarnation at the
+// network (net::Network::set_node_up), which is what destroys MapReduce
+// local-disk intermediate data held there: a recovered tasktracker serves
+// nothing spilled before the crash (mr/shuffle.h, LocalDiskShuffleStore),
+// wipe_storage or not. Repair, by contrast, deliberately leaves
+// _intermediate/ files alone (fault/repair.h, repair_namespace).
 #pragma once
 
 #include <cstdint>

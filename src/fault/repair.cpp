@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "blob/metadata.h"
+#include "bsfs/bsfs.h"
 #include "common/assert.h"
 #include "sim/parallel.h"
 
@@ -108,6 +109,32 @@ sim::Task<RepairStats> RepairService::repair_blob(blob::BlobId blob) {
                                  cfg_.copy_parallelism);
   stats.finished_at = cluster_.simulator().now();
   co_return stats;
+}
+
+sim::Task<RepairStats> RepairService::repair_namespace(
+    bsfs::Bsfs& fs, const std::string& root) {
+  bsfs::NamespaceManager& ns = fs.ns();
+  std::vector<blob::BlobId> blobs;
+  std::vector<std::string> stack{root};
+  while (!stack.empty()) {
+    const std::string dir = stack.back();
+    stack.pop_back();
+    const auto children = co_await ns.list(cfg_.node, dir);
+    for (const std::string& path : children) {
+      const std::string base = path.substr(path.find_last_of('/') + 1);
+      // MapReduce scratch: job-lifetime-only, never worth repair traffic.
+      if (base == "_intermediate" || base == "_attempts") continue;
+      const auto entry = co_await ns.lookup(cfg_.node, path);
+      if (!entry.has_value()) continue;  // removed while walking
+      if (entry->is_dir) {
+        stack.push_back(path);
+        continue;
+      }
+      if (entry->under_construction) continue;
+      blobs.push_back(entry->blob);
+    }
+  }
+  co_return co_await repair_blobs(std::move(blobs));
 }
 
 sim::Task<RepairStats> RepairService::repair_blobs(

@@ -18,10 +18,17 @@
 
 #include <cstdint>
 
+#include <string>
+#include <vector>
+
 #include "blob/cluster.h"
 #include "blob/types.h"
 #include "net/liveness.h"
 #include "sim/task.h"
+
+namespace bs::bsfs {
+class Bsfs;
+}
 
 namespace bs::fault {
 
@@ -68,6 +75,17 @@ class RepairService {
   // Repair passes over many blobs, sequentially (copies within a blob are
   // already parallel/throttled).
   sim::Task<RepairStats> repair_blobs(std::vector<blob::BlobId> blobs);
+
+  // Walks the BSFS namespace under `root` and repairs the blob of every
+  // finalized file — EXCEPT MapReduce scratch data: anything under an
+  // `_intermediate` or `_attempts` directory is left alone. Shuffle
+  // intermediates are job-lifetime-only and have their own fault story
+  // (replicated at their configured degree, or regenerated wholesale by
+  // map re-execution); spending background repair bandwidth on them would
+  // only steal it from the persistent data whose degree actually needs
+  // restoring.
+  sim::Task<RepairStats> repair_namespace(bsfs::Bsfs& fs,
+                                          const std::string& root = "/");
 
  private:
   // Restores one leaf; fills `stats` (serialized by the caller's joins).

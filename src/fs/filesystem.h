@@ -62,6 +62,17 @@ class FsClient {
   // Creates the file and opens it for writing; fails if it already exists
   // or (HDFS) another writer holds it.
   virtual sim::Task<std::unique_ptr<FsWriter>> create(const std::string& path) = 0;
+  // create() with an explicit replication degree for this one file
+  // (0 = the back-end's configured default). Both back-ends support
+  // per-file degrees — BlobSeer blobs carry their own replication, HDFS
+  // files record it at the NameNode — which is what lets MapReduce keep
+  // its intermediate data at a different degree than job input/output
+  // (mr/shuffle.h, IntermediateMode::kDfs).
+  virtual sim::Task<std::unique_ptr<FsWriter>> create_replicated(
+      const std::string& path, uint32_t replication) {
+    (void)replication;
+    return create(path);
+  }
   // Opens an existing, closed file for reading; null if absent.
   virtual sim::Task<std::unique_ptr<FsReader>> open(const std::string& path) = 0;
   // Appends to an existing file. Back-ends without append support (HDFS,

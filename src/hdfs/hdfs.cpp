@@ -102,7 +102,12 @@ sim::Task<Hdfs::RepairStats> Hdfs::repair_under_replicated(
 
 sim::Task<std::unique_ptr<fs::FsWriter>> HdfsClient::create(
     const std::string& path) {
-  const bool ok = co_await owner_.namenode_->create(node_, path);
+  co_return co_await create_replicated(path, 0);
+}
+
+sim::Task<std::unique_ptr<fs::FsWriter>> HdfsClient::create_replicated(
+    const std::string& path, uint32_t replication) {
+  const bool ok = co_await owner_.namenode_->create(node_, path, replication);
   if (!ok) co_return nullptr;
   co_return std::make_unique<HdfsWriter>(owner_, node_, path);
 }

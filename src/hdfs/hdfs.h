@@ -74,6 +74,10 @@ class HdfsClient final : public fs::FsClient {
   net::NodeId node() const override { return node_; }
 
   sim::Task<std::unique_ptr<fs::FsWriter>> create(const std::string& path) override;
+  // Per-file replication, recorded at the NameNode and honored by every
+  // block pipeline of this file (0.20-era dfs.replication per-file knob).
+  sim::Task<std::unique_ptr<fs::FsWriter>> create_replicated(
+      const std::string& path, uint32_t replication) override;
   sim::Task<std::unique_ptr<fs::FsReader>> open(const std::string& path) override;
   // HDFS does not support appends (paper §II.C): always null. The same
   // goes for concurrent shared appends — callers must fall back to

@@ -43,7 +43,8 @@ std::optional<net::NodeId> NameNode::pick_datanode(
 }
 
 std::vector<net::NodeId> NameNode::choose_replicas(
-    net::NodeId client, const std::vector<net::NodeId>& exclude) {
+    net::NodeId client, const std::vector<net::NodeId>& exclude,
+    uint32_t replication) {
   // Paper §IV.B: "the first replica of a chunk is always written locally;
   // ... the second replica is stored on a datanode in the same rack as the
   // first, and the third copy is sent to a datanode belonging to a
@@ -70,8 +71,8 @@ std::vector<net::NodeId> NameNode::choose_replicas(
     out.push_back(*n);
   }
   if (out.empty()) return out;  // every datanode believed dead
-  if (out.size() >= cfg_.replication) {
-    out.resize(cfg_.replication);
+  if (out.size() >= replication) {
+    out.resize(replication);
     return out;
   }
   const uint32_t first_rack = ncfg.rack_of(out[0]);
@@ -83,7 +84,7 @@ std::vector<net::NodeId> NameNode::choose_replicas(
     out.push_back(*any);
   }
   // Third and beyond: different rack (randomly chosen).
-  while (out.size() < cfg_.replication) {
+  while (out.size() < replication) {
     auto n = pick_random(
         [&](net::NodeId cand) { return ncfg.rack_of(cand) != first_rack; });
     if (!n) n = pick_random([](net::NodeId) { return true; });
@@ -93,7 +94,8 @@ std::vector<net::NodeId> NameNode::choose_replicas(
   return out;
 }
 
-sim::Task<bool> NameNode::create(net::NodeId client, const std::string& path) {
+sim::Task<bool> NameNode::create(net::NodeId client, const std::string& path,
+                                 uint32_t replication) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   bool ok = false;
@@ -102,6 +104,7 @@ sim::Task<bool> NameNode::create(net::NodeId client, const std::string& path) {
     FileEntry entry;
     entry.under_construction = true;
     entry.lease_holder = client;
+    entry.replication = replication;
     entries_[path] = std::move(entry);
     ok = true;
   }
@@ -120,7 +123,7 @@ sim::Task<std::optional<BlockInfo>> NameNode::add_block(
       it->second.lease_holder == client) {
     BlockInfo block;
     block.id = next_block_++;
-    block.replicas = choose_replicas(client, exclude);
+    block.replicas = choose_replicas(client, exclude, degree_of(it->second));
     it->second.blocks.push_back(block);
     out = block;
   }
@@ -177,6 +180,14 @@ std::vector<NameNode::UnderReplicated> NameNode::scan_under_replicated(
   std::vector<UnderReplicated> out;
   for (const auto& [path, entry] : entries_) {
     if (entry.is_dir || entry.under_construction) continue;
+    // MapReduce scratch (shuffle intermediates, attempt temp files) is
+    // job-lifetime-only and never worth repair bandwidth — same policy as
+    // the BSFS-side fault::RepairService::repair_namespace.
+    if (path.find("/_intermediate/") != std::string::npos ||
+        path.find("/_attempts/") != std::string::npos) {
+      continue;
+    }
+    const uint32_t degree = degree_of(entry);
     for (const BlockInfo& b : entry.blocks) {
       std::vector<net::NodeId> live;
       for (net::NodeId r : b.replicas) {
@@ -184,15 +195,15 @@ std::vector<NameNode::UnderReplicated> NameNode::scan_under_replicated(
           live.push_back(r);
         }
       }
-      if (live.size() >= cfg_.replication && live.size() == b.replicas.size()) {
+      if (live.size() >= degree && live.size() == b.replicas.size()) {
         continue;
       }
       UnderReplicated u;
       u.path = path;
       u.block = b.id;
       u.size = b.size;
-      u.missing = cfg_.replication > live.size()
-                      ? cfg_.replication - static_cast<uint32_t>(live.size())
+      u.missing = degree > live.size()
+                      ? degree - static_cast<uint32_t>(live.size())
                       : 0;
       u.live = std::move(live);
       out.push_back(std::move(u));

@@ -51,8 +51,11 @@ class NameNode {
            std::vector<net::NodeId> datanode_nodes, NameNodeConfig cfg);
 
   // Creates a file under construction with `client` as the lease holder.
-  // Fails if the path exists (write-once) or is a directory.
-  sim::Task<bool> create(net::NodeId client, const std::string& path);
+  // Fails if the path exists (write-once) or is a directory. `replication`
+  // overrides the configured default degree for this one file (0 = use the
+  // default) — 0.20-era HDFS carried replication per file the same way.
+  sim::Task<bool> create(net::NodeId client, const std::string& path,
+                         uint32_t replication = 0);
   // Allocates the next block and its replica pipeline. Caller must hold the
   // lease. Returns nullopt if not. `exclude` lists datanodes the writer
   // observed failing (HDFS's excludedNodes on pipeline retry) — skipped
@@ -133,7 +136,12 @@ class NameNode {
     net::NodeId lease_holder = 0;
     std::vector<BlockInfo> blocks;
     uint64_t size = 0;
+    uint32_t replication = 0;  // per-file degree; 0 = the configured default
   };
+
+  uint32_t degree_of(const FileEntry& e) const {
+    return e.replication > 0 ? e.replication : cfg_.replication;
+  }
 
   bool node_dead(net::NodeId n) const {
     return liveness_ != nullptr && !liveness_->is_up(n);
@@ -145,7 +153,8 @@ class NameNode {
       const std::vector<net::NodeId>& taken,
       const std::function<bool(net::NodeId)>& pred);
   std::vector<net::NodeId> choose_replicas(
-      net::NodeId client, const std::vector<net::NodeId>& exclude);
+      net::NodeId client, const std::vector<net::NodeId>& exclude,
+      uint32_t replication);
   void mkdirs_locked(const std::string& path);
 
   sim::Simulator& sim_;

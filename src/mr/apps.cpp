@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "mr/cluster.h"
+
 namespace bs::mr {
 
 void DistributedGrep::map(uint64_t offset, const std::string& line,
@@ -51,6 +53,22 @@ void SortApp::map(uint64_t offset, const std::string& line, Emitter& out) {
 void SortApp::reduce(const std::string& key,
                      const std::vector<std::string>& values, Emitter& out) {
   for (size_t i = 0; i < values.size(); ++i) out.emit(key, values[i]);
+}
+
+// TextInputFormat record splitting (declared in mr/cluster.h; lives with
+// the app-facing record semantics).
+void for_each_line(const std::string& text, uint64_t base_offset,
+                   const std::function<void(uint64_t, const std::string&)>& fn) {
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      fn(base_offset + start, text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    fn(base_offset + start, text.substr(start));
+  }
 }
 
 }  // namespace bs::mr

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 
 #include "common/assert.h"
@@ -14,36 +15,11 @@
 namespace bs::mr {
 namespace {
 
-// Partitioner: hash(key) mod R, as in Hadoop's HashPartitioner.
-uint32_t partition_of(const std::string& key, uint32_t reducers) {
-  return static_cast<uint32_t>(fnv1a64(key) % reducers);
-}
-
 std::string task_file_name(const char* kind, uint32_t index) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "part-%s-%05u", kind, index);
   return buf;
 }
-
-class PartitionEmitter final : public Emitter {
- public:
-  PartitionEmitter(uint32_t reducers,
-                   std::vector<std::vector<std::pair<std::string, std::string>>>*
-                       partitions,
-                   std::vector<uint64_t>* bytes)
-      : reducers_(reducers), partitions_(partitions), bytes_(bytes) {}
-
-  void emit(std::string key, std::string value) override {
-    const uint32_t p = reducers_ == 0 ? 0 : partition_of(key, reducers_);
-    (*bytes_)[p] += key.size() + value.size() + 2;
-    (*partitions_)[p].emplace_back(std::move(key), std::move(value));
-  }
-
- private:
-  uint32_t reducers_;
-  std::vector<std::vector<std::pair<std::string, std::string>>>* partitions_;
-  std::vector<uint64_t>* bytes_;
-};
 
 class VectorEmitter final : public Emitter {
  public:
@@ -58,77 +34,7 @@ class VectorEmitter final : public Emitter {
   std::vector<std::pair<std::string, std::string>>* out_;
 };
 
-void append_num(std::string* out, const char* key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%s=%a\n", key, v);
-  *out += buf;
-}
-
-void append_num(std::string* out, const char* key, uint64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
-                static_cast<unsigned long long>(v));
-  *out += buf;
-}
-
 }  // namespace
-
-void for_each_line(const std::string& text, uint64_t base_offset,
-                   const std::function<void(uint64_t, const std::string&)>& fn) {
-  size_t start = 0;
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') {
-      fn(base_offset + start, text.substr(start, i - start));
-      start = i + 1;
-    }
-  }
-  if (start < text.size()) {
-    fn(base_offset + start, text.substr(start));
-  }
-}
-
-std::string debug_string(const JobStats& s) {
-  std::string out;
-  out.reserve(256 + 64 * s.launches.size());
-  append_num(&out, "job_id", static_cast<uint64_t>(s.job_id));
-  out += "job_name=" + s.job_name + "\n";
-  out += "fs_name=" + s.fs_name + "\n";
-  append_num(&out, "submit_time", s.submit_time);
-  append_num(&out, "duration", s.duration);
-  append_num(&out, "map_phase_s", s.map_phase_s);
-  append_num(&out, "reduce_phase_s", s.reduce_phase_s);
-  append_num(&out, "first_reduce_start", s.first_reduce_start);
-  append_num(&out, "maps", s.maps);
-  append_num(&out, "reduces", s.reduces);
-  append_num(&out, "input_bytes", s.input_bytes);
-  append_num(&out, "shuffle_bytes", s.shuffle_bytes);
-  append_num(&out, "output_bytes", s.output_bytes);
-  append_num(&out, "data_local_maps", s.data_local_maps);
-  append_num(&out, "rack_local_maps", s.rack_local_maps);
-  append_num(&out, "remote_maps", s.remote_maps);
-  append_num(&out, "map_failures", s.map_failures);
-  append_num(&out, "reduce_failures", s.reduce_failures);
-  append_num(&out, "speculative_maps", s.speculative_maps);
-  append_num(&out, "speculative_reduces", s.speculative_reduces);
-  append_num(&out, "speculative_wins", s.speculative_wins);
-  append_num(&out, "killed_attempts", s.killed_attempts);
-  append_num(&out, "shared_appends", s.shared_appends);
-  append_num(&out, "shared_append_bytes", s.shared_append_bytes);
-  append_num(&out, "concat_parts", s.concat_parts);
-  append_num(&out, "concat_bytes", s.concat_bytes);
-  append_num(&out, "concat_s", s.concat_s);
-  for (const TaskLaunch& l : s.launches) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "launch %c%u a%u node=%u t=%a spec=%d\n",
-                  l.kind, l.task, l.attempt, l.node, l.time,
-                  l.speculative ? 1 : 0);
-    out += buf;
-  }
-  for (const auto& [k, v] : s.results) {
-    out += "result " + k + "\t" + v + "\n";
-  }
-  return out;
-}
 
 MapReduceCluster::MapReduceCluster(sim::Simulator& sim, net::Network& net,
                                    fs::FileSystem& filesystem, MrConfig cfg)
@@ -141,25 +47,6 @@ MapReduceCluster::MapReduceCluster(sim::Simulator& sim, net::Network& net,
   slots_.resize(net.config().num_nodes);
   node_slowness_.assign(net.config().num_nodes, 0);
   tracker_running_.assign(net.config().num_nodes, 0);
-}
-
-void MapReduceCluster::record_node_speed(const JobState& job, TaskKind kind,
-                                         net::NodeId node, double elapsed) {
-  const double baseline = kind == TaskKind::kMap ? job.map_lag_baseline
-                                                 : job.reduce_lag_baseline;
-  // Before a baseline exists the earliest committers are by definition the
-  // fast ones; mark them neutral-fast.
-  node_slowness_[node] = baseline > 0 ? elapsed / baseline : 1.0;
-}
-
-bool MapReduceCluster::backup_eligible(const JobState& job, TaskKind kind,
-                                       net::NodeId node) const {
-  const double baseline = kind == TaskKind::kMap ? job.map_lag_baseline
-                                                 : job.reduce_lag_baseline;
-  // No straggler baseline yet: nothing to compare against, allow anyone.
-  if (baseline <= 0) return true;
-  const double slowness = node_slowness_[node];
-  return slowness > 0 && slowness <= cfg_.speculative_lag;
 }
 
 std::string MapReduceCluster::temp_path(const JobState& job,
@@ -280,6 +167,7 @@ sim::Task<void> MapReduceCluster::plan_job(JobState& job) {
   }
   job.map_outputs.resize(job.maps_total);
   job.map_committed.assign(job.maps_total, 0);
+  job.fetch_fail_counts.assign(job.maps_total, 0);
   job.reduces_total = app.map_only() ? 0 : job.config.num_reducers;
   job.reduce_tasks.resize(job.reduces_total);
   for (uint32_t r = 0; r < job.reduces_total; ++r) {
@@ -572,6 +460,8 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   job.stats.submit_time = sim_.now();
 
   co_await plan_job(job);
+  job.shuffle = make_shuffle_store(job.config.intermediate_mode, sim_, net_,
+                                   fs_, job.config.intermediate_replication);
   if (job.config.output_mode == JobConfig::OutputMode::kSharedAppend &&
       job.reduces_total > 0) {
     co_await setup_shared_output(job);
@@ -626,6 +516,9 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   // speculation loop observe completion before the state is torn down.
   co_await job.attempts.wait();
   co_await cleanup_attempt_dir(job);
+  // Intermediate data is job-lifetime-only: sweep whatever the store left
+  // (kDfs _intermediate/ files — winners', losers', and crashed attempts').
+  co_await job.shuffle->cleanup(job.config.output_dir, cfg_.jobtracker_node);
 
   JobStats out = std::move(job.stats);
   jobs_.erase(job_it);
@@ -651,113 +544,6 @@ sim::Task<void> MapReduceCluster::tasktracker_loop(net::NodeId node) {
   tracker_running_[node] = 0;
 }
 
-// --- speculation ----------------------------------------------------------
-
-sim::Task<void> MapReduceCluster::speculation_loop(JobState* job) {
-  co_await sim::repeat_every(sim_, cfg_.speculation_interval_s, [this, job] {
-    if (job_complete(*job)) return false;
-    speculation_sweep(*job);
-    return true;
-  });
-  job->attempts.done();
-}
-
-namespace {
-
-// Median of a sample set (copy-and-sort; sweep-time sample counts are
-// bounded by the running/committed task counts).
-double median_of(std::vector<double> v) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const size_t mid = v.size() / 2;
-  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
-}
-
-// Upper quartile: the lag baseline. Committed durations are bimodal
-// (cache-served attempts finish several times faster than disk/remote
-// streams), so the straggler threshold must sit above the *slow-but-
-// healthy* mode, not above the overall median.
-double p75_of(std::vector<double> v) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  return v[(v.size() - 1) * 3 / 4];
-}
-
-}  // namespace
-
-void MapReduceCluster::speculation_sweep(JobState& job) {
-  const double now = sim_.now();
-  auto sweep = [&](TaskKind kind, const std::deque<uint32_t>& pending,
-                   std::deque<std::pair<uint32_t, double>>& spec_queue,
-                   const std::vector<double>& commit_durations,
-                   double* baseline_out) {
-    // Hadoop precondition: only speculate once every task of the category
-    // has been handed out — backups must not displace first attempts.
-    if (!pending.empty()) return;
-    std::vector<Attempt*> running;
-    std::vector<double> rates;
-    for (Attempt& att : job.live) {
-      if (att.kind != kind || att.task->done) continue;
-      if (att.meter.elapsed(now) < cfg_.speculative_min_runtime_s) continue;
-      running.push_back(&att);
-      // Attempts at progress 1 are excluded from the peer-rate pool: their
-      // pending compute is zero and their rate can be infinite when they
-      // completed within one sample period (see ProgressMeter::rate), which
-      // would poison the median. They remain lag-test candidates below — a
-      // map at progress 1 can still be stuck in its spill write or commit
-      // on a degraded disk, exactly what a backup should rescue.
-      if (att.meter.progress() < 1.0) rates.push_back(att.meter.rate(now));
-    }
-    if (running.empty()) return;
-    const double median_rate = median_of(rates);
-    // The lag baseline mixes committed durations with the elapsed times of
-    // still-running attempts: early in a wave only the fastest attempts
-    // have committed (censoring), and a baseline built from them alone
-    // would flag every healthy attempt that is merely slower than the
-    // cache-served ones.
-    double lag_baseline = 0;
-    if (commit_durations.size() >= 3) {
-      std::vector<double> lifetimes = commit_durations;
-      for (Attempt* att : running) {
-        lifetimes.push_back(att->meter.elapsed(now));
-      }
-      lag_baseline = p75_of(std::move(lifetimes));
-    }
-    *baseline_out = lag_baseline;
-    for (Attempt* att : running) {
-      TaskState& task = *att->task;
-      if (task.speculated || task.done) continue;
-      const double progress = att->meter.progress();
-      const double elapsed = att->meter.elapsed(now);
-      bool straggler = false;
-      // Rate test: visibly slower than the median of its running peers.
-      // Zero progress carries no rate information — a remote block stream
-      // delivers its first byte late without being a straggler — and
-      // finished attempts (progress 1) have no pending compute to be slow
-      // at, so only attempts with measured partial progress are compared.
-      if (progress > 0 && progress < 1.0 && rates.size() >= 2 &&
-          median_rate > 0 &&
-          att->meter.rate(now) < cfg_.speculative_slowness * median_rate) {
-        straggler = true;
-      }
-      // Lag test: running far beyond the upper quartile of committed
-      // attempt durations. Applies at any progress — a stuck attempt may
-      // not even have its first byte yet.
-      if (lag_baseline > 0 && elapsed > cfg_.speculative_lag * lag_baseline) {
-        straggler = true;
-      }
-      if (straggler) {
-        task.speculated = true;
-        spec_queue.emplace_back(task.index, now);
-      }
-    }
-  };
-  sweep(TaskKind::kMap, job.pending_maps, job.spec_maps,
-        job.map_commit_durations, &job.map_lag_baseline);
-  sweep(TaskKind::kReduce, job.pending_reduces, job.spec_reduces,
-        job.reduce_commit_durations, &job.reduce_lag_baseline);
-}
-
 // --- attempts -------------------------------------------------------------
 
 sim::Task<bool> MapReduceCluster::maybe_fail(Attempt* att) {
@@ -769,14 +555,7 @@ sim::Task<bool> MapReduceCluster::maybe_fail(Attempt* att) {
   co_await sim_.delay((cfg_.task_startup_s +
                        rng_.uniform() * 4 * cfg_.heartbeat_s) /
                       cpu_scale(att->node));
-  att->failed = true;
   JobState* job = att->job;
-  TaskState& task = *att->task;
-  if (att->kind == TaskKind::kMap) {
-    ++job->stats.map_failures;
-  } else {
-    ++job->stats.reduce_failures;
-  }
   // File-producing attempts (reduces, generator maps) die mid-write and
   // leave a partial temp file under _attempts/ — real Hadoop leaves these
   // too. Nothing ever references the file again; the job-completion
@@ -791,20 +570,84 @@ sim::Task<bool> MapReduceCluster::maybe_fail(Attempt* att) {
       co_await writer->close();
     }
   }
-  // A dead backup must not permanently disable rescue: clear the flag so
-  // a later sweep may queue a fresh backup for the still-straggling task.
+  // Shared failure bookkeeping: counters, backup-rescue reset, and the
+  // last-live-attempt requeue.
+  abort_attempt_io(att);
+  co_return true;
+}
+
+void MapReduceCluster::abort_attempt_io(Attempt* att) {
+  att->failed = true;
+  JobState* job = att->job;
+  TaskState& task = *att->task;
+  if (att->kind == TaskKind::kMap) {
+    ++job->stats.map_failures;
+  } else {
+    ++job->stats.reduce_failures;
+  }
+  // A dead backup must not permanently disable rescue: a later sweep may
+  // queue a fresh backup.
   if (att->speculative) task.speculated = false;
   // Re-execute only when this was the task's last live attempt and nothing
-  // committed — if a sibling (original or backup) is still running, it
-  // carries the task.
+  // committed — a running sibling still carries the task. The duplicate
+  // guard covers a task already requeued by a lost-output declaration
+  // (report_fetch_failure) while this loser was still draining.
   if (!task.done && task.running == 1) {
-    if (att->kind == TaskKind::kMap) {
-      job->pending_maps.push_back(task.index);
-    } else {
-      job->pending_reduces.push_back(task.index);
+    auto& pending =
+        att->kind == TaskKind::kMap ? job->pending_maps : job->pending_reduces;
+    if (std::find(pending.begin(), pending.end(), task.index) ==
+        pending.end()) {
+      pending.push_back(task.index);
     }
   }
-  co_return true;
+}
+
+void MapReduceCluster::report_fetch_failure(JobState& job,
+                                            uint32_t map_index) {
+  // A complete job accepts no more notifications: run_job may already be
+  // past its completion wait, and revoking a commit now would requeue a
+  // map into a job that is tearing down. (Unreachable via the reducer
+  // call site's !task.done guard; kept as the tracker-side invariant.)
+  if (job_complete(job)) return;
+  ++job.stats.fetch_failures;
+  // Stale notification: the output is already declared lost (the map is
+  // pending or re-running) — the reducer just retries against the next
+  // commit.
+  if (!job.map_committed[map_index]) return;
+  if (++job.fetch_fail_counts[map_index] < cfg_.fetch_failure_threshold) {
+    return;
+  }
+  // Hadoop-style declaration: enough reducers reported this map's output
+  // unfetchable — the *completed* map's intermediate data is gone (with
+  // kLocalDisk intermediates, its tasktracker died). Revoke the commit and
+  // re-schedule the map from scratch; reducers that already copied the
+  // partition keep their data, the rest wait for the re-commit.
+  job.fetch_fail_counts[map_index] = 0;
+  job.map_committed[map_index] = 0;
+  TaskState& task = job.map_tasks[map_index];
+  task.done = false;
+  task.speculated = false;  // the straggler sweep may help the re-run too
+  // Purge any stale backup-queue entry: with task.done cleared it would
+  // re-validate and launch a duplicate first attempt alongside the
+  // pending-queue requeue below.
+  for (auto it = job.spec_maps.begin(); it != job.spec_maps.end();) {
+    it = it->first == map_index ? job.spec_maps.erase(it) : std::next(it);
+  }
+  BS_CHECK(job.maps_done > 0);
+  --job.maps_done;
+  ++job.stats.maps_reexecuted;
+  // Revoke the lost commit's locality attribution; the re-execution's own
+  // commit re-attributes (keeps data_local+rack+remote == maps exact).
+  switch (task.committed_locality) {
+    case 0: --job.stats.data_local_maps; break;
+    case 1: --job.stats.rack_local_maps; break;
+    default: --job.stats.remote_maps; break;
+  }
+  if (std::find(job.pending_maps.begin(), job.pending_maps.end(),
+                map_index) == job.pending_maps.end()) {
+    job.pending_maps.push_back(map_index);
+  }
+  job.progress->notify_all();
 }
 
 sim::Task<void> MapReduceCluster::attempt_body(Attempt* att) {
@@ -830,6 +673,7 @@ void MapReduceCluster::finish_map_commit(Attempt* att) {
   const double elapsed = att->meter.elapsed(sim_.now());
   job->map_commit_durations.push_back(elapsed);
   record_node_speed(*job, TaskKind::kMap, att->node, elapsed);
+  task.committed_locality = att->locality;
   switch (att->locality) {
     case 0: ++job->stats.data_local_maps; break;
     case 1: ++job->stats.rack_local_maps; break;
@@ -885,6 +729,10 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
   const MapSplit& split = task.split;
   co_await sim_.delay(cfg_.task_startup_s / cpu_scale(att->node));
   if (task.done) co_return;
+  if (!net_.node_up(att->node)) {  // the node lost power during startup
+    abort_attempt_io(att);
+    co_return;
+  }
 
   auto client = fs_.make_client(att->node);
   auto reader = co_await client->open(split.file);
@@ -894,6 +742,7 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
   const uint32_t reducers = std::max<uint32_t>(1, job->reduces_total);
   MapOutput out;
   out.node = att->node;
+  out.attempt = att->ordinal;
   out.partition_bytes.assign(reducers, 0);
 
   const uint64_t end = split.offset + split.length;
@@ -913,6 +762,10 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
     bool done = false;
     while (!done && pos < file_size) {
       if (task.done) co_return;  // a backup committed: stop, discard
+      if (!net_.node_up(att->node)) {  // killed by a node crash
+        abort_attempt_io(att);
+        co_return;
+      }
       const uint64_t n =
           std::min<uint64_t>(job->config.record_read_size, file_size - pos);
       DataSpec chunk = co_await reader->read(pos, n);
@@ -958,6 +811,10 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
     uint64_t pos = split.offset;
     while (pos < end) {
       if (task.done) co_return;
+      if (!net_.node_up(att->node)) {  // killed by a node crash
+        abort_attempt_io(att);
+        co_return;
+      }
       const uint64_t n =
           std::min<uint64_t>(job->config.record_read_size, end - pos);
       DataSpec chunk = co_await reader->read(pos, n);
@@ -975,13 +832,23 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
     }
   }
 
-  // Spill intermediate data to the local disk (map-side materialization).
-  const uint64_t spill = std::accumulate(out.partition_bytes.begin(),
-                                         out.partition_bytes.end(), 0ULL);
-  if (spill > 0 && job->reduces_total > 0) {
-    co_await net_.disk(att->node).write(static_cast<double>(spill));
+  // Materialize the intermediate output through the job's shuffle store
+  // (local-disk spill or replicated DFS files, per intermediate_mode).
+  if (job->reduces_total > 0) {
+    uint64_t written = 0;
+    const bool stored = co_await job->shuffle->write_map_output(
+        job->config.output_dir, task.index, &out, &written);
+    job->stats.intermediate_bytes_written += written;
+    if (!stored) {  // the node lost power mid-materialization
+      abort_attempt_io(att);
+      co_return;
+    }
   }
   if (task.done) co_return;
+  if (!net_.node_up(att->node)) {
+    abort_attempt_io(att);
+    co_return;
+  }
 
   // Report completion, then commit (exactly one attempt installs output).
   co_await net_.control(att->node, cfg_.jobtracker_node);
@@ -1016,6 +883,10 @@ sim::Task<void> MapReduceCluster::run_generator_attempt(Attempt* att) {
         cancelled = true;
         break;
       }
+      if (!net_.node_up(att->node)) {  // killed by a node crash mid-write;
+        abort_attempt_io(att);         // the partial temp file is swept at
+        co_return;                     // job completion
+      }
       const uint64_t n = std::min(chunk, bytes - done);
       // Re-sampled per chunk so a mid-attempt slow-node injection bites.
       co_await sim_.delay(static_cast<double>(n) / app.map_rate_bps() /
@@ -1036,6 +907,10 @@ sim::Task<void> MapReduceCluster::run_generator_attempt(Attempt* att) {
       co_await writer->write(DataSpec::from_string(text));
       att->meter.update(1.0);
     }
+  }
+  if (!net_.node_up(att->node)) {
+    abort_attempt_io(att);
+    co_return;
   }
   const uint64_t written = writer->bytes_written();
   co_await writer->close();
@@ -1066,44 +941,87 @@ sim::Task<void> MapReduceCluster::run_reduce_attempt(Attempt* att) {
   co_await sim_.delay(cfg_.task_startup_s / cpu_scale(att->node));
   MapReduceApp& app = *job->config.app;
 
-  // --- shuffle: fetch this reducer's partition from every map's node as
-  // map outputs commit (slowstart overlap: the copy phase runs while the
-  // map phase is still producing) ---
+  // --- shuffle: fetch this reducer's partition of every map output as
+  // maps commit (slowstart overlap: the copy phase runs while the map
+  // phase is still producing), through the job's shuffle store. A failed
+  // fetch is reported to the JobTracker — Hadoop's fetch-failure
+  // notification — and retried after a backoff; past the threshold the
+  // tracker declares the map output lost and re-schedules the map, whose
+  // re-commit wakes this loop again (see report_fetch_failure). ---
+  const uint32_t parallel_copies = shuffle_copies(*job);
   std::vector<char> fetched(job->maps_total, 0);
+  std::vector<double> retry_after(job->maps_total, 0);
   uint32_t fetched_count = 0;
   uint64_t total = 0;
   while (fetched_count < job->maps_total) {
     if (task.done) co_return;
+    if (!net_.node_up(att->node)) {  // the reducer's own node lost power
+      abort_attempt_io(att);
+      co_return;
+    }
+    const double now = sim_.now();
     std::vector<uint32_t> batch;
     for (uint32_t i = 0; i < job->maps_total; ++i) {
-      if (job->map_committed[i] && !fetched[i]) batch.push_back(i);
+      if (job->map_committed[i] && !fetched[i] && now >= retry_after[i]) {
+        batch.push_back(i);
+      }
     }
     if (batch.empty()) {
-      co_await job->progress->wait();
+      // Nothing fetchable right now: wait for the next commit, or for the
+      // earliest backoff to expire when failed maps are all that is left.
+      double next_retry = std::numeric_limits<double>::infinity();
+      for (uint32_t i = 0; i < job->maps_total; ++i) {
+        if (job->map_committed[i] && !fetched[i]) {
+          next_retry = std::min(next_retry, retry_after[i]);
+        }
+      }
+      if (next_retry == std::numeric_limits<double>::infinity()) {
+        co_await job->progress->wait();
+      } else {
+        co_await sim_.delay(std::max(1e-9, next_retry - now));
+      }
       continue;
     }
-    std::vector<sim::Task<void>> fetches;
+    std::vector<uint32_t> moving;  // batch entries with bytes to move
+    std::vector<sim::Task<bool>> fetches;
     for (uint32_t i : batch) {
-      fetched[i] = 1;
-      ++fetched_count;
       const MapOutput& m = job->map_outputs[i];
-      const uint64_t size = m.partition_bytes[reduce_index];
-      if (size == 0) continue;
-      total += size;
-      auto fetch = [](MapReduceCluster* self, net::NodeId src, net::NodeId dst,
-                      uint64_t bytes) -> sim::Task<void> {
-        // Map-side disk read feeds the network stream (overlapped).
-        std::vector<sim::Task<void>> legs;
-        legs.push_back(self->net_.disk(src).read(static_cast<double>(bytes)));
-        legs.push_back(
-            self->net_.transfer(src, dst, static_cast<double>(bytes)));
-        co_await sim::when_all(self->sim_, std::move(legs));
-      };
-      fetches.push_back(fetch(this, m.node, att->node, size));
+      if (m.partition_bytes[reduce_index] == 0) {
+        fetched[i] = 1;  // nothing to move, nothing to lose
+        ++fetched_count;
+        continue;
+      }
+      moving.push_back(i);
+      fetches.push_back(job->shuffle->fetch_partition(
+          job->config.output_dir, i, m, reduce_index, att->node));
     }
     if (!fetches.empty()) {
-      co_await sim::when_all_limited(sim_, std::move(fetches),
-                                     cfg_.shuffle_parallel_copies);
+      const std::vector<bool> ok = co_await sim::when_all_limited(
+          sim_, std::move(fetches), parallel_copies);
+      std::vector<uint32_t> failed;
+      for (size_t k = 0; k < moving.size(); ++k) {
+        const uint32_t i = moving[k];
+        const uint64_t size = job->map_outputs[i].partition_bytes[reduce_index];
+        if (ok[k]) {
+          fetched[i] = 1;
+          ++fetched_count;
+          total += size;
+          job->stats.intermediate_bytes_read += size;
+        } else {
+          retry_after[i] = sim_.now() + cfg_.fetch_retry_s;
+          failed.push_back(i);
+        }
+      }
+      // Report failures only from a live, still-racing attempt — a
+      // reducer whose own node died sees every fetch fail and must not
+      // frame the mappers, and a loser whose sibling already committed
+      // has nothing left to report (a late revocation could requeue a map
+      // into a job that is tearing down).
+      if (!failed.empty() && net_.node_up(att->node) && !task.done) {
+        co_await net_.control(att->node, cfg_.jobtracker_node);
+        for (uint32_t i : failed) report_fetch_failure(*job, i);
+        co_await net_.control(cfg_.jobtracker_node, att->node);
+      }
     }
     att->meter.update(0.75 * static_cast<double>(fetched_count) /
                       static_cast<double>(std::max<uint32_t>(1, job->maps_total)));
@@ -1117,6 +1035,10 @@ sim::Task<void> MapReduceCluster::run_reduce_attempt(Attempt* att) {
     constexpr int kSlices = 8;
     for (int s = 0; s < kSlices; ++s) {
       if (task.done) co_return;
+      if (!net_.node_up(att->node)) {  // killed by a node crash
+        abort_attempt_io(att);
+        co_return;
+      }
       // CPU factor re-sampled per slice (mid-attempt slow-node injection).
       co_await sim_.delay(compute_s / kSlices / cpu_scale(att->node));
       att->meter.update(0.75 + 0.2 * static_cast<double>(s + 1) / kSlices);
@@ -1151,6 +1073,10 @@ sim::Task<void> MapReduceCluster::run_reduce_attempt(Attempt* att) {
         static_cast<uint64_t>(static_cast<double>(total) * app.output_ratio());
   }
   if (task.done) co_return;
+  if (!net_.node_up(att->node)) {  // a dead node commits nothing
+    abort_attempt_io(att);
+    co_return;
+  }
 
   auto client = fs_.make_client(att->node);
 

@@ -13,11 +13,21 @@
 //   1. Map attempts read their split through the FS client (record-sized
 //      reads; the FS's caching/prefetch behavior is what the paper's §IV.C
 //      comparison exercises), run map() or charge the cost model per
-//      chunk, and spill partitioned intermediate output to local disk.
+//      chunk, and materialize partitioned intermediate output through the
+//      job's ShuffleStore (mr/shuffle.h): mapper-local disk (classic
+//      Hadoop) or replicated DFS files, per JobConfig::intermediate_mode.
 //   2. Reduce tasks may start once `reduce_slowstart` of the job's maps
 //      have committed (Hadoop's mapred.reduce.slowstart analog); their
 //      shuffle fetches each map's partition as it becomes available, so
-//      the copy phase overlaps the map phase.
+//      the copy phase overlaps the map phase. A failed fetch (the mapper
+//      node lost power — with kLocalDisk intermediates its committed map
+//      outputs died with it) is reported to the JobTracker and retried
+//      after a backoff; once a map accumulates
+//      MrConfig::fetch_failure_threshold reports, the tracker declares the
+//      output lost and re-schedules the *completed* map. The machinery is
+//      armed in both intermediate modes; with kDfs intermediates fetches
+//      fail over across DFS replicas inside the read path, so it only
+//      fires in pathological cases (a missing intermediate file).
 //   3. Speculative execution: every attempt samples a ProgressMeter at
 //      chunk boundaries; a periodic JobTracker sweep compares progress
 //      rates (and elapsed time against committed-attempt baselines) and
@@ -33,11 +43,13 @@
 //      JobTracker *before* the append, and losers never emit a block.
 //
 // Failed task attempts (failure injection, MrConfig::task_failure_prob)
-// are re-executed by the JobTracker, as §II.A describes. Tasks are never
-// scheduled on nodes the configured liveness view believes dead. All
-// decisions — scheduling, speculation, failure dice — are driven by the
-// deterministic event loop and seeded Rng, so identical seeds reproduce
-// identical JobStats byte-for-byte (see debug_string).
+// are re-executed by the JobTracker, as §II.A describes; attempts whose
+// node loses power abort at their next checkpoint and are likewise
+// re-executed. Tasks are never scheduled on nodes the configured liveness
+// view believes dead. All decisions — scheduling, speculation, failure
+// dice, fetch-failure re-execution — are driven by the deterministic event
+// loop and seeded Rng, so identical seeds reproduce identical JobStats
+// byte-for-byte (see debug_string in mr/jobstats.h).
 //
 // Remaining simplifications vs. Hadoop: attempts fail before producing
 // partial output, one combined merge pass, no JVM/slot reuse modeling.
@@ -55,7 +67,9 @@
 #include "common/stats.h"
 #include "fs/filesystem.h"
 #include "mr/app.h"
+#include "mr/jobstats.h"
 #include "mr/scheduler.h"
+#include "mr/shuffle.h"
 #include "net/liveness.h"
 #include "net/network.h"
 #include "sim/progress.h"
@@ -72,6 +86,9 @@ struct MrConfig {
   uint32_t reduce_slots = 2;
   double heartbeat_s = 0.3;
   double task_startup_s = 0.2;  // JVM reuse era: modest per-task startup
+  // Engine-wide default for concurrent shuffle fetches per reduce
+  // (mapred.reduce.parallel.copies); JobConfig::shuffle_parallel_copies
+  // overrides it per job, as Hadoop's per-job setting does.
   uint32_t shuffle_parallel_copies = 5;
   // Failure injection: each task attempt fails with this probability after
   // doing a random fraction of its work; the JobTracker re-executes failed
@@ -106,6 +123,14 @@ struct MrConfig {
   // When set, tasks are never assigned to nodes this view believes dead
   // (wire the fault::FailureDetector here).
   const net::LivenessView* liveness = nullptr;
+
+  // --- v3 knobs: intermediate-data fault tolerance (mr/shuffle.h) ---
+  // Fetch-failure notifications a committed map may accumulate before the
+  // JobTracker declares its intermediate output lost and re-schedules it
+  // (Hadoop's mapred.reduce.copy failure threshold, 3 notifications).
+  uint32_t fetch_failure_threshold = 3;
+  // Reducer-side backoff before re-fetching a map output that just failed.
+  double fetch_retry_s = 0.4;
 };
 
 struct JobConfig {
@@ -126,6 +151,17 @@ struct JobConfig {
   MapReduceApp* app = nullptr;
   uint32_t num_reducers = 4;
   OutputMode output_mode = OutputMode::kPartFiles;
+  // Where this job's intermediate (map-output) data lives — the paper's
+  // pluggable choice (mr/shuffle.h): mapper-local disk, lost on a crash
+  // and repaid by map re-execution cascades, or DFS files that survive
+  // crashes at the price of replicated writes inside the map phase.
+  IntermediateMode intermediate_mode = IntermediateMode::kLocalDisk;
+  // kDfs only: replication degree of the intermediate files (0 = the
+  // storage back-end's configured default).
+  uint32_t intermediate_replication = 0;
+  // Per-job override of MrConfig::shuffle_parallel_copies
+  // (mapred.reduce.parallel.copies is a per-job setting); 0 = inherit.
+  uint32_t shuffle_parallel_copies = 0;
   // Cost mode (paper-scale benches) vs record mode (tests/examples).
   bool cost_model = false;
   // Record-sized FS reads: "MapReduce applications usually process data in
@@ -134,57 +170,6 @@ struct JobConfig {
   // For generator apps: number of map tasks (they have no input splits).
   uint32_t num_generator_maps = 0;
 };
-
-// One task-attempt launch decision (the scheduler's audit trail; tests
-// assert liveness and fairness invariants over it).
-struct TaskLaunch {
-  char kind = 'm';  // 'm' map, 'r' reduce
-  uint32_t task = 0;
-  uint32_t attempt = 0;
-  net::NodeId node = 0;
-  double time = 0;
-  bool speculative = false;
-  bool operator==(const TaskLaunch&) const = default;
-};
-
-struct JobStats {
-  uint32_t job_id = 0;
-  std::string job_name;
-  std::string fs_name;
-  double submit_time = 0;
-  double duration = 0;
-  double map_phase_s = 0;        // submit → last map commit
-  double reduce_phase_s = 0;     // first reduce launch → last reduce commit
-  double first_reduce_start = 0; // sim time of the first reduce attempt
-  uint64_t maps = 0;
-  uint64_t reduces = 0;
-  uint64_t input_bytes = 0;
-  uint64_t shuffle_bytes = 0;
-  uint64_t output_bytes = 0;
-  uint64_t data_local_maps = 0;  // locality of the *committed* attempt
-  uint64_t rack_local_maps = 0;
-  uint64_t remote_maps = 0;
-  uint64_t map_failures = 0;
-  uint64_t reduce_failures = 0;
-  uint64_t speculative_maps = 0;     // backup map attempts launched
-  uint64_t speculative_reduces = 0;  // backup reduce attempts launched
-  uint64_t speculative_wins = 0;     // commits by a backup attempt
-  uint64_t killed_attempts = 0;      // losers cancelled/discarded
-  // Shared-output commit path (OutputMode::kSharedAppend):
-  uint64_t shared_appends = 0;       // reduces committed by concurrent append
-  uint64_t shared_append_bytes = 0;  // bytes appended, block padding included
-  uint64_t concat_parts = 0;         // fallback: part files concatenated
-  uint64_t concat_bytes = 0;         // bytes rewritten by the serialized concat
-  double concat_s = 0;               // wall time of the fallback concat pass
-  std::vector<TaskLaunch> launches;
-  // Record-mode result sample: reduce outputs collected (small jobs only).
-  std::vector<std::pair<std::string, std::string>> results;
-};
-
-// Exact serialization of every field (doubles in hex-float), used by the
-// determinism tests: two runs with identical seeds must agree
-// byte-for-byte, speculation decisions included.
-std::string debug_string(const JobStats& stats);
 
 class MapReduceCluster {
  public:
@@ -215,14 +200,6 @@ class MapReduceCluster {
     std::vector<net::NodeId> hosts;
   };
 
-  // Map output registry: where each map ran and how many intermediate
-  // bytes it produced per reduce partition (record mode also keeps data).
-  struct MapOutput {
-    net::NodeId node = 0;
-    std::vector<uint64_t> partition_bytes;
-    std::vector<std::vector<std::pair<std::string, std::string>>> partitions;
-  };
-
   enum class TaskKind { kMap, kReduce };
 
   struct JobState;
@@ -239,6 +216,9 @@ class MapReduceCluster {
     // emitting a duplicate block.
     bool commit_claimed = false;
     bool speculated = false;  // a backup was queued (at most one)
+    // Locality bucket of the current committed attempt (maps): revoked if
+    // the output is later declared lost, re-attributed by the re-commit.
+    uint8_t committed_locality = 2;
     uint32_t attempts_started = 0;
     uint32_t running = 0;     // live attempts
     std::vector<net::NodeId> attempt_nodes;  // nodes with a live attempt
@@ -284,8 +264,13 @@ class MapReduceCluster {
     // live concurrent appends (BSFS) or the part+concat fallback (HDFS).
     bool shared_output = false;
     bool shared_fallback = false;
+    // This job's intermediate-data backend (JobConfig::intermediate_mode).
+    std::unique_ptr<ShuffleStore> shuffle;
     std::vector<MapOutput> map_outputs;
     std::vector<char> map_committed;  // per map index: output available
+    // Fetch-failure notifications per map since its last commit; at
+    // MrConfig::fetch_failure_threshold the output is declared lost.
+    std::vector<uint32_t> fetch_fail_counts;
     double last_map_commit = 0;
     double last_reduce_commit = 0;
     // Committed-attempt durations, the straggler-detection baselines.
@@ -323,6 +308,11 @@ class MapReduceCluster {
   double cpu_scale(net::NodeId node) const {
     return net_.node_perf(node).cpu;
   }
+  uint32_t shuffle_copies(const JobState& job) const {
+    return job.config.shuffle_parallel_copies > 0
+               ? job.config.shuffle_parallel_copies
+               : cfg_.shuffle_parallel_copies;
+  }
 
   sim::Task<void> plan_job(JobState& job);
   sim::Task<void> tasktracker_loop(net::NodeId node);
@@ -350,6 +340,15 @@ class MapReduceCluster {
   // Rolls the failure dice for one attempt; if it fails, burns a partial
   // execution and (when no other attempt can finish the task) requeues it.
   sim::Task<bool> maybe_fail(Attempt* att);
+  // Attempt-side I/O abort (the attempt's node lost power, or its shuffle
+  // store write failed): counts a task failure and requeues the task when
+  // no sibling attempt can still finish it. The caller co_returns next.
+  void abort_attempt_io(Attempt* att);
+  // JobTracker side of a fetch-failure notification for `map_index`. Past
+  // the threshold, declares the committed map's intermediate output lost:
+  // revokes the commit (and its locality attribution) and re-schedules the
+  // map; the re-commit wakes the waiting reducers.
+  void report_fetch_failure(JobState& job, uint32_t map_index);
   sim::Task<void> run_map_attempt(Attempt* att);
   sim::Task<void> run_generator_attempt(Attempt* att);
   sim::Task<void> run_reduce_attempt(Attempt* att);
@@ -367,7 +366,8 @@ class MapReduceCluster {
   // into the shared output (the HDFS path ext5 measures).
   sim::Task<void> concat_shared_output(JobState& job);
   // Deletes orphaned _attempts/ temp files after the job drains (crashed
-  // attempts die mid-write and cannot clean up after themselves).
+  // attempts die mid-write and cannot clean up after themselves); the
+  // ShuffleStore sweep of _intermediate/ runs right after it.
   sim::Task<void> cleanup_attempt_dir(JobState& job);
 
   sim::Simulator& sim_;

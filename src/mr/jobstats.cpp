@@ -1,0 +1,70 @@
+#include "mr/jobstats.h"
+
+#include <cstdio>
+
+namespace bs::mr {
+namespace {
+
+void append_num(std::string* out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%a\n", key, v);
+  *out += buf;
+}
+
+void append_num(std::string* out, const char* key, uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string debug_string(const JobStats& s) {
+  std::string out;
+  out.reserve(256 + 64 * s.launches.size());
+  append_num(&out, "job_id", static_cast<uint64_t>(s.job_id));
+  out += "job_name=" + s.job_name + "\n";
+  out += "fs_name=" + s.fs_name + "\n";
+  append_num(&out, "submit_time", s.submit_time);
+  append_num(&out, "duration", s.duration);
+  append_num(&out, "map_phase_s", s.map_phase_s);
+  append_num(&out, "reduce_phase_s", s.reduce_phase_s);
+  append_num(&out, "first_reduce_start", s.first_reduce_start);
+  append_num(&out, "maps", s.maps);
+  append_num(&out, "reduces", s.reduces);
+  append_num(&out, "input_bytes", s.input_bytes);
+  append_num(&out, "shuffle_bytes", s.shuffle_bytes);
+  append_num(&out, "output_bytes", s.output_bytes);
+  append_num(&out, "data_local_maps", s.data_local_maps);
+  append_num(&out, "rack_local_maps", s.rack_local_maps);
+  append_num(&out, "remote_maps", s.remote_maps);
+  append_num(&out, "map_failures", s.map_failures);
+  append_num(&out, "reduce_failures", s.reduce_failures);
+  append_num(&out, "speculative_maps", s.speculative_maps);
+  append_num(&out, "speculative_reduces", s.speculative_reduces);
+  append_num(&out, "speculative_wins", s.speculative_wins);
+  append_num(&out, "killed_attempts", s.killed_attempts);
+  append_num(&out, "fetch_failures", s.fetch_failures);
+  append_num(&out, "maps_reexecuted", s.maps_reexecuted);
+  append_num(&out, "intermediate_bytes_written", s.intermediate_bytes_written);
+  append_num(&out, "intermediate_bytes_read", s.intermediate_bytes_read);
+  append_num(&out, "shared_appends", s.shared_appends);
+  append_num(&out, "shared_append_bytes", s.shared_append_bytes);
+  append_num(&out, "concat_parts", s.concat_parts);
+  append_num(&out, "concat_bytes", s.concat_bytes);
+  append_num(&out, "concat_s", s.concat_s);
+  for (const TaskLaunch& l : s.launches) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "launch %c%u a%u node=%u t=%a spec=%d\n",
+                  l.kind, l.task, l.attempt, l.node, l.time,
+                  l.speculative ? 1 : 0);
+    out += buf;
+  }
+  for (const auto& [k, v] : s.results) {
+    out += "result " + k + "\t" + v + "\n";
+  }
+  return out;
+}
+
+}  // namespace bs::mr

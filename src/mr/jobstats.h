@@ -1,0 +1,77 @@
+// Per-job result record of the MapReduce engine.
+//
+// JobStats v3: on top of the v2 scheduling/speculation counters and the
+// shared-output commit counters, the intermediate-data subsystem (see
+// mr/shuffle.h) adds the shuffle fault-tolerance trail — reported fetch
+// failures, completed maps re-executed because their intermediate data was
+// destroyed, and the bytes moved through the intermediate store in each
+// direction. Every field is serialized exactly by debug_string, which is
+// what the determinism suite gates byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/cluster.h"
+
+namespace bs::mr {
+
+// One task-attempt launch decision (the scheduler's audit trail; tests
+// assert liveness and fairness invariants over it).
+struct TaskLaunch {
+  char kind = 'm';  // 'm' map, 'r' reduce
+  uint32_t task = 0;
+  uint32_t attempt = 0;
+  net::NodeId node = 0;
+  double time = 0;
+  bool speculative = false;
+  bool operator==(const TaskLaunch&) const = default;
+};
+
+struct JobStats {
+  uint32_t job_id = 0;
+  std::string job_name;
+  std::string fs_name;
+  double submit_time = 0;
+  double duration = 0;
+  double map_phase_s = 0;        // submit → last map commit
+  double reduce_phase_s = 0;     // first reduce launch → last reduce commit
+  double first_reduce_start = 0; // sim time of the first reduce attempt
+  uint64_t maps = 0;
+  uint64_t reduces = 0;
+  uint64_t input_bytes = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t output_bytes = 0;
+  uint64_t data_local_maps = 0;  // locality of the *committed* attempt
+  uint64_t rack_local_maps = 0;
+  uint64_t remote_maps = 0;
+  uint64_t map_failures = 0;
+  uint64_t reduce_failures = 0;
+  uint64_t speculative_maps = 0;     // backup map attempts launched
+  uint64_t speculative_reduces = 0;  // backup reduce attempts launched
+  uint64_t speculative_wins = 0;     // commits by a backup attempt
+  uint64_t killed_attempts = 0;      // losers cancelled/discarded
+  // Intermediate-data subsystem (v3, mr/shuffle.h):
+  uint64_t fetch_failures = 0;       // failed shuffle fetches reported
+  uint64_t maps_reexecuted = 0;      // committed maps whose output was lost
+  uint64_t intermediate_bytes_written = 0;  // map outputs into the store
+  uint64_t intermediate_bytes_read = 0;     // successful shuffle fetches
+  // Shared-output commit path (OutputMode::kSharedAppend):
+  uint64_t shared_appends = 0;       // reduces committed by concurrent append
+  uint64_t shared_append_bytes = 0;  // bytes appended, block padding included
+  uint64_t concat_parts = 0;         // fallback: part files concatenated
+  uint64_t concat_bytes = 0;         // bytes rewritten by the serialized concat
+  double concat_s = 0;               // wall time of the fallback concat pass
+  std::vector<TaskLaunch> launches;
+  // Record-mode result sample: reduce outputs collected (small jobs only).
+  std::vector<std::pair<std::string, std::string>> results;
+};
+
+// Exact serialization of every field (doubles in hex-float), used by the
+// determinism tests: two runs with identical seeds must agree
+// byte-for-byte, speculation and re-execution decisions included.
+std::string debug_string(const JobStats& stats);
+
+}  // namespace bs::mr

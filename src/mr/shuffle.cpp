@@ -1,0 +1,178 @@
+#include "mr/shuffle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/hash.h"
+#include "sim/parallel.h"
+
+namespace bs::mr {
+
+uint32_t partition_of(const std::string& key, uint32_t reducers) {
+  return static_cast<uint32_t>(fnv1a64(key) % reducers);
+}
+
+std::string intermediate_dir(const std::string& output_dir) {
+  return fs::join_path(output_dir, "_intermediate");
+}
+
+// ---------- LocalDiskShuffleStore ----------
+
+sim::Task<bool> LocalDiskShuffleStore::write_map_output(
+    const std::string& job_dir, uint32_t map_index, MapOutput* out,
+    uint64_t* bytes_written) {
+  (void)job_dir;
+  (void)map_index;
+  const uint64_t spill = std::accumulate(out->partition_bytes.begin(),
+                                         out->partition_bytes.end(), 0ULL);
+  if (spill > 0) {
+    // Map-side materialization: one sequential spill to the local disk.
+    const bool ok = co_await net_.try_disk_write(out->node,
+                                                 static_cast<double>(spill));
+    if (!ok) co_return false;
+    *bytes_written += spill;
+  }
+  // The spill only exists on this incarnation of the node: a tasktracker
+  // that loses power takes its job-local spill directories with it.
+  out->incarnation = net_.incarnation(out->node);
+  co_return true;
+}
+
+sim::Task<bool> LocalDiskShuffleStore::fetch_partition(
+    const std::string& job_dir, uint32_t map_index, const MapOutput& m,
+    uint32_t reduce_index, net::NodeId dst) {
+  (void)job_dir;
+  (void)map_index;
+  const net::NodeId src = m.node;
+  const uint64_t bytes = m.partition_bytes[reduce_index];
+  if (!net_.node_up(src)) {
+    // The serving tasktracker is dead: the reducer's connect attempt burns
+    // the connection timeout and comes back empty-handed.
+    co_await sim_.delay(net_.config().rpc_timeout_s);
+    co_return false;
+  }
+  if (net_.incarnation(src) != m.incarnation) {
+    // The node rebooted since the spill: it answers promptly, but the map's
+    // job-local output directory did not survive the crash.
+    co_await net_.control(dst, src);
+    co_await net_.control(src, dst);
+    co_return false;
+  }
+  // Map-side disk read feeds the network stream (overlapped); both legs
+  // fail if the mapper loses power mid-fetch.
+  std::vector<sim::Task<bool>> legs;
+  legs.push_back(net_.try_disk_read(src, static_cast<double>(bytes)));
+  legs.push_back(net_.try_transfer(src, dst, static_cast<double>(bytes)));
+  const std::vector<bool> ok = co_await sim::when_all(sim_, std::move(legs));
+  // Re-check the incarnation: a mapper that crashed AND rebooted while the
+  // stream was in flight came back without its spill directories, even
+  // though both endpoints look up again.
+  co_return ok[0] && ok[1] && net_.incarnation(src) == m.incarnation;
+}
+
+sim::Task<void> LocalDiskShuffleStore::cleanup(const std::string& job_dir,
+                                               net::NodeId node) {
+  // Job-local spill directories vanish with the job (modeled bytes only —
+  // nothing to sweep in the namespace).
+  (void)job_dir;
+  (void)node;
+  co_return;
+}
+
+// ---------- DfsShuffleStore ----------
+
+std::string DfsShuffleStore::partition_path(const std::string& job_dir,
+                                            uint32_t map_index,
+                                            uint32_t attempt,
+                                            uint32_t reduce_index) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "m%05u-a%u-r%05u", map_index, attempt,
+                reduce_index);
+  return fs::join_path(intermediate_dir(job_dir), buf);
+}
+
+sim::Task<bool> DfsShuffleStore::write_map_output(const std::string& job_dir,
+                                                  uint32_t map_index,
+                                                  MapOutput* out,
+                                                  uint64_t* bytes_written) {
+  // One DFS file per non-empty partition, replicated at the intermediate
+  // degree — the paper's trade: the map phase pays replicated write
+  // traffic so that no crash can force a re-execution. Files are written
+  // under attempt-qualified names; the commit that matters is the map
+  // registry install at the JobTracker, so no rename is needed — losers'
+  // files are simply never read and the job-drain sweep removes them.
+  auto client = fs_.make_client(out->node);
+  const uint32_t reducers =
+      static_cast<uint32_t>(out->partition_bytes.size());
+  for (uint32_t r = 0; r < reducers; ++r) {
+    const uint64_t bytes = out->partition_bytes[r];
+    if (bytes == 0) continue;
+    const std::string path =
+        partition_path(job_dir, map_index, out->attempt, r);
+    auto writer = co_await client->create_replicated(path, replication_);
+    if (writer == nullptr) co_return false;
+    co_await writer->write(
+        DataSpec::pattern(fnv1a64_u64(map_index, r), 0, bytes));
+    const bool ok = co_await writer->close();
+    if (!ok) co_return false;
+    *bytes_written += bytes;
+  }
+  // A node that lost power mid-upload produced an incomplete output set;
+  // the attempt must not commit on the strength of partial files.
+  co_return net_.node_up(out->node);
+}
+
+sim::Task<bool> DfsShuffleStore::fetch_partition(const std::string& job_dir,
+                                                 uint32_t map_index,
+                                                 const MapOutput& m,
+                                                 uint32_t reduce_index,
+                                                 net::NodeId dst) {
+  const uint64_t bytes = m.partition_bytes[reduce_index];
+  auto client = fs_.make_client(dst);
+  auto reader = co_await client->open(
+      partition_path(job_dir, map_index, m.attempt, reduce_index));
+  if (reader == nullptr) co_return false;  // never written? treat as lost
+  BS_CHECK_MSG(reader->size() == bytes, "intermediate file size mismatch");
+  // Stream the partition through the ordinary FS read path: replica
+  // failover (and its degraded-read latency) comes with it for free.
+  const uint64_t chunk = fs_.block_size();
+  uint64_t at = 0;
+  while (at < bytes) {
+    const uint64_t n = std::min<uint64_t>(chunk, bytes - at);
+    DataSpec piece = co_await reader->read(at, n);
+    BS_CHECK(piece.size() == n);
+    at += n;
+  }
+  co_return true;
+}
+
+sim::Task<void> DfsShuffleStore::cleanup(const std::string& job_dir,
+                                         net::NodeId node) {
+  auto client = fs_.make_client(node);
+  const std::string dir = intermediate_dir(job_dir);
+  auto files = co_await client->list(dir);
+  for (const std::string& path : files) {
+    co_await client->remove(path);
+  }
+  co_await client->remove(dir);  // the now-childless directory entry
+}
+
+// ---------- factory ----------
+
+std::unique_ptr<ShuffleStore> make_shuffle_store(IntermediateMode mode,
+                                                 sim::Simulator& sim,
+                                                 net::Network& net,
+                                                 fs::FileSystem& fs,
+                                                 uint32_t dfs_replication) {
+  switch (mode) {
+    case IntermediateMode::kDfs:
+      return std::make_unique<DfsShuffleStore>(sim, net, fs, dfs_replication);
+    case IntermediateMode::kLocalDisk:
+      break;
+  }
+  return std::make_unique<LocalDiskShuffleStore>(sim, net);
+}
+
+}  // namespace bs::mr

@@ -51,11 +51,13 @@ Network::Network(sim::Simulator& sim, const ClusterConfig& cfg)
   rx_bytes_.assign(n, 0);
   tx_bytes_.assign(n, 0);
   up_.assign(n, 1);
+  incarnation_.assign(n, 0);
   perf_.assign(n, NodePerf{});
 }
 
 void Network::set_node_up(NodeId node, bool up) {
   BS_CHECK(node < cfg_.num_nodes);
+  if (up_[node] && !up) ++incarnation_[node];  // power loss
   up_[node] = up ? 1 : 0;
 }
 
@@ -93,6 +95,42 @@ sim::Task<void> Network::control(NodeId src, NodeId dst) {
   (void)src;
   (void)dst;
   co_await sim_.delay(cfg_.control_latency_s);
+}
+
+sim::Task<bool> Network::try_transfer(NodeId src, NodeId dst, double bytes,
+                                      double rate_cap) {
+  BS_CHECK(src < cfg_.num_nodes && dst < cfg_.num_nodes);
+  if (!up_[src] || !up_[dst]) {
+    // Connecting to (or from) a dead node: the caller learns by timeout,
+    // exactly like try_control.
+    co_await sim_.delay(cfg_.rpc_timeout_s);
+    co_return false;
+  }
+  // Comparing incarnations (not just up_) catches an endpoint that lost
+  // power AND rebooted while the stream was in flight.
+  const uint64_t src_inc = incarnation_[src];
+  const uint64_t dst_inc = incarnation_[dst];
+  co_await transfer(src, dst, bytes, rate_cap);
+  // An endpoint that lost power mid-stream discarded the bytes (or stopped
+  // producing them); the fluid flow completed but the transfer did not.
+  co_return up_[src] && up_[dst] && incarnation_[src] == src_inc &&
+      incarnation_[dst] == dst_inc;
+}
+
+sim::Task<bool> Network::try_disk_read(NodeId node, double bytes) {
+  BS_CHECK(node < cfg_.num_nodes);
+  if (!up_[node]) co_return false;
+  const uint64_t inc = incarnation_[node];
+  co_await disk(node).read(bytes);
+  co_return up_[node] && incarnation_[node] == inc;
+}
+
+sim::Task<bool> Network::try_disk_write(NodeId node, double bytes) {
+  BS_CHECK(node < cfg_.num_nodes);
+  if (!up_[node]) co_return false;
+  const uint64_t inc = incarnation_[node];
+  co_await disk(node).write(bytes);
+  co_return up_[node] && incarnation_[node] == inc;
 }
 
 sim::Task<bool> Network::try_control(NodeId src, NodeId dst) {

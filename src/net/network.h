@@ -102,6 +102,29 @@ class Network {
   bool node_up(NodeId node) const { return up_[node]; }
   // Ground-truth liveness as a LivenessView (for tests and wiring).
   const LivenessView& ground_truth() const { return truth_; }
+  // How many times this node has lost power (incremented on every up→down
+  // transition). Anything kept only on the node's volatile or wiped local
+  // storage — MapReduce intermediate spills above all — is gone across an
+  // incarnation change even if the node later comes back: callers record
+  // the incarnation at write time and treat a mismatch as data loss.
+  uint64_t incarnation(NodeId node) const { return incarnation_[node]; }
+
+  // Bulk transfer that honors the node-down ground truth, per the same
+  // semantics as try_control: if either endpoint is already down when the
+  // stream would start, the caller waits out the connection timeout and
+  // gets false. A transfer in flight when an endpoint loses power still
+  // completes in the fluid model (see above), but the bytes went to — or
+  // came from — a dead node: the caller gets false and must treat the
+  // fetch as failed. The shuffle path of the MapReduce engine feeds its
+  // fetch-failure detection from exactly this.
+  sim::Task<bool> try_transfer(NodeId src, NodeId dst, double bytes,
+                               double rate_cap = 0);
+  // Local disk I/O guarded by node power: false immediately when the node
+  // is already off (nothing on a dead node can issue I/O), and false after
+  // the I/O when the node lost power mid-operation (the write never hit
+  // the platter / the read never reached its consumer).
+  sim::Task<bool> try_disk_read(NodeId node, double bytes);
+  sim::Task<bool> try_disk_write(NodeId node, double bytes);
 
   // --- slow-node semantics (driven by the fault injector) ---
   //
@@ -186,6 +209,7 @@ class Network {
   std::vector<double> rx_bytes_;
   std::vector<double> tx_bytes_;
   std::vector<char> up_;  // ground-truth power state per node
+  std::vector<uint64_t> incarnation_;  // power-loss count per node
   std::vector<NodePerf> perf_;  // degradation factors per node
   GroundTruth truth_{*this};
 };

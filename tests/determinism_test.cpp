@@ -12,9 +12,11 @@
 #include "bsfs/bsfs.h"
 #include "common/rng.h"
 #include "common/wordlist.h"
+#include "fault/injector.h"
 #include "hdfs/hdfs.h"
 #include "mr/app.h"
 #include "mr/cluster.h"
+#include "mr/shuffle.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -270,6 +272,160 @@ TEST(Determinism, EngineV2SharedAppendHdfsIsBitReproducible) {
   EXPECT_NE(a.find("concat_parts=3"), std::string::npos);
   EXPECT_NE(a.find("concat_parts=2"), std::string::npos);
   EXPECT_NE(a.find("shared_appends=0"), std::string::npos);
+}
+
+// Intermediate-data fault tolerance under a mid-job mapper crash, with
+// speculation enabled: the kLocalDisk mode arms the fetch-failure →
+// re-execution state machine, the kDfs mode rides DFS replica failover.
+// Two identical runs must agree byte-for-byte, JobStats v3 counters
+// (fetch_failures, maps_reexecuted, intermediate bytes) included.
+class SlowWordCount final : public mr::MapReduceApp {
+ public:
+  std::string name() const override { return "slow-wordcount"; }
+  void map(uint64_t, const std::string& line, mr::Emitter& out) override {
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() ||
+          std::isspace(static_cast<unsigned char>(line[i]))) {
+        if (i > start) out.emit(line.substr(start, i - start), "1");
+        start = i + 1;
+      }
+    }
+  }
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::Emitter& out) override {
+    uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    out.emit(key, std::to_string(total));
+  }
+  double map_rate_bps() const override { return 16e3; }  // long map phase
+  double reduce_rate_bps() const override { return 512e3; }
+  double map_selectivity() const override { return 1.1; }
+  double output_ratio() const override { return 0.05; }
+};
+
+std::string run_intermediate_crash(const std::string& backend,
+                                   mr::IntermediateMode mode) {
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = 20;
+  ncfg.nodes_per_rack = 5;
+  ncfg.rpc_timeout_s = 0.3;
+  net::Network net(sim, ncfg);
+  blob::BlobSeerCluster blobs(sim, net, {});
+  bsfs::NamespaceManager ns(sim, net, {});
+  bsfs::Bsfs bsfs_fs(sim, net, blobs, ns,
+                     bsfs::BsfsConfig{.block_size = kBlock,
+                                      .page_size = kBlock / 8,
+                                      .replication = 2,
+                                      .enable_cache = true});
+  hdfs::Hdfs hdfs_fs(sim, net,
+                     hdfs::HdfsConfig{.namenode = {.node = 0,
+                                                   .service_time_s = 150e-6,
+                                                   .block_size = kBlock,
+                                                   .replication = 2,
+                                                   .placement_seed = 7},
+                                      .datanode_ram = 1u << 30,
+                                      .stream_efficiency = 0.92});
+  const bool use_bsfs = backend == "BSFS";
+  fs::FileSystem& fs = use_bsfs ? static_cast<fs::FileSystem&>(bsfs_fs)
+                                : static_cast<fs::FileSystem&>(hdfs_fs);
+
+  fault::FaultInjector injector(sim, net, {});
+  if (use_bsfs) {
+    fault::wire_blobseer(injector, blobs);
+    blobs.set_liveness(&net.ground_truth());
+  } else {
+    fault::wire_hdfs(injector, hdfs_fs);
+    hdfs_fs.set_liveness(&net.ground_truth());
+  }
+
+  Rng rng(606);
+  const std::string corpus = random_text(rng, kBlock * 8);
+  auto stage = [](fs::FileSystem* f, std::string text) -> sim::Task<void> {
+    auto client = f->make_client(1);
+    auto writer = co_await client->create("/in");
+    co_await writer->write(DataSpec::from_string(std::move(text)));
+    co_await writer->close();
+  };
+  sim.spawn(stage(&fs, corpus));
+  sim.run();
+
+  // Node 3 dies (disk wiped) mid-map-phase, after its first-wave maps
+  // committed. With 3 tasktrackers its committed outputs matter to every
+  // reducer.
+  injector.crash_at(3, 0.8);
+
+  SlowWordCount app;
+  mr::MrConfig mcfg;
+  mcfg.tasktracker_nodes = {1, 2, 3};
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.speculative_execution = true;
+  mcfg.speculative_min_runtime_s = 0.05;
+  mcfg.speculation_interval_s = 0.1;
+  mcfg.fetch_failure_threshold = 2;
+  mcfg.fetch_retry_s = 0.1;
+  mr::MapReduceCluster cluster(sim, net, fs, mcfg);
+  mr::JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  jc.intermediate_mode = mode;
+  jc.intermediate_replication =
+      mode == mr::IntermediateMode::kDfs ? 2 : 0;
+  mr::JobStats stats;
+  auto run = [](mr::MapReduceCluster* c, mr::JobConfig conf,
+                mr::JobStats* out) -> sim::Task<void> {
+    *out = co_await c->run_job(std::move(conf));
+  };
+  sim.spawn(run(&cluster, std::move(jc), &stats));
+  sim.run();
+
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), "end=%a events=%llu flows=%llu moved=%a\n",
+                sim.now(),
+                static_cast<unsigned long long>(sim.events_processed()),
+                static_cast<unsigned long long>(net.flows_started()),
+                net.bytes_moved());
+  return mr::debug_string(stats) + tail;
+}
+
+TEST(Determinism, LocalDiskCrashReexecutionIsBitReproducible) {
+  const std::string a =
+      run_intermediate_crash("BSFS", mr::IntermediateMode::kLocalDisk);
+  const std::string b =
+      run_intermediate_crash("BSFS", mr::IntermediateMode::kLocalDisk);
+  EXPECT_EQ(a, b);
+  // The scenario must actually lose intermediate data and re-execute
+  // completed maps for the claim to mean anything.
+  EXPECT_EQ(a.find("fetch_failures=0\n"), std::string::npos);
+  EXPECT_EQ(a.find("maps_reexecuted=0\n"), std::string::npos);
+}
+
+TEST(Determinism, DfsIntermediateCrashIsBitReproducible) {
+  const std::string a =
+      run_intermediate_crash("BSFS", mr::IntermediateMode::kDfs);
+  const std::string b =
+      run_intermediate_crash("BSFS", mr::IntermediateMode::kDfs);
+  EXPECT_EQ(a, b);
+  // Replicated DFS intermediates ride out the same crash: no fetch
+  // failures, no re-execution — and the intermediate traffic shows up in
+  // the v3 byte counters.
+  EXPECT_NE(a.find("fetch_failures=0\n"), std::string::npos);
+  EXPECT_NE(a.find("maps_reexecuted=0\n"), std::string::npos);
+  EXPECT_EQ(a.find("intermediate_bytes_written=0\n"), std::string::npos);
+}
+
+TEST(Determinism, HdfsIntermediateCrashIsBitReproducible) {
+  for (const auto mode : {mr::IntermediateMode::kLocalDisk,
+                          mr::IntermediateMode::kDfs}) {
+    const std::string a = run_intermediate_crash("HDFS", mode);
+    const std::string b = run_intermediate_crash("HDFS", mode);
+    EXPECT_EQ(a, b);
+  }
 }
 
 TEST(Determinism, BlobWritesProduceIdenticalPlacement) {

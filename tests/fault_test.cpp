@@ -295,6 +295,84 @@ TEST(FaultRecovery, SharedAppendOutputSurvivesCrashAndRepair) {
   w.sim.run();
 }
 
+TEST(FaultRecovery, NamespaceRepairLeavesIntermediateFilesAlone) {
+  // MapReduce shuffle intermediates (_intermediate/) and attempt temp
+  // files (_attempts/) are job-lifetime-only: the namespace-driven repair
+  // pass must skip them and spend its bandwidth on persistent data only.
+  FaultWorld w;
+  bsfs::NamespaceManager ns(w.sim, w.net, {});
+  bsfs::Bsfs fs(w.sim, w.net, w.cluster, ns,
+                bsfs::BsfsConfig{.block_size = kPage * 4, .page_size = kPage,
+                                 .replication = 2, .enable_cache = true});
+
+  auto stage = [](fs::FileSystem& f) -> sim::Task<void> {
+    auto client = f.make_client(1);
+    for (const char* path :
+         {"/data/keep", "/out/_intermediate/m00000-a0-r00000",
+          "/out/_attempts/att-j0-r-00000-0"}) {
+      auto writer = co_await client->create(path);
+      co_await writer->write(DataSpec::pattern(7, 0, kPage * 4));
+      co_await writer->close();
+    }
+  };
+  w.sim.spawn(stage(fs));
+  w.sim.run();
+
+  // Wipe one replica holder of each file (ground-truth liveness: the test
+  // is about what repair chooses to scan, not detection).
+  std::vector<net::NodeId> victims;
+  auto find_victims = [](fs::FileSystem& f,
+                         std::vector<net::NodeId>* out) -> sim::Task<void> {
+    auto client = f.make_client(0);
+    for (const char* path :
+         {"/data/keep", "/out/_intermediate/m00000-a0-r00000"}) {
+      auto locs = co_await client->locations(path, 0, kPage * 4);
+      if (!locs.empty() && !locs[0].hosts.empty()) {
+        out->push_back(locs[0].hosts[0]);
+      }
+    }
+  };
+  w.sim.spawn(find_victims(fs, &victims));
+  w.sim.run();
+  ASSERT_EQ(victims.size(), 2u);
+  for (net::NodeId v : victims) {
+    w.net.set_node_up(v, false);
+    w.cluster.crash_provider(v, /*wipe=*/true);
+  }
+
+  RepairConfig rcfg;
+  rcfg.node = 0;
+  RepairService repair(w.cluster, w.net.ground_truth(), rcfg);
+  RepairStats ns_pass;
+  RepairStats intermediate_only;
+  blob::BlobId intermediate_blob = 0;
+  bool done = false;
+  auto orchestrate = [](RepairService& r, bsfs::Bsfs& f,
+                        bsfs::NamespaceManager& names, RepairStats* walk,
+                        RepairStats* direct, blob::BlobId* blob,
+                        bool* out) -> sim::Task<void> {
+    *walk = co_await r.repair_namespace(f);
+    auto entry =
+        co_await names.lookup(0, "/out/_intermediate/m00000-a0-r00000");
+    if (entry.has_value()) *blob = entry->blob;
+    *direct = co_await r.repair_blob(*blob);
+    *out = true;
+  };
+  w.sim.spawn(orchestrate(repair, fs, ns, &ns_pass, &intermediate_only,
+                          &intermediate_blob, &done));
+  w.sim.run_until(60.0);
+  ASSERT_TRUE(done);
+
+  // The walk repaired the persistent file...
+  EXPECT_GT(ns_pass.under_replicated, 0u);
+  EXPECT_GT(ns_pass.replicas_restored, 0u);
+  // ...and never looked at the scratch data: a direct pass over the
+  // intermediate file's blob still finds it degraded.
+  ASSERT_NE(intermediate_blob, 0u);
+  EXPECT_GT(intermediate_only.under_replicated, 0u);
+  w.sim.run();
+}
+
 TEST(FaultRecovery, WriteSurvivesProviderCrashMidWrite) {
   FaultWorld w;
   auto client = w.cluster.make_client(1);

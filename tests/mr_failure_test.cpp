@@ -1,5 +1,8 @@
 // Failure-injection tests: the framework re-executes failed task attempts
-// (paper §II.A) and still produces exact results.
+// (paper §II.A) and still produces exact results — including *completed*
+// maps whose intermediate data a mapper-node crash destroyed (the
+// fetch-failure → re-execution path), and the kDfs intermediate mode that
+// rides out the same crash without re-executing anything.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -9,9 +12,11 @@
 #include "bsfs/bsfs.h"
 #include "common/rng.h"
 #include "common/wordlist.h"
+#include "fault/injector.h"
 #include "hdfs/hdfs.h"
 #include "mr/app.h"
 #include "mr/cluster.h"
+#include "mr/shuffle.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -184,6 +189,161 @@ TEST(Failure, CrashedAttemptsLeaveNoTempFileLeak) {
   EXPECT_TRUE(leftovers.empty())
       << leftovers.size() << " orphaned temp files leaked";
   EXPECT_TRUE(dir_gone) << "_attempts directory entry not cleaned up";
+}
+
+// ---- mapper-node crashes vs the intermediate-data subsystem ----
+
+// A 16-node world with replicated storage (the job input must survive the
+// crash — only the *intermediate* data story differs between the modes)
+// and a fault injector wired to the providers.
+struct CrashWorld {
+  sim::Simulator sim;
+  net::Network net;
+  blob::BlobSeerCluster blobs;
+  bsfs::NamespaceManager ns;
+  bsfs::Bsfs bsfs;
+  fault::FaultInjector injector;
+
+  CrashWorld()
+      : net(sim,
+            [] {
+              net::ClusterConfig c;
+              c.num_nodes = 16;
+              c.nodes_per_rack = 4;
+              c.rpc_timeout_s = 0.3;
+              return c;
+            }()),
+        blobs(sim, net, {}), ns(sim, net, {}),
+        bsfs(sim, net, blobs, ns,
+             bsfs::BsfsConfig{.block_size = kBlock, .page_size = kBlock / 4,
+                              .replication = 2, .enable_cache = true}),
+        injector(sim, net, {}) {
+    fault::wire_blobseer(injector, blobs);
+    // Ground-truth liveness keeps degraded reads from paying a timeout per
+    // dead replica — the test is about the engine, not detection latency.
+    blobs.set_liveness(&net.ground_truth());
+  }
+};
+
+// WordCount with a slow map rate so the map phase is long enough for a
+// mid-phase crash to land between the first commits and the last.
+class CrashyWordCount final : public MapReduceApp {
+ public:
+  std::string name() const override { return "crashy-wordcount"; }
+  void map(uint64_t, const std::string& line, Emitter& out) override {
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() ||
+          std::isspace(static_cast<unsigned char>(line[i]))) {
+        if (i > start) out.emit(line.substr(start, i - start), "1");
+        start = i + 1;
+      }
+    }
+  }
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override {
+    uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    out.emit(key, std::to_string(total));
+  }
+  double map_rate_bps() const override { return 8e3; }  // ~0.5 s per block
+  double reduce_rate_bps() const override { return 256e3; }
+  double map_selectivity() const override { return 1.1; }
+  double output_ratio() const override { return 0.05; }
+};
+
+// Runs the crash scenario — tasktrackers {1, 2}, node 1 crashes (disk
+// wiped) mid-map-phase, after some of its maps committed — under the given
+// intermediate mode, and checks the output is exact either way.
+JobStats run_mapper_crash(IntermediateMode mode) {
+  CrashWorld w;
+  Rng rng(31);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlock * 8) {
+    std::string line = random_sentence(rng, 1 + rng.below(8));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+  w.sim.spawn(put_text(&w.bsfs, "/in", text));
+  w.sim.run();
+
+  // Lands mid-map-phase: the first wave (two maps on node 1) has
+  // committed, the second wave is still running.
+  w.injector.crash_at(1, 0.8);
+
+  CrashyWordCount app;
+  MrConfig mcfg;
+  mcfg.tasktracker_nodes = {1, 2};
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.fetch_failure_threshold = 2;
+  mcfg.fetch_retry_s = 0.1;
+  MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+  JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  jc.intermediate_mode = mode;
+  jc.intermediate_replication = mode == IntermediateMode::kDfs ? 2 : 0;
+  JobStats stats;
+  w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+  w.sim.run();
+
+  // The job survived the crash with exact results.
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(stats.maps, 8u);
+  // Every committed map has exactly one locality attribution, even after
+  // lost outputs were revoked and re-attributed by the re-execution.
+  EXPECT_EQ(stats.data_local_maps + stats.rack_local_maps + stats.remote_maps,
+            stats.maps);
+
+  // Nothing leaked: neither _attempts temp files nor _intermediate files.
+  std::vector<std::string> att_left, inter_left;
+  bool inter_gone = false;
+  auto check = [](fs::FileSystem* f, std::vector<std::string>* att,
+                  std::vector<std::string>* inter,
+                  bool* gone) -> sim::Task<void> {
+    auto client = f->make_client(2);
+    *att = co_await client->list("/out/_attempts");
+    *inter = co_await client->list("/out/_intermediate");
+    auto st = co_await client->stat("/out/_intermediate");
+    *gone = !st.has_value();
+  };
+  w.sim.spawn(check(&w.bsfs, &att_left, &inter_left, &inter_gone));
+  w.sim.run();
+  EXPECT_TRUE(att_left.empty()) << att_left.size() << " temp files leaked";
+  EXPECT_TRUE(inter_left.empty())
+      << inter_left.size() << " intermediate files leaked";
+  EXPECT_TRUE(inter_gone) << "_intermediate directory entry not cleaned up";
+  return stats;
+}
+
+TEST(Failure, MapperCrashForcesReexecutionWithLocalIntermediates) {
+  // Classic Hadoop path made honest: node 1's committed map outputs died
+  // with it; the reducers reported fetch failures until the JobTracker
+  // declared the outputs lost and re-ran the *completed* maps elsewhere.
+  const JobStats stats = run_mapper_crash(IntermediateMode::kLocalDisk);
+  EXPECT_GT(stats.fetch_failures, 0u);
+  EXPECT_GE(stats.maps_reexecuted, 1u);
+  EXPECT_EQ(stats.intermediate_bytes_read, stats.shuffle_bytes);
+}
+
+TEST(Failure, DfsIntermediatesSurviveMapperCrashWithoutReexecution) {
+  // The paper's alternative: intermediates in BSFS at replication 2 keep
+  // serving the shuffle through replica failover — no fetch failures, no
+  // re-execution cascade; the map phase paid replicated writes instead.
+  const JobStats stats = run_mapper_crash(IntermediateMode::kDfs);
+  EXPECT_EQ(stats.fetch_failures, 0u);
+  EXPECT_EQ(stats.maps_reexecuted, 0u);
+  EXPECT_GT(stats.intermediate_bytes_written, 0u);
+  EXPECT_EQ(stats.intermediate_bytes_read, stats.shuffle_bytes);
 }
 
 TEST(Failure, GeneratorMapsAreRetriedToo) {

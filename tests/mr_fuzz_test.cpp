@@ -6,9 +6,16 @@
 // engine invariants:
 //   * every job completes with one committed attempt per task,
 //   * all input bytes are planned and read (input_bytes == staged size),
-//   * output and shuffle bytes match the app cost model exactly,
+//   * output and shuffle bytes match the app cost model exactly — even
+//     when a mid-job mapper crash destroys kLocalDisk intermediates and
+//     forces completed maps to re-execute, no byte is double-counted (a
+//     reducer keeps partitions it already copied and re-fetches only what
+//     it lost; the re-executed map's first attempt never lands twice),
 //   * no task attempt is ever launched on a node the failure detector
 //     believes dead.
+// Each job randomizes its IntermediateMode (mr/shuffle.h), so both the
+// local-disk fetch-failure path and the DFS-backed shuffle run under the
+// same crash schedule.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -35,6 +42,18 @@ constexpr uint64_t kBlock = 4096;
 constexpr uint32_t kNodes = 12;
 constexpr int kIterations = 4;
 
+// Shuffle-heavy cost app slowed far enough that the mid-job crash lands
+// while maps are committing and reduces are fetching — the window where
+// destroyed kLocalDisk intermediates actually force re-execution.
+class SlowSort final : public MapReduceApp {
+ public:
+  std::string name() const override { return "slow-sort"; }
+  double map_rate_bps() const override { return 8e3; }
+  double map_selectivity() const override { return 1.0; }
+  double reduce_rate_bps() const override { return 64e3; }
+  double output_ratio() const override { return 1.0; }
+};
+
 struct JobPlan {
   enum Kind { kGrep, kSort, kRtw } kind = kGrep;
   std::string input;       // staged file (grep/sort)
@@ -43,6 +62,7 @@ struct JobPlan {
   uint32_t generator_maps = 0;   // rtw
   uint64_t bytes_per_map = 0;    // rtw
   bool shared_output = false;    // OutputMode::kSharedAppend
+  IntermediateMode intermediate = IntermediateMode::kLocalDisk;
   std::string output_dir;
 };
 
@@ -92,19 +112,20 @@ void run_iteration(const std::string& backend, uint64_t seed) {
   net::ClusterConfig ncfg;
   ncfg.num_nodes = kNodes;
   ncfg.nodes_per_rack = 4;
+  ncfg.rpc_timeout_s = 0.3;
   net::Network net(sim, ncfg);
   blob::BlobSeerCluster blobs(sim, net, {});
   bsfs::NamespaceManager ns(sim, net, {});
   bsfs::Bsfs bsfs_fs(sim, net, blobs, ns,
                      bsfs::BsfsConfig{.block_size = kBlock,
                                       .page_size = kBlock / 4,
-                                      .replication = 2,
+                                      .replication = 3,
                                       .enable_cache = true});
   hdfs::Hdfs hdfs_fs(sim, net,
                      hdfs::HdfsConfig{.namenode = {.node = 0,
                                                    .service_time_s = 150e-6,
                                                    .block_size = kBlock,
-                                                   .replication = 2,
+                                                   .replication = 3,
                                                    .placement_seed = seed},
                                       .stream_efficiency = 0.92});
   const bool use_bsfs = backend == "BSFS";
@@ -116,7 +137,9 @@ void run_iteration(const std::string& backend, uint64_t seed) {
   const uint32_t num_files = 1 + static_cast<uint32_t>(rng.below(2));
   std::vector<std::pair<std::string, uint64_t>> files;
   for (uint32_t i = 0; i < num_files; ++i) {
-    const uint64_t bytes = kBlock * (2 + rng.below(5)) + rng.below(kBlock);
+    // Large enough that every tasktracker hosts map tasks — so the
+    // mid-job victim always holds committed map outputs worth losing.
+    const uint64_t bytes = kBlock * (12 + rng.below(6)) + rng.below(kBlock);
     const std::string path = "/in/f" + std::to_string(i);
     files.emplace_back(path, bytes);
     sim.spawn(stage_file(&fs, path, bytes, seed + i));
@@ -146,6 +169,12 @@ void run_iteration(const std::string& backend, uint64_t seed) {
   while (slow == victim) {
     slow = 1 + static_cast<net::NodeId>(rng.below(kNodes - 1));
   }
+  // A second victim crashes MID-JOB (committed kLocalDisk map outputs on
+  // it are destroyed; kDfs intermediates ride replica failover).
+  net::NodeId victim2 = victim;
+  while (victim2 == victim || victim2 == slow) {
+    victim2 = 1 + static_cast<net::NodeId>(rng.below(kNodes - 1));
+  }
   const double slow_factor = 2.0 + rng.uniform() * 4.0;
 
   detector.start();
@@ -161,12 +190,14 @@ void run_iteration(const std::string& backend, uint64_t seed) {
   mcfg.speculative_execution = rng.chance(0.5);
   mcfg.speculative_min_runtime_s = 0.05;
   mcfg.speculation_interval_s = 0.1;
+  mcfg.fetch_failure_threshold = 2;
+  mcfg.fetch_retry_s = 0.1;
   mcfg.liveness = &detector;
   MapReduceCluster mr(sim, net, fs, mcfg);
 
   // Randomized job mix.
   DistributedGrep grep("needle");
-  SortApp sort_app;
+  SlowSort sort_app;
   RandomTextWriter rtw(kBlock * 2);
   const uint32_t num_jobs = 1 + static_cast<uint32_t>(rng.below(2));
   std::vector<JobPlan> plans;
@@ -177,6 +208,8 @@ void run_iteration(const std::string& backend, uint64_t seed) {
                           : (pick == 1 ? JobPlan::kSort : JobPlan::kRtw);
     plan.reducers = 1 + static_cast<uint32_t>(rng.below(3));
     plan.shared_output = rng.chance(0.5);
+    plan.intermediate = rng.chance(0.5) ? IntermediateMode::kDfs
+                                        : IntermediateMode::kLocalDisk;
     plan.output_dir = "/out/j" + std::to_string(j);
     if (plan.kind == JobPlan::kRtw) {
       plan.generator_maps = 3 + static_cast<uint32_t>(rng.below(4));
@@ -192,9 +225,10 @@ void run_iteration(const std::string& backend, uint64_t seed) {
   std::vector<JobStats> stats(plans.size());
   auto orchestrate = [](sim::Simulator* s, fault::FailureDetector* det,
                         fault::FaultInjector* inj, net::NodeId slow_node,
-                        double factor, MapReduceCluster* engine,
+                        double factor, net::NodeId midjob_victim,
+                        MapReduceCluster* engine,
                         std::vector<JobPlan>* ps, DistributedGrep* g,
-                        SortApp* so, RandomTextWriter* rt,
+                        SlowSort* so, RandomTextWriter* rt,
                         std::vector<JobStats>* out) -> sim::Task<void> {
     // Jobs start only after the crash is detected, so the scheduler's
     // liveness view already knows the victim is dead.
@@ -202,6 +236,14 @@ void run_iteration(const std::string& backend, uint64_t seed) {
       co_await s->delay(0.2);
     }
     inj->slow_node_at(slow_node, factor, s->now() + 0.2);
+    // The second victim dies while the jobs are in flight. With the
+    // classic serial phases (slowstart 1.0) the crash is timed into the
+    // window where maps have committed but no reduce has fetched yet —
+    // committed intermediate outputs die with the node; with overlapped
+    // shuffle it lands on running attempts instead (abort + re-fetch).
+    const double crash_offset =
+        engine->config().reduce_slowstart >= 1.0 ? 0.66 : 0.5;
+    inj->crash_at(midjob_victim, s->now() + crash_offset);
     sim::WaitGroup wg(*s);
     wg.add(ps->size());
     for (size_t j = 0; j < ps->size(); ++j) {
@@ -213,6 +255,10 @@ void run_iteration(const std::string& backend, uint64_t seed) {
       jc.record_read_size = kBlock;
       if (plan.shared_output) {
         jc.output_mode = JobConfig::OutputMode::kSharedAppend;
+      }
+      jc.intermediate_mode = plan.intermediate;
+      if (plan.intermediate == IntermediateMode::kDfs) {
+        jc.intermediate_replication = 2;
       }
       switch (plan.kind) {
         case JobPlan::kGrep:
@@ -233,8 +279,9 @@ void run_iteration(const std::string& backend, uint64_t seed) {
     co_await wg.wait();
     det->stop();
   };
-  sim.spawn(orchestrate(&sim, &detector, &injector, slow, slow_factor, &mr,
-                        &plans, &grep, &sort_app, &rtw, &stats));
+  sim.spawn(orchestrate(&sim, &detector, &injector, slow, slow_factor,
+                        victim2, &mr, &plans, &grep, &sort_app, &rtw,
+                        &stats));
   sim.run();
 
   // --- invariants ---
@@ -281,7 +328,27 @@ void run_iteration(const std::string& backend, uint64_t seed) {
       EXPECT_EQ(s.shared_appends, 0u);
       EXPECT_EQ(s.concat_parts, 0u);
     }
-    // Every committed map has exactly one locality attribution.
+    // Intermediate-store accounting: every committed reduce's input came
+    // out of the store (re-fetches after a re-execution add, never
+    // subtract), and every committed map materialized its partitions at
+    // least once. Generator jobs never touch the store.
+    if (plan.kind == JobPlan::kRtw) {
+      EXPECT_EQ(s.intermediate_bytes_written, 0u);
+      EXPECT_EQ(s.intermediate_bytes_read, 0u);
+      EXPECT_EQ(s.fetch_failures, 0u);
+      EXPECT_EQ(s.maps_reexecuted, 0u);
+    } else {
+      uint64_t want_maps2 = 0, want_shuffle2 = 0, want_output2 = 0;
+      const MapReduceApp& capp =
+          plan.kind == JobPlan::kGrep
+              ? static_cast<const MapReduceApp&>(grep)
+              : static_cast<const MapReduceApp&>(sort_app);
+      expected_cost(plan, capp, &want_maps2, &want_shuffle2, &want_output2);
+      EXPECT_GE(s.intermediate_bytes_read, s.shuffle_bytes);
+      EXPECT_GE(s.intermediate_bytes_written, want_shuffle2);
+    }
+    // Every committed map has exactly one locality attribution — lost
+    // commits revoked theirs, re-executions re-attributed.
     EXPECT_EQ(s.data_local_maps + s.rack_local_maps + s.remote_maps, s.maps);
     // The scheduler never hands tasks to the node the detector saw die.
     ASSERT_FALSE(s.launches.empty());

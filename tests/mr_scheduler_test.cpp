@@ -494,6 +494,114 @@ TEST(SharedOutput, HdfsFallsBackToSerializedConcat) {
   }
 }
 
+TEST(Shuffle, ParallelCopiesIsPerJobWithEngineWideDefault) {
+  // mapred.reduce.parallel.copies is a per-job setting in Hadoop:
+  // JobConfig::shuffle_parallel_copies overrides the engine-wide
+  // MrConfig value, 0 inherits it.
+  auto run_with = [](uint32_t per_job_copies) {
+    SchedWorld w;
+    w.sim.spawn(put_pattern(&w.bsfs, "/in", kBlock * 24));
+    w.sim.run();
+    SlowCostApp app;
+    MrConfig mcfg;
+    mcfg.heartbeat_s = 0.05;
+    mcfg.task_startup_s = 0.01;
+    mcfg.shuffle_parallel_copies = 4;  // the engine-wide default
+    MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+    JobConfig jc;
+    jc.input_files = {"/in"};
+    jc.output_dir = "/out";
+    jc.app = &app;
+    jc.num_reducers = 1;
+    jc.cost_model = true;
+    jc.record_read_size = kBlock;
+    jc.shuffle_parallel_copies = per_job_copies;
+    JobStats stats;
+    w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+    w.sim.run();
+    return stats;
+  };
+  const JobStats inherited = run_with(0);
+  const JobStats explicit4 = run_with(4);
+  const JobStats serial = run_with(1);
+  // 0 = inherit: byte-identical to spelling the engine default out.
+  EXPECT_EQ(debug_string(inherited), debug_string(explicit4));
+  // Same work either way...
+  EXPECT_EQ(serial.shuffle_bytes, inherited.shuffle_bytes);
+  EXPECT_EQ(serial.output_bytes, inherited.output_bytes);
+  // ...but serializing the copy phase (24 per-map fetches one at a time,
+  // each paying the map-side disk positioning cost) takes longer.
+  EXPECT_GT(serial.duration, inherited.duration);
+}
+
+TEST(Shuffle, DfsIntermediatesRunOnHdfsToo) {
+  // IntermediateMode::kDfs over the HDFS baseline: map outputs become
+  // NameNode files under _intermediate/, the shuffle reads them back, the
+  // job-drain sweep removes them — and the results stay exact.
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = 8;
+  ncfg.nodes_per_rack = 4;
+  net::Network net(sim, ncfg);
+  hdfs::Hdfs hdfs_fs(sim, net,
+                     hdfs::HdfsConfig{.namenode = {.node = 0,
+                                                   .service_time_s = 150e-6,
+                                                   .block_size = kBlock,
+                                                   .replication = 1,
+                                                   .placement_seed = 7}});
+  Rng rng(91);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlock * 6) {
+    std::string line = random_sentence(rng, 1 + rng.below(8));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+  sim.spawn(put_text(&hdfs_fs, "/in", text));
+  sim.run();
+
+  SlowWordCount app;
+  MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  MapReduceCluster mr(sim, net, hdfs_fs, mcfg);
+  JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  jc.intermediate_mode = IntermediateMode::kDfs;
+  JobStats stats;
+  sim.spawn(run_one(&mr, std::move(jc), &stats));
+  sim.run();
+
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got, expect);
+  EXPECT_GT(stats.intermediate_bytes_written, 0u);
+  EXPECT_EQ(stats.intermediate_bytes_read, stats.shuffle_bytes);
+  EXPECT_EQ(stats.fetch_failures, 0u);
+
+  // The intermediate files were swept when the job drained.
+  std::vector<std::string> leftovers;
+  bool dir_gone = false;
+  auto check = [](fs::FileSystem* f, std::vector<std::string>* out,
+                  bool* gone) -> sim::Task<void> {
+    auto client = f->make_client(1);
+    *out = co_await client->list("/out/_intermediate");
+    auto st = co_await client->stat("/out/_intermediate");
+    *gone = !st.has_value();
+  };
+  sim.spawn(check(&hdfs_fs, &leftovers, &dir_gone));
+  sim.run();
+  EXPECT_TRUE(leftovers.empty())
+      << leftovers.size() << " intermediate files leaked";
+  EXPECT_TRUE(dir_gone);
+}
+
 TEST(Slowstart, ReducesOverlapMapPhase) {
   auto run_with = [](double slowstart) {
     SchedWorld w;

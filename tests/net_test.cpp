@@ -229,6 +229,115 @@ TEST(Disk, ConcurrentRequestsQueueFifo) {
   EXPECT_NEAR(net.disk(0).bytes_read(), 150e6, 1);
 }
 
+TEST(Network, TryTransferMatchesTransferWhenHealthy) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  bool ok = false;
+  auto proc = [](Network& n, bool* out) -> sim::Task<void> {
+    *out = co_await n.try_transfer(0, 4, 100e6);
+  };
+  sim.spawn(proc(net, &ok));
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Network, TryTransferFailsAgainstPoweredOffNode) {
+  // The node-down RPC semantics (PR 1) apply to bulk data too: a stream
+  // to or from a dead node must fail after the connection timeout, not
+  // complete as if healthy — this is what feeds the MapReduce engine's
+  // shuffle fetch-failure detection.
+  for (const bool kill_src : {false, true}) {
+    sim::Simulator sim;
+    Network net(sim, small_config());
+    net.set_node_up(kill_src ? 0 : 4, false);
+    bool ok = true;
+    auto proc = [](Network& n, bool* out) -> sim::Task<void> {
+      *out = co_await n.try_transfer(0, 4, 100e6);
+    };
+    sim.spawn(proc(net, &ok));
+    sim.run();
+    EXPECT_FALSE(ok);
+    // No bytes flowed; the caller only paid the connection timeout.
+    EXPECT_NEAR(sim.now(), small_config().rpc_timeout_s, 1e-9);
+    EXPECT_EQ(net.flows_started(), 0u);
+  }
+}
+
+TEST(Network, TryTransferFailsWhenEndpointDiesMidStream) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  bool ok = true;
+  auto proc = [](Network& n, bool* out) -> sim::Task<void> {
+    *out = co_await n.try_transfer(0, 4, 100e6);  // 1 s at NIC rate
+  };
+  auto killer = [](Network& n) -> sim::Task<void> {
+    co_await n.simulator().delay(0.5);
+    n.set_node_up(4, false);  // receiver dies halfway
+  };
+  sim.spawn(proc(net, &ok));
+  sim.spawn(killer(net));
+  sim.run();
+  EXPECT_FALSE(ok);  // the bytes landed on a dead node: fetch failed
+}
+
+TEST(Network, TryTransferFailsWhenEndpointPowerCyclesMidStream) {
+  // Crash AND recovery inside the stream's lifetime: both endpoints look
+  // up at completion, but the receiver rebooted — whatever it was
+  // accumulating is gone, so the transfer must still report failure
+  // (incarnation comparison, not just the up flag).
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  bool ok = true;
+  auto proc = [](Network& n, bool* out) -> sim::Task<void> {
+    *out = co_await n.try_transfer(0, 4, 100e6);  // 1 s at NIC rate
+  };
+  auto cycler = [](Network& n) -> sim::Task<void> {
+    co_await n.simulator().delay(0.4);
+    n.set_node_up(4, false);
+    co_await n.simulator().delay(0.2);
+    n.set_node_up(4, true);  // back before the stream ends
+  };
+  sim.spawn(proc(net, &ok));
+  sim.spawn(cycler(net));
+  sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(Disk, TryOpsFailOnPoweredOffNode) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  net.set_node_up(0, false);
+  bool read_ok = true;
+  bool write_ok = true;
+  auto proc = [](Network& n, bool* r, bool* w) -> sim::Task<void> {
+    *r = co_await n.try_disk_read(0, 50e6);
+    *w = co_await n.try_disk_write(0, 40e6);
+  };
+  sim.spawn(proc(net, &read_ok, &write_ok));
+  sim.run();
+  EXPECT_FALSE(read_ok);
+  EXPECT_FALSE(write_ok);
+  // A dead node issues no I/O at all (and pays no disk service time).
+  EXPECT_NEAR(net.disk(0).bytes_read(), 0, 1e-9);
+  EXPECT_NEAR(net.disk(0).bytes_written(), 0, 1e-9);
+  EXPECT_NEAR(sim.now(), 0.0, 1e-9);
+}
+
+TEST(Network, PowerLossBumpsIncarnation) {
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  EXPECT_EQ(net.incarnation(3), 0u);
+  net.set_node_up(3, false);
+  EXPECT_EQ(net.incarnation(3), 1u);
+  net.set_node_up(3, false);  // already down: not a new power loss
+  EXPECT_EQ(net.incarnation(3), 1u);
+  net.set_node_up(3, true);   // recovery alone does not bump
+  EXPECT_EQ(net.incarnation(3), 1u);
+  net.set_node_up(3, false);
+  EXPECT_EQ(net.incarnation(3), 2u);
+}
+
 TEST(Rpc, RoundTripCostsTwoLatencies) {
   sim::Simulator sim;
   Network net(sim, small_config());
