@@ -31,20 +31,27 @@ void for_each_created_node(const WriteRecord& rec, uint64_t cap_before,
 
 }  // namespace
 
-sim::Task<GcStats> collect_garbage(BlobSeerCluster& cluster, net::NodeId node,
-                                   BlobId blob, Version keep_from) {
+sim::Task<GcStats> collect_garbage(
+    BlobSeerCluster& cluster, net::NodeId node, BlobId blob, Version keep_from,
+    const std::function<Version()>& pin_cap) {
   GcStats stats;
   auto& vm = cluster.version_manager();
   auto& dht = cluster.metadata_dht();
 
   // Flip the watermark first: no reader can start on a doomed version
   // afterwards (in-flight readers of old versions are the caller's
-  // responsibility, as with any GC barrier).
-  stats.pruned_below = co_await vm.prune(node, blob, keep_from);
+  // responsibility, as with any GC barrier; snapshot pins close that
+  // window through pin_cap, checked atomically at the flip).
+  stats.pruned_below = co_await vm.prune(node, blob, keep_from, pin_cap);
   const std::vector<WriteRecord> history = co_await vm.full_history(node, blob);
   BS_CHECK(keep_from >= 1 && keep_from <= history.size() + 1);
+  // Reclaim strictly below the watermark the prune ACTUALLY set — a pin
+  // that appeared in flight may have capped it under the requested
+  // keep_from, and everything below the watermark is unreadable, so the
+  // sweep is safe and idempotent either way.
+  const Version watermark = stats.pruned_below;
 
-  for (Version u = 1; u < keep_from; ++u) {
+  for (Version u = 1; u < watermark; ++u) {
     const WriteRecord& rec = history[u - 1];
     BS_CHECK(rec.version == u);
     const uint64_t cap_before = u >= 2 ? history[u - 2].cap_after : 0;
@@ -53,7 +60,7 @@ sim::Task<GcStats> collect_garbage(BlobSeerCluster& cluster, net::NodeId node,
     // watermark (ownership is monotone, so this covers all kept versions).
     std::vector<PageRange> dead;
     for_each_created_node(rec, cap_before, [&](const PageRange& range) {
-      if (latest_owner(range, history, keep_from + 1) != u) {
+      if (latest_owner(range, history, watermark + 1) != u) {
         dead.push_back(range);
       }
     });

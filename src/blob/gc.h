@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "blob/cluster.h"
 #include "blob/types.h"
@@ -32,7 +33,16 @@ struct GcStats {
 // Prunes all versions of `blob` below `keep_from` (which must be published).
 // Runs from `node` like any other client operation: history from the
 // version manager, deletions against the DHT and the providers.
-sim::Task<GcStats> collect_garbage(BlobSeerCluster& cluster, net::NodeId node,
-                                   BlobId blob, Version keep_from);
+//
+// `pin_cap` (optional) is forwarded to VersionManager::prune, which
+// evaluates it atomically with the watermark flip: a snapshot pin
+// registered while this GC call was in flight still caps the prune, and
+// the deletion sweep only reclaims versions below the watermark the prune
+// actually set. Readers that acquire a version AFTER the watermark flip
+// cannot get one below it; acquisition racing the flip itself is what the
+// cap exists to protect.
+sim::Task<GcStats> collect_garbage(
+    BlobSeerCluster& cluster, net::NodeId node, BlobId blob, Version keep_from,
+    const std::function<Version()>& pin_cap = nullptr);
 
 }  // namespace bs::blob

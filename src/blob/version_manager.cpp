@@ -157,14 +157,22 @@ sim::Task<std::vector<WriteRecord>> VersionManager::full_history(
   co_return history;
 }
 
-sim::Task<Version> VersionManager::prune(net::NodeId client, BlobId blob,
-                                         Version keep_from) {
+sim::Task<Version> VersionManager::prune(
+    net::NodeId client, BlobId blob, Version keep_from,
+    const std::function<Version()>& pin_cap) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
   BlobState& b = state_of(blob);
   BS_CHECK_MSG(keep_from >= 1 && keep_from <= b.published,
                "can only prune below a published version");
+  if (pin_cap) {
+    // Last-instant pin check, atomic with the watermark flip (see the
+    // header): a pin that appeared while this request was in flight still
+    // caps the prune.
+    const Version cap = pin_cap();
+    if (cap != kNoVersion && cap < keep_from) keep_from = cap;
+  }
   b.pruned_below = std::max(b.pruned_below, keep_from);
   const Version watermark = b.pruned_below;
   co_await net_.control(cfg_.node, client);

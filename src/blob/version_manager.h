@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -64,7 +65,17 @@ class VersionManager {
   // Marks versions below `keep_from` pruned: their info becomes
   // unavailable (version_info -> nullopt), so readers can no longer open
   // them. keep_from must be published. Returns the new watermark.
-  sim::Task<Version> prune(net::NodeId client, BlobId blob, Version keep_from);
+  //
+  // `pin_cap`, when set, is evaluated HERE, at processing time, with no
+  // suspension between evaluation and the watermark flip: the effective
+  // keep_from becomes min(keep_from, pin_cap()) (kNoVersion = no
+  // constraint). This is how GC policy layers (fault::RetentionService
+  // consulting the fs::SnapshotRegistry) make their pin checks atomic
+  // against their own in-flight prune — a pin registered any time before
+  // the prune executes is honored, even if it appeared after the caller
+  // decided on keep_from several RPC hops ago.
+  sim::Task<Version> prune(net::NodeId client, BlobId blob, Version keep_from,
+                           const std::function<Version()>& pin_cap = nullptr);
   // Info for a specific published version; nullopt if not published/known.
   sim::Task<std::optional<VersionInfo>> version_info(net::NodeId client,
                                                      BlobId blob, Version v);

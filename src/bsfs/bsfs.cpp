@@ -32,16 +32,27 @@ sim::Task<blob::Version> Bsfs::snapshot(net::NodeId node,
 
 std::pair<std::string, blob::Version> parse_versioned_path(
     const std::string& path) {
-  const size_t at = path.rfind("@v");
-  if (at == std::string::npos || at + 2 >= path.size()) {
-    return {path, blob::kNoVersion};
-  }
+  // One scanner for the "@v<digits>, final component only" rule:
+  // fs::snapshot_base_path, which the SnapshotRegistry also uses to let a
+  // pre-resolution pin on a decorated name guard its base path. Layering
+  // on it keeps the two sides of that contract in lockstep ("/logs@v2/f"
+  // stays a plain path — the '/' fails the digits scan).
+  std::string base = fs::snapshot_base_path(path);
+  if (base.size() == path.size()) return {path, blob::kNoVersion};
   blob::Version v = 0;
-  for (size_t i = at + 2; i < path.size(); ++i) {
-    if (path[i] < '0' || path[i] > '9') return {path, blob::kNoVersion};
+  for (size_t i = base.size() + 2; i < path.size(); ++i) {
     v = v * 10 + static_cast<blob::Version>(path[i] - '0');
   }
-  return {path.substr(0, at), v};
+  return {std::move(base), v};
+}
+
+std::string versioned_path(const std::string& base, blob::Version version) {
+  // "@v0" would decode back to kNoVersion (= latest), silently unpinning
+  // the caller's intent; version 0 has no decorated name — the latest IS
+  // the undecorated path.
+  BS_CHECK_MSG(version != blob::kNoVersion,
+               "version 0 names no snapshot; use the plain path for latest");
+  return base + "@v" + std::to_string(version);
 }
 
 // ---------- BsfsClient ----------
@@ -69,9 +80,21 @@ sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::create_replicated(
   co_return writer;
 }
 
-sim::Task<std::unique_ptr<fs::FsReader>> BsfsClient::open(
+sim::Task<std::pair<std::string, blob::Version>> BsfsClient::resolve_name(
     const std::string& path) {
   auto [base, version] = parse_versioned_path(path);
+  if (version != blob::kNoVersion) {
+    // Literal-first: a namespace entry whose name happens to end in
+    // "@v<N>" shadows the versioned interpretation of its prefix.
+    auto literal = co_await owner_.ns_.lookup(node_, path);
+    if (literal.has_value()) co_return std::pair{path, blob::kNoVersion};
+  }
+  co_return std::pair{std::move(base), version};
+}
+
+sim::Task<std::unique_ptr<fs::FsReader>> BsfsClient::open(
+    const std::string& path) {
+  auto [base, version] = co_await resolve_name(path);
   co_return co_await open_at_version(base, version);
 }
 
@@ -119,9 +142,72 @@ sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::append_shared(
   co_return writer;
 }
 
+sim::Task<std::optional<fs::Snapshot>> BsfsClient::snapshot(
+    const std::string& path) {
+  auto [base, version] = co_await resolve_name(path);
+  auto entry = co_await owner_.ns_.lookup(node_, base);
+  std::optional<fs::Snapshot> out;
+  if (!entry.has_value() || entry->is_dir || entry->under_construction) {
+    co_return out;
+  }
+  auto blob_client = owner_.cluster_.make_client(node_);
+  blob::VersionInfo info;
+  if (version == blob::kNoVersion) {
+    info = co_await blob_client->latest(entry->blob);
+  } else {
+    auto maybe = co_await owner_.cluster_.version_manager().version_info(
+        node_, entry->blob, version);
+    if (!maybe.has_value()) co_return out;  // unpublished or pruned
+    info = *maybe;
+  }
+  out = fs::Snapshot{base, info.version, info.size, entry->block_size,
+                     entry->blob};
+  co_return out;
+}
+
+// Resolves the snapshot's blob: the recorded identity when present (a pin
+// outlives namespace mutation — a removed-and-recreated path must not
+// serve the NEW file's bytes at the old version number), the namespace
+// entry otherwise (hand-built path-only snapshots).
+sim::Task<std::optional<blob::BlobId>> BsfsClient::snapshot_blob(
+    const fs::Snapshot& snap) {
+  if (snap.object != 0) {
+    co_return static_cast<blob::BlobId>(snap.object);
+  }
+  auto entry = co_await owner_.ns_.lookup(node_, snap.path);
+  if (!entry.has_value() || entry->is_dir || entry->under_construction) {
+    co_return std::nullopt;
+  }
+  co_return entry->blob;
+}
+
+sim::Task<std::unique_ptr<fs::FsReader>> BsfsClient::open_snapshot(
+    const fs::Snapshot& snap) {
+  auto blob = co_await snapshot_blob(snap);
+  if (!blob.has_value()) co_return nullptr;
+  auto blob_client = owner_.cluster_.make_client(node_);
+  blob::VersionInfo pinned;  // version 0: a pre-first-publish (empty) pin
+  if (snap.version != blob::kNoVersion) {
+    auto maybe = co_await owner_.cluster_.version_manager().version_info(
+        node_, *blob, static_cast<blob::Version>(snap.version));
+    if (!maybe.has_value()) co_return nullptr;  // pruned
+    pinned = *maybe;
+  }
+  co_return std::make_unique<BsfsReader>(owner_, std::move(blob_client),
+                                         *blob, pinned);
+}
+
+sim::Task<std::vector<fs::BlockLocation>> BsfsClient::snapshot_locations(
+    const fs::Snapshot& snap, uint64_t offset, uint64_t length) {
+  auto blob = co_await snapshot_blob(snap);
+  if (!blob.has_value()) co_return std::vector<fs::BlockLocation>{};
+  co_return co_await locate_blocks(
+      *blob, static_cast<blob::Version>(snap.version), offset, length);
+}
+
 sim::Task<std::optional<fs::FileStat>> BsfsClient::stat(
     const std::string& path) {
-  auto [base, version] = parse_versioned_path(path);
+  auto [base, version] = co_await resolve_name(path);
   auto entry = co_await owner_.ns_.lookup(node_, base);
   if (!entry.has_value()) co_return std::nullopt;
   fs::FileStat st;
@@ -157,13 +243,20 @@ sim::Task<bool> BsfsClient::rename(const std::string& from,
 
 sim::Task<std::vector<fs::BlockLocation>> BsfsClient::locations(
     const std::string& path, uint64_t offset, uint64_t length) {
-  std::vector<fs::BlockLocation> out;
-  auto [base, version] = parse_versioned_path(path);
+  auto [base, version] = co_await resolve_name(path);
   auto entry = co_await owner_.ns_.lookup(node_, base);
-  if (!entry.has_value() || entry->is_dir) co_return out;
+  if (!entry.has_value() || entry->is_dir) {
+    co_return std::vector<fs::BlockLocation>{};
+  }
+  co_return co_await locate_blocks(entry->blob, version, offset, length);
+}
+
+sim::Task<std::vector<fs::BlockLocation>> BsfsClient::locate_blocks(
+    blob::BlobId blob, blob::Version version, uint64_t offset,
+    uint64_t length) {
+  std::vector<fs::BlockLocation> out;
   auto blob_client = owner_.cluster_.make_client(node_);
-  auto pages =
-      co_await blob_client->locate(entry->blob, version, offset, length);
+  auto pages = co_await blob_client->locate(blob, version, offset, length);
   if (pages.empty()) co_return out;
 
   // Group pages into Hadoop blocks; a block's hosts are the providers

@@ -111,6 +111,19 @@ class BsfsClient final : public fs::FsClient {
   sim::Task<std::unique_ptr<fs::FsWriter>> append(const std::string& path) override;
   sim::Task<std::unique_ptr<fs::FsWriter>> append_shared(
       const std::string& path) override;
+  // True version pinning (the §V snapshot seam): snapshot() records the
+  // file's current published blob version, open_snapshot() opens exactly
+  // that version, and snapshot_locations() exposes that version's own page
+  // layout — concurrent writers never show through, unlike the base
+  // class's length-pinning fallback. snapshot() also accepts "<path>@v<N>"
+  // names, pinning version N instead of the latest (how a job re-runs over
+  // a historical snapshot).
+  sim::Task<std::optional<fs::Snapshot>> snapshot(
+      const std::string& path) override;
+  sim::Task<std::unique_ptr<fs::FsReader>> open_snapshot(
+      const fs::Snapshot& snap) override;
+  sim::Task<std::vector<fs::BlockLocation>> snapshot_locations(
+      const fs::Snapshot& snap, uint64_t offset, uint64_t length) override;
   sim::Task<std::optional<fs::FileStat>> stat(const std::string& path) override;
   sim::Task<std::vector<std::string>> list(const std::string& dir) override;
   sim::Task<bool> remove(const std::string& path) override;
@@ -125,6 +138,21 @@ class BsfsClient final : public fs::FsClient {
       const std::string& path, blob::Version version);
 
  private:
+  // Decodes a possibly-versioned name, literal entries first: if the full
+  // path names a real namespace entry (a file literally called "f@v2"),
+  // that entry wins and no version is parsed — which is what makes
+  // versioned_path/parse_versioned_path round-trip safely.
+  sim::Task<std::pair<std::string, blob::Version>> resolve_name(
+      const std::string& path);
+  // The blob a snapshot pins: its recorded identity (immune to namespace
+  // mutation), or the current namespace entry for path-only snapshots.
+  sim::Task<std::optional<blob::BlobId>> snapshot_blob(
+      const fs::Snapshot& snap);
+  // Groups a version's page locations into Hadoop-block BlockLocations.
+  sim::Task<std::vector<fs::BlockLocation>> locate_blocks(
+      blob::BlobId blob, blob::Version version, uint64_t offset,
+      uint64_t length);
+
   Bsfs& owner_;
   net::NodeId node_;
 };
@@ -133,8 +161,18 @@ class BsfsClient final : public fs::FsClient {
 // open/stat/locations resolve it against that snapshot, which lets the
 // unmodified MapReduce framework run concurrent workflows over different
 // snapshots of one dataset (paper §V). Returns kNoVersion for plain paths.
+//
+// Only the FINAL component's "@v<digits>" tail is version syntax:
+// "/logs@v2/f" is a plain path (the directory merely contains "@v"), and a
+// literal namespace entry named "f@v2" always wins over the versioned
+// interpretation of "f" (see the literal-first lookups in BsfsClient), so
+// versioned_path/parse_versioned_path round-trip for every legal path.
 std::pair<std::string, blob::Version> parse_versioned_path(
     const std::string& path);
+
+// Composes the "<path>@v<N>" name parse_versioned_path decodes. Requires
+// version >= 1: version 0 (kNoVersion = latest) has no decorated name.
+std::string versioned_path(const std::string& base, blob::Version version);
 
 class Bsfs final : public fs::FileSystem {
  public:

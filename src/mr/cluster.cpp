@@ -127,7 +127,7 @@ sim::Task<void> MapReduceCluster::cleanup_attempt_dir(JobState& job) {
 
 sim::Task<void> MapReduceCluster::plan_job(JobState& job) {
   MapReduceApp& app = *job.config.app;
-  std::vector<MapSplit> splits;
+  std::vector<InputSplit> splits;
   if (app.generated_bytes_per_map() > 0) {
     BS_CHECK_MSG(job.config.num_generator_maps > 0,
                  "generator app needs num_generator_maps");
@@ -135,27 +135,22 @@ sim::Task<void> MapReduceCluster::plan_job(JobState& job) {
     // install shuffle partitions, so a reduce phase would wait forever.
     BS_CHECK_MSG(app.map_only(), "generator apps must be map-only");
     for (uint32_t i = 0; i < job.config.num_generator_maps; ++i) {
-      MapSplit split;
+      InputSplit split;
       split.index = i;
       splits.push_back(std::move(split));
     }
   } else {
-    auto planner = fs_.make_client(cfg_.jobtracker_node);
-    uint32_t index = 0;
-    for (const std::string& file : job.config.input_files) {
-      auto st = co_await planner->stat(file);
-      BS_CHECK_MSG(st.has_value() && !st->is_dir, "missing input file");
-      auto blocks = co_await planner->locations(file, 0, st->size);
-      for (const auto& b : blocks) {
-        MapSplit split;
-        split.index = index++;
-        split.file = file;
-        split.offset = b.offset;
-        split.length = b.length;
-        split.hosts = b.hosts;
-        job.stats.input_bytes += b.length;
-        splits.push_back(std::move(split));
-      }
+    // Resolve the inputs to pinned snapshots EXACTLY ONCE (mr/dataset.h).
+    // Splits, locality hints, and every attempt's reads consume the pins;
+    // nothing below ever re-stats a live input file.
+    job.dataset = co_await Dataset::resolve(fs_, cfg_.jobtracker_node,
+                                            job.config.input_files);
+    splits = co_await job.dataset.plan_splits(cfg_.jobtracker_node);
+    for (const InputSplit& split : splits) {
+      job.stats.input_bytes += split.length;
+    }
+    for (const fs::Snapshot& snap : job.dataset.snapshots()) {
+      job.stats.input_snapshot_versions.push_back(snap.version);
     }
   }
   job.maps_total = static_cast<uint32_t>(splits.size());
@@ -515,10 +510,20 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   // Let losing attempts reach their next cancellation checkpoint and the
   // speculation loop observe completion before the state is torn down.
   co_await job.attempts.wait();
+  // v4 accounting: how far the live inputs ran ahead of the pins while the
+  // job ran against them (re-stat after the clock stopped — bookkeeping,
+  // not part of the measured makespan).
+  if (!job.dataset.snapshots().empty()) {
+    job.stats.bytes_ingested_during_job =
+        co_await job.dataset.bytes_ingested_since_pin(cfg_.jobtracker_node);
+  }
   co_await cleanup_attempt_dir(job);
   // Intermediate data is job-lifetime-only: sweep whatever the store left
   // (kDfs _intermediate/ files — winners', losers', and crashed attempts').
   co_await job.shuffle->cleanup(job.config.output_dir, cfg_.jobtracker_node);
+  // The job is drained: drop its snapshot pins so the retention service
+  // may reclaim the version history it was holding.
+  job.dataset.release();
 
   JobStats out = std::move(job.stats);
   jobs_.erase(job_it);
@@ -726,7 +731,7 @@ bool MapReduceCluster::commit_map(Attempt* att, MapOutput&& out) {
 sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
   JobState* job = att->job;
   TaskState& task = *att->task;
-  const MapSplit& split = task.split;
+  const InputSplit& split = task.split;
   co_await sim_.delay(cfg_.task_startup_s / cpu_scale(att->node));
   if (task.done) co_return;
   if (!net_.node_up(att->node)) {  // the node lost power during startup
@@ -735,8 +740,38 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
   }
 
   auto client = fs_.make_client(att->node);
-  auto reader = co_await client->open(split.file);
-  BS_CHECK_MSG(reader != nullptr, "map input disappeared");
+  auto reader = co_await job->dataset.open_split(*client, split);
+  // Every attempt of this task — first, retried after a failure, or
+  // speculative — must observe the same pinned extent, or two attempts of
+  // one task could emit different records when a writer appends mid-job.
+  // Versioned pins guarantee it outright (a violation is an engine bug).
+  // The length-pinning fallback (version == 0) can only be CHECKED at
+  // open: the live file may have been removed (a rewrite window) or
+  // re-written shorter than the pin. Such degradation fails the ATTEMPT —
+  // a rewrite in flight may have restored the file by the retry — but a
+  // PERSISTENT violation aborts loudly after a few rounds rather than
+  // requeueing forever. A rewrite landing AFTER this check, mid-read, is
+  // beyond the fallback's power to detect: the reader serves the new live
+  // bytes (visibly stale), or the storage layer's own integrity checks
+  // abort the run (FsReader::read has no failure channel to strike the
+  // attempt instead). That weakness is exactly the §V isolation gap — it
+  // is why ext7's HDFS workload must fence jobs against ingest, and why
+  // BSFS's versioned pins exist.
+  const fs::Snapshot& snap = job->dataset.snapshot_of(split);
+  if (reader == nullptr || reader->size() != snap.size) {
+    BS_CHECK_MSG(snap.version == 0,
+                 "pinned snapshot unreadable under a versioned pin");
+    constexpr uint32_t kMaxInputFailures = 4;
+    BS_CHECK_MSG(++task.input_failures < kMaxInputFailures,
+                 "map input permanently unreadable under its length pin "
+                 "(live file removed or shrunk below the pinned size)");
+    abort_attempt_io(att);
+    co_return;
+  }
+  // A good open clears the strikes: only CONSECUTIVE degraded opens count
+  // as persistent (a long job may survive many transient rewrite windows).
+  task.input_failures = 0;
+  BS_CHECK(split.offset + split.length <= reader->size());
 
   MapReduceApp& app = *job->config.app;
   const uint32_t reducers = std::max<uint32_t>(1, job->reduces_total);
@@ -779,22 +814,28 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
                         static_cast<double>(std::max<uint64_t>(1, split.length)));
       Bytes bytes = chunk.materialize();
       buf.append(bytes.begin(), bytes.end());
-      // Emit complete lines from the buffer.
+      // Emit complete lines from the buffer. Boundary rule (Hadoop's
+      // LineRecordReader): this split emits every line STARTING at or
+      // before `end` — including one starting exactly AT `end`, which the
+      // next split's skip_first unconditionally discards — and stops once
+      // a line starts strictly past `end`. (With "at/after end" on both
+      // sides, a line beginning exactly on a split boundary was dropped by
+      // both splits.)
       size_t line_start = 0;
       for (size_t i = 0; i < buf.size(); ++i) {
         if (buf[i] != '\n') continue;
         const uint64_t line_off = buf_base + line_start;
         if (skip_first) {
           skip_first = false;
-        } else if (line_off < end) {
+        } else if (line_off <= end) {
           app.map(line_off, buf.substr(line_start, i - line_start), emitter);
         } else {
-          done = true;  // first line starting at/after `end`: not ours
+          done = true;  // first line starting past `end`: not ours
           break;
         }
         line_start = i + 1;
-        if (buf_base + line_start >= end) {
-          // The next line starts at/after the split end: stop reading.
+        if (buf_base + line_start > end) {
+          // The next line starts strictly past the split end: stop.
           done = true;
           break;
         }
@@ -802,7 +843,7 @@ sim::Task<void> MapReduceCluster::run_map_attempt(Attempt* att) {
       buf.erase(0, line_start);
       buf_base += line_start;
     }
-    if (!done && !buf.empty() && !skip_first && buf_base < end) {
+    if (!done && !buf.empty() && !skip_first && buf_base <= end) {
       app.map(buf_base, buf, emitter);  // final unterminated line
     }
   } else {

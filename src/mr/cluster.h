@@ -10,12 +10,17 @@
 // stays per-job.
 //
 // Task lifecycle per attempt:
-//   1. Map attempts read their split through the FS client (record-sized
-//      reads; the FS's caching/prefetch behavior is what the paper's §IV.C
-//      comparison exercises), run map() or charge the cost model per
-//      chunk, and materialize partitioned intermediate output through the
-//      job's ShuffleStore (mr/shuffle.h): mapper-local disk (classic
-//      Hadoop) or replicated DFS files, per JobConfig::intermediate_mode.
+//   1. Map attempts read their split through the job's pinned Dataset
+//      (mr/dataset.h): inputs are resolved to fs::Snapshot pins exactly
+//      once at submission, so splits, locality, and every attempt —
+//      retried and speculative included — consume one consistent view no
+//      matter what writers do to the live files meanwhile. Reads are
+//      record-sized (the FS's caching/prefetch behavior is what the
+//      paper's §IV.C comparison exercises); attempts run map() or charge
+//      the cost model per chunk, and materialize partitioned intermediate
+//      output through the job's ShuffleStore (mr/shuffle.h): mapper-local
+//      disk (classic Hadoop) or replicated DFS files, per
+//      JobConfig::intermediate_mode.
 //   2. Reduce tasks may start once `reduce_slowstart` of the job's maps
 //      have committed (Hadoop's mapred.reduce.slowstart analog); their
 //      shuffle fetches each map's partition as it becomes available, so
@@ -67,6 +72,7 @@
 #include "common/stats.h"
 #include "fs/filesystem.h"
 #include "mr/app.h"
+#include "mr/dataset.h"
 #include "mr/jobstats.h"
 #include "mr/scheduler.h"
 #include "mr/shuffle.h"
@@ -192,14 +198,6 @@ class MapReduceCluster {
   size_t active_jobs() const { return jobs_.size(); }
 
  private:
-  struct MapSplit {
-    uint32_t index = 0;
-    std::string file;
-    uint64_t offset = 0;
-    uint64_t length = 0;
-    std::vector<net::NodeId> hosts;
-  };
-
   enum class TaskKind { kMap, kReduce };
 
   struct JobState;
@@ -207,7 +205,7 @@ class MapReduceCluster {
   // One logical task (map i or reduce r); attempts come and go.
   struct TaskState {
     uint32_t index = 0;
-    MapSplit split;  // maps only
+    InputSplit split;  // maps only — cut from the job's pinned Dataset
     bool done = false;        // an attempt committed
     // Shared-append commit arbitration: an append is permanent the moment
     // it lands, so (unlike rename) the winner must be decided BEFORE any
@@ -216,6 +214,10 @@ class MapReduceCluster {
     // emitting a duplicate block.
     bool commit_claimed = false;
     bool speculated = false;  // a backup was queued (at most one)
+    // Length-pin degradation strikes (maps only): attempts that found the
+    // live file missing/shrunk below the pin; bounded so a permanently
+    // unreadable input fails loudly instead of requeueing forever.
+    uint32_t input_failures = 0;
     // Locality bucket of the current committed attempt (maps): revoked if
     // the output is later declared lost, re-attributed by the re-commit.
     uint8_t committed_locality = 2;
@@ -242,6 +244,10 @@ class MapReduceCluster {
     explicit JobState(sim::Simulator& sim) : attempts(sim) {}
     uint32_t job_id = 0;
     JobConfig config;
+    // The job's pinned input snapshots (mr/dataset.h), resolved exactly
+    // once at submission; every attempt's reads go through it and the
+    // pins stay registered (GC-protected) until the job drains.
+    Dataset dataset;
     std::vector<TaskState> map_tasks;
     std::vector<TaskState> reduce_tasks;
     std::deque<uint32_t> pending_maps;     // task indices awaiting a slot

@@ -1,0 +1,118 @@
+// Snapshot-isolated job inputs — the dataset layer between the storage
+// back-end's snapshot seam (fs::Snapshot) and the JobTracker.
+//
+// A Dataset resolves a job's input paths to pinned snapshots EXACTLY ONCE,
+// at job submission. Everything downstream — split planning, locality
+// hints, record and cost-model reads, retried and speculative attempts —
+// consumes the pinned snapshots and never re-stats the live files. That is
+// what makes the paper's headline scenario expressible: continuous ingest
+// appending to a dataset while batch jobs run over consistent snapshots of
+// it (paper §V). On BSFS the pin is a published blob version (true
+// isolation); on back-ends without versioning it degrades to a length pin
+// (reads truncated to the pinned length, content re-writes visible) — the
+// asymmetry bench/ext7_snapshot_isolation quantifies.
+//
+// Resolution also registers the pins in the FileSystem's SnapshotRegistry,
+// which the retention/GC service consults before pruning version history —
+// a running job must never lose its pinned version mid-run. release()
+// drops the pins when the job drains.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+#include "net/network.h"
+#include "sim/task.h"
+
+namespace bs::mr {
+
+// One map input split, cut from a pinned snapshot (never from a live
+// stat): the byte range, the hosts that serve it locally, and the index of
+// the snapshot it belongs to. Every attempt of the same task — first,
+// retried, speculative — reads exactly this range of exactly this
+// snapshot.
+struct InputSplit {
+  uint32_t index = 0;   // global map-task index within the job
+  uint32_t input = 0;   // index into Dataset::snapshots()
+  std::string file;     // base path (diagnostics; reads go via the snapshot)
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::vector<net::NodeId> hosts;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  // Moves leave the source demonstrably lease-free: a moved-from vector is
+  // only "valid but unspecified" by the standard, and a stale lease id in
+  // the source would let its destructor unpin leases the destination owns.
+  Dataset(Dataset&& o)
+      : fs_(o.fs_), snaps_(std::move(o.snaps_)),
+        baselines_(std::move(o.baselines_)), leases_(std::move(o.leases_)) {
+    o.leases_.clear();
+  }
+  // Move-assignment releases the target's own leases first — a defaulted
+  // operator= would overwrite them and leak the pins in the registry
+  // forever (retention could then never reclaim those paths' history).
+  Dataset& operator=(Dataset&& o) {
+    if (this != &o) {
+      release();
+      fs_ = o.fs_;
+      snaps_ = std::move(o.snaps_);
+      baselines_ = std::move(o.baselines_);
+      leases_ = std::move(o.leases_);
+      o.leases_.clear();
+    }
+    return *this;
+  }
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  ~Dataset() { release(); }
+
+  // Resolves each input path to a pinned snapshot, from `node` (normally
+  // the JobTracker's). Each pin is leased in fs.registry() under a
+  // pin-all hold while the concrete version is a round trip away, so a
+  // concurrent retention pass can never prune the version being pinned.
+  // Aborts the simulation on a missing input (same contract the split
+  // planner had).
+  static sim::Task<Dataset> resolve(fs::FileSystem& fs, net::NodeId node,
+                                    std::vector<std::string> files);
+
+  const std::vector<fs::Snapshot>& snapshots() const { return snaps_; }
+  const fs::Snapshot& snapshot_of(const InputSplit& split) const {
+    return snaps_[split.input];
+  }
+  uint64_t total_bytes() const;
+
+  // Cuts splits from the pinned snapshots: one per storage block, hosts
+  // from the snapshot's own layout (BSFS: the pinned version's pages).
+  // No live stat anywhere.
+  sim::Task<std::vector<InputSplit>> plan_splits(net::NodeId node) const;
+
+  // Attempt-side: opens a reader over the split's pinned snapshot on the
+  // attempt's own client. Null only if the back-end lost the data.
+  sim::Task<std::unique_ptr<fs::FsReader>> open_split(
+      fs::FsClient& client, const InputSplit& split) const;
+
+  // How many bytes writers appended to the inputs since the pin was taken
+  // (live size now minus live size at resolve time, clamped at 0, summed)
+  // — the JobStats v4 `bytes_ingested_during_job` counter. The baseline is
+  // the LIVE size at resolve, not the pinned size: a job pinning a
+  // historical "@v<N>" snapshot must not count ingest that predates its
+  // own submission.
+  sim::Task<uint64_t> bytes_ingested_since_pin(net::NodeId node) const;
+
+  // Drops the registry pins (idempotent; also run by the destructor).
+  void release();
+
+ private:
+  fs::FileSystem* fs_ = nullptr;
+  std::vector<fs::Snapshot> snaps_;
+  std::vector<uint64_t> baselines_;  // live input sizes at resolve time
+  std::vector<uint64_t> leases_;
+};
+
+}  // namespace bs::mr

@@ -54,6 +54,13 @@ std::string debug_string(const JobStats& s) {
   append_num(&out, "concat_parts", s.concat_parts);
   append_num(&out, "concat_bytes", s.concat_bytes);
   append_num(&out, "concat_s", s.concat_s);
+  out += "input_snapshot_versions=";
+  for (size_t i = 0; i < s.input_snapshot_versions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(s.input_snapshot_versions[i]);
+  }
+  out += '\n';
+  append_num(&out, "bytes_ingested_during_job", s.bytes_ingested_during_job);
   for (const TaskLaunch& l : s.launches) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "launch %c%u a%u node=%u t=%a spec=%d\n",

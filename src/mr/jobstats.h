@@ -5,8 +5,11 @@
 // mr/shuffle.h) adds the shuffle fault-tolerance trail — reported fetch
 // failures, completed maps re-executed because their intermediate data was
 // destroyed, and the bytes moved through the intermediate store in each
-// direction. Every field is serialized exactly by debug_string, which is
-// what the determinism suite gates byte-for-byte.
+// direction. v4 adds the snapshot-isolation trail (mr/dataset.h): the
+// pinned version of every input snapshot and how many bytes writers
+// ingested into the inputs while the job ran against its pins. Every field
+// is serialized exactly by debug_string, which is what the determinism
+// suite gates byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +67,14 @@ struct JobStats {
   uint64_t concat_parts = 0;         // fallback: part files concatenated
   uint64_t concat_bytes = 0;         // bytes rewritten by the serialized concat
   double concat_s = 0;               // wall time of the fallback concat pass
+  // Snapshot-isolated inputs (v4, mr/dataset.h):
+  // Pinned version of each input snapshot, in JobConfig::input_files
+  // order (0 = the back-end's length-pinning fallback, no real version).
+  std::vector<uint64_t> input_snapshot_versions;
+  // Bytes writers appended to the job's inputs between the pin at
+  // submission and job completion — how far the live dataset ran ahead of
+  // the snapshot the job kept reading.
+  uint64_t bytes_ingested_during_job = 0;
   std::vector<TaskLaunch> launches;
   // Record-mode result sample: reduce outputs collected (small jobs only).
   std::vector<std::pair<std::string, std::string>> results;

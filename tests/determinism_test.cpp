@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/wordlist.h"
 #include "fault/injector.h"
+#include "fault/retention.h"
 #include "hdfs/hdfs.h"
 #include "mr/app.h"
 #include "mr/cluster.h"
@@ -426,6 +427,128 @@ TEST(Determinism, HdfsIntermediateCrashIsBitReproducible) {
     const std::string b = run_intermediate_crash("HDFS", mode);
     EXPECT_EQ(a, b);
   }
+}
+
+// Snapshot-isolated inputs (JobStats v4, mr/dataset.h): a job pins its
+// input at submission while a writer keeps appending to the live file —
+// on BSFS additionally under a concurrent RetentionService loop pruning
+// unpinned history. Two identical runs must agree byte-for-byte, the v4
+// counters (input_snapshot_versions, bytes_ingested_during_job) included.
+std::string run_snapshot_ingest(const std::string& backend) {
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = 20;
+  ncfg.nodes_per_rack = 5;
+  net::Network net(sim, ncfg);
+  blob::BlobSeerCluster blobs(sim, net, {});
+  bsfs::NamespaceManager ns(sim, net, {});
+  bsfs::Bsfs bsfs_fs(sim, net, blobs, ns,
+                     bsfs::BsfsConfig{.block_size = kBlock,
+                                      .page_size = kBlock / 8,
+                                      .replication = 1,
+                                      .enable_cache = true});
+  hdfs::Hdfs hdfs_fs(sim, net,
+                     hdfs::HdfsConfig{.namenode = {.node = 0,
+                                                   .service_time_s = 150e-6,
+                                                   .block_size = kBlock,
+                                                   .replication = 1,
+                                                   .placement_seed = 7},
+                                      .datanode_ram = 1u << 30,
+                                      .stream_efficiency = 0.92});
+  const bool use_bsfs = backend == "BSFS";
+  fs::FileSystem& fs = use_bsfs ? static_cast<fs::FileSystem&>(bsfs_fs)
+                                : static_cast<fs::FileSystem&>(hdfs_fs);
+
+  Rng rng(707);
+  const std::string corpus = random_text(rng, kBlock * 6);
+  auto stage = [](fs::FileSystem* f, std::string text) -> sim::Task<void> {
+    auto client = f->make_client(1);
+    auto writer = co_await client->create("/in");
+    co_await writer->write(DataSpec::from_string(std::move(text)));
+    co_await writer->close();
+  };
+  sim.spawn(stage(&fs, corpus));
+  sim.run();
+
+  // Continuous ingest during the job (BSFS only — HDFS cannot append;
+  // there the run pins a static file and the v4 counters must stay 0).
+  bool job_done = false;
+  if (use_bsfs) {
+    auto appender = [](sim::Simulator* s, fs::FileSystem* f, Rng seed,
+                       const bool* done) -> sim::Task<void> {
+      auto client = f->make_client(2);
+      Rng r = seed;
+      while (!*done) {
+        co_await s->delay(0.15);
+        if (*done) break;
+        auto writer = co_await client->append("/in");
+        if (writer == nullptr) co_return;
+        co_await writer->write(
+            DataSpec::from_string(random_sentence(r, 1 + r.below(5))));
+        co_await writer->close();
+      }
+    };
+    sim.spawn(appender(&sim, &fs, Rng(808), &job_done));
+  }
+  fault::RetentionService retention(
+      bsfs_fs, fault::RetentionConfig{.node = 0, .period_s = 0.2,
+                                      .keep_last = 2});
+  if (use_bsfs) retention.start();
+
+  SlowWordCount app;
+  mr::MrConfig mcfg;
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.task_failure_prob = 0.2;  // retried attempts must re-read the pin
+  mr::MapReduceCluster cluster(sim, net, fs, mcfg);
+  mr::JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 1024;
+  mr::JobStats stats;
+  auto run = [](mr::MapReduceCluster* c, mr::JobConfig conf,
+                mr::JobStats* out, bool* done) -> sim::Task<void> {
+    *out = co_await c->run_job(std::move(conf));
+    *done = true;
+  };
+  sim.spawn(run(&cluster, std::move(jc), &stats, &job_done));
+  sim.run_until(60.0);
+  retention.stop();
+  sim.run();
+
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "end=%a events=%llu flows=%llu moved=%a reclaimed=%llu\n",
+                sim.now(),
+                static_cast<unsigned long long>(sim.events_processed()),
+                static_cast<unsigned long long>(net.flows_started()),
+                net.bytes_moved(),
+                static_cast<unsigned long long>(
+                    retention.total().bytes_reclaimed));
+  return mr::debug_string(stats) + tail;
+}
+
+TEST(Determinism, SnapshotIngestBsfsIsBitReproducible) {
+  const std::string a = run_snapshot_ingest("BSFS");
+  const std::string b = run_snapshot_ingest("BSFS");
+  EXPECT_EQ(a, b);
+  // The scenario must actually pin a real version and see ingest run
+  // ahead of it, or the v4 gate is vacuous.
+  EXPECT_NE(a.find("input_snapshot_versions="), std::string::npos);
+  EXPECT_EQ(a.find("input_snapshot_versions=0\n"), std::string::npos);
+  EXPECT_EQ(a.find("bytes_ingested_during_job=0\n"), std::string::npos);
+}
+
+TEST(Determinism, SnapshotIngestHdfsIsBitReproducible) {
+  const std::string a = run_snapshot_ingest("HDFS");
+  const std::string b = run_snapshot_ingest("HDFS");
+  EXPECT_EQ(a, b);
+  // The length-pinning fallback has no real version to record, and the
+  // static file never grew.
+  EXPECT_NE(a.find("input_snapshot_versions=0\n"), std::string::npos);
+  EXPECT_NE(a.find("bytes_ingested_during_job=0\n"), std::string::npos);
 }
 
 TEST(Determinism, BlobWritesProduceIdenticalPlacement) {

@@ -12,13 +12,20 @@
 #include <set>
 #include <vector>
 
+#include <map>
+#include <sstream>
+
 #include "blob/cluster.h"
 #include "blob/metadata.h"
 #include "bsfs/bsfs.h"
+#include "common/wordlist.h"
 #include "fault/detector.h"
 #include "fault/injector.h"
 #include "fault/repair.h"
+#include "fault/retention.h"
 #include "hdfs/hdfs.h"
+#include "mr/app.h"
+#include "mr/cluster.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -371,6 +378,226 @@ TEST(FaultRecovery, NamespaceRepairLeavesIntermediateFilesAlone) {
   ASSERT_NE(intermediate_blob, 0u);
   EXPECT_GT(intermediate_only.under_replicated, 0u);
   w.sim.run();
+}
+
+TEST(FaultRecovery, PinnedVersionReadsSurviveProviderCrash) {
+  // The §V snapshot seam under faults: a job-style consumer pins a
+  // version, a writer appends past it, and a provider holding pinned
+  // pages crashes. Reads through the pin must keep succeeding byte-exact
+  // via replica failover — the pinned version is as crash-tolerant as the
+  // live one.
+  FaultWorld w;
+  bsfs::NamespaceManager ns(w.sim, w.net, {});
+  const uint64_t kBlockBytes = kPage * 4;
+  bsfs::Bsfs fs(w.sim, w.net, w.cluster, ns,
+                bsfs::BsfsConfig{.block_size = kBlockBytes, .page_size = kPage,
+                                 .replication = 2, .enable_cache = true});
+
+  std::optional<fs::Snapshot> snap;
+  std::vector<fs::BlockLocation> pinned_locs;
+  auto stage = [](fs::FileSystem& f, std::optional<fs::Snapshot>* out,
+                  std::vector<fs::BlockLocation>* locs) -> sim::Task<void> {
+    auto client = f.make_client(1);
+    auto writer = co_await client->create("/data/log");
+    co_await writer->write(DataSpec::pattern(21, 0, kPage * 8));
+    co_await writer->close();
+    *out = co_await client->snapshot("/data/log");
+    if (!out->has_value()) co_return;
+    *locs = co_await client->snapshot_locations(**out, 0, (*out)->size);
+    // The dataset keeps growing after the pin.
+    auto appender = co_await client->append("/data/log");
+    co_await appender->write(DataSpec::pattern(22, 0, kPage * 8));
+    co_await appender->close();
+  };
+  w.sim.spawn(stage(fs, &snap, &pinned_locs));
+  w.sim.run();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_GT(snap->version, 0u);
+  ASSERT_FALSE(pinned_locs.empty());
+  ASSERT_FALSE(pinned_locs[0].hosts.empty());
+
+  // Crash a node that serves the pinned version's first block.
+  const net::NodeId victim = pinned_locs[0].hosts[0];
+  w.detector.start();
+  w.injector.crash_at(victim, w.sim.now() + 0.2);
+  w.sim.run_until(w.sim.now() + 3.0);  // crash + detection settle
+  ASSERT_FALSE(w.detector.is_up(victim));
+
+  bool exact = false;
+  auto read_pinned = [](fs::FileSystem& f, const fs::Snapshot& s,
+                        bool* ok) -> sim::Task<void> {
+    auto client = f.make_client(2);
+    auto reader = co_await client->open_snapshot(s);
+    if (reader == nullptr || reader->size() != kPage * 8) co_return;
+    auto got = co_await reader->read(0, reader->size());
+    *ok = got.content_equals(DataSpec::pattern(21, 0, kPage * 8));
+  };
+  w.sim.spawn(read_pinned(fs, *snap, &exact));
+  w.sim.run_until(w.sim.now() + 30.0);
+  EXPECT_TRUE(exact);
+  w.detector.stop();
+  w.sim.run();
+}
+
+// A deliberately slow word-count so a retention loop gets many cycles
+// inside one job's map phase.
+class RetentionWordCount final : public mr::MapReduceApp {
+ public:
+  std::string name() const override { return "retention-wordcount"; }
+  void map(uint64_t, const std::string& line, mr::Emitter& out) override {
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() ||
+          std::isspace(static_cast<unsigned char>(line[i]))) {
+        if (i > start) out.emit(line.substr(start, i - start), "1");
+        start = i + 1;
+      }
+    }
+  }
+  void reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::Emitter& out) override {
+    uint64_t total = 0;
+    for (const auto& v : values) total += std::stoull(v);
+    out.emit(key, std::to_string(total));
+  }
+  double map_rate_bps() const override { return 4e2; }  // ~0.6 s per block
+  double reduce_rate_bps() const override { return 64e3; }
+  double map_selectivity() const override { return 1.1; }
+  double output_ratio() const override { return 0.05; }
+};
+
+TEST(FaultRecovery, RetentionCycleNeverPrunesALiveJobPin) {
+  // A RetentionService loop with the tightest window (keep only the
+  // latest version) runs concurrently with a MapReduce job over a dataset
+  // a writer keeps appending to. The job's Dataset pin must hold the
+  // watermark back — its pinned version stays readable for the whole run,
+  // probed directly at the version manager — and once the job drains and
+  // releases the pin, the very same version is reclaimed.
+  FaultWorld w;
+  bsfs::NamespaceManager ns(w.sim, w.net, {});
+  const uint64_t kBlockBytes = kPage * 4;
+  bsfs::Bsfs fs(w.sim, w.net, w.cluster, ns,
+                bsfs::BsfsConfig{.block_size = kBlockBytes, .page_size = kPage,
+                                 .replication = 1, .enable_cache = true});
+
+  Rng rng(61);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlockBytes * 8) {
+    std::string line = random_sentence(rng, 1 + rng.below(6));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+  auto stage = [](fs::FileSystem& f, std::string body) -> sim::Task<void> {
+    auto client = f.make_client(0);
+    auto writer = co_await client->create("/in");
+    co_await writer->write(DataSpec::from_string(std::move(body)));
+    co_await writer->close();
+  };
+  w.sim.spawn(stage(fs, text));
+  w.sim.run();
+
+  RetentionService retention(
+      fs, RetentionConfig{.node = 0, .period_s = 0.3, .keep_last = 1});
+  retention.start();
+
+  // Continuous ingest: unaligned appends, so each one read-modify-writes
+  // the short tail page and leaves reclaimable history behind it.
+  bool job_done = false;
+  auto appender = [](sim::Simulator* s, fs::FileSystem* f,
+                     const bool* done) -> sim::Task<void> {
+    auto client = f->make_client(3);
+    while (!*done) {
+      co_await s->delay(0.4);
+      auto writer = co_await client->append("/in");
+      if (writer == nullptr) co_return;
+      co_await writer->write(DataSpec::from_string("ingested words here\n"));
+      co_await writer->close();
+    }
+  };
+
+  RetentionWordCount app;
+  mr::MrConfig mcfg;
+  mcfg.tasktracker_nodes = {1, 2};
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mr::MapReduceCluster cluster(w.sim, w.net, fs, mcfg);
+  mr::JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = kPage;
+  mr::JobStats stats;
+  auto run = [](mr::MapReduceCluster* c, mr::JobConfig conf, mr::JobStats* out,
+                bool* done) -> sim::Task<void> {
+    *out = co_await c->run_job(std::move(conf));
+    *done = true;
+  };
+
+  // Probe: while the job runs, its pinned version must stay available at
+  // the version manager, retention cycles notwithstanding.
+  blob::Version pinned_version = blob::kNoVersion;
+  int pin_violations = 0;
+  auto probe = [](sim::Simulator* s, bsfs::Bsfs* f, const bool* done,
+                  blob::Version* pinned, int* violations) -> sim::Task<void> {
+    auto entry = co_await f->ns().lookup(0, "/in");
+    if (!entry.has_value()) co_return;
+    while (!*done) {
+      co_await s->delay(0.25);
+      if (*done) break;
+      const auto oldest = f->registry().oldest_pinned("/in");
+      if (!oldest.has_value() || *oldest == 0) continue;
+      *pinned = static_cast<blob::Version>(*oldest);
+      auto info = co_await f->blobs().version_manager().version_info(
+          0, entry->blob, *pinned);
+      if (!info.has_value()) ++*violations;
+    }
+  };
+
+  w.sim.spawn(run(&cluster, std::move(jc), &stats, &job_done));
+  w.sim.spawn(appender(&w.sim, &fs, &job_done));
+  w.sim.spawn(probe(&w.sim, &fs, &job_done, &pinned_version, &pin_violations));
+  // The retention loop keeps the event queue alive; bound the run, then
+  // stop it and drain.
+  w.sim.run_until(30.0);
+  ASSERT_TRUE(job_done);
+  retention.stop();
+  w.sim.run();
+
+  // The pin held: never a cycle where the pinned version was unavailable,
+  // and the job's output is exactly the pinned text's word counts.
+  EXPECT_EQ(pin_violations, 0);
+  ASSERT_NE(pinned_version, blob::kNoVersion);
+  EXPECT_GT(retention.total().passes, 3u);  // retention really ran mid-job
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got.count("ingested"), 0u);
+  EXPECT_EQ(got, expect);
+  EXPECT_GT(stats.bytes_ingested_during_job, 0u);
+
+  // With the job drained (pin released), one more pass reclaims the very
+  // version the job was holding.
+  RetentionStats final_pass;
+  auto sweep = [](RetentionService* r, RetentionStats* out) -> sim::Task<void> {
+    *out = co_await r->run_pass();
+  };
+  w.sim.spawn(sweep(&retention, &final_pass));
+  w.sim.run();
+  EXPECT_EQ(fs.registry().live_pins(), 0u);
+  bool pinned_gone = false;
+  auto check = [](bsfs::Bsfs* f, blob::Version v, bool* gone) -> sim::Task<void> {
+    auto entry = co_await f->ns().lookup(0, "/in");
+    auto info = co_await f->blobs().version_manager().version_info(
+        0, entry->blob, v);
+    *gone = !info.has_value();
+  };
+  w.sim.spawn(check(&fs, pinned_version, &pinned_gone));
+  w.sim.run();
+  EXPECT_TRUE(pinned_gone);
+  EXPECT_GT(retention.total().bytes_reclaimed, 0u);
 }
 
 TEST(FaultRecovery, WriteSurvivesProviderCrashMidWrite) {

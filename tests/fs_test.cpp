@@ -342,6 +342,98 @@ TEST_P(FsInterfaceTest, RacingCommitsToOnePartFileLeaveOneWinner) {
   EXPECT_TRUE(leftovers.empty());
 }
 
+TEST_P(FsInterfaceTest, VersionedNamesResolveLiteralEntriesFirst) {
+  // A file whose name literally ends in "@v<N>" must behave like any other
+  // file on BOTH back-ends: stat/open/remove resolve the literal entry, and
+  // the versioned-path interpretation never shadows it (round-trip safety
+  // for the BSFS "@v" convention; plain characters on HDFS).
+  FsWorld w;
+  auto client = w.get(GetParam()).make_client(0);
+  std::optional<fs::FileStat> st;
+  std::optional<Bytes> content;
+  bool removed = false, gone = false;
+  auto proc = [](fs::FsClient& c, std::optional<fs::FileStat>* s,
+                 std::optional<Bytes>* data, bool* rm,
+                 bool* g) -> sim::Task<void> {
+    co_await write_file(c, "/out/f@v2", DataSpec::from_string("literal"));
+    *s = co_await c.stat("/out/f@v2");
+    *data = co_await read_file(c, "/out/f@v2");
+    *rm = co_await c.remove("/out/f@v2");
+    auto after = co_await c.stat("/out/f@v2");
+    *g = !after.has_value();
+  };
+  w.sim.spawn(proc(*client, &st, &content, &removed, &gone));
+  w.sim.run();
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->size, 7u);
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(std::string(content->begin(), content->end()), "literal");
+  EXPECT_TRUE(removed);
+  EXPECT_TRUE(gone);
+}
+
+TEST_P(FsInterfaceTest, DirectoryComponentsContainingVersionSyntaxAreLiteral) {
+  // "@v<digits>" is version syntax only in the FINAL component: a
+  // directory named "logs@v2" is an ordinary directory, and paths through
+  // it stat/list/read identically on both back-ends.
+  FsWorld w;
+  auto client = w.get(GetParam()).make_client(1);
+  std::optional<fs::FileStat> dir_st, file_st;
+  std::vector<std::string> listed;
+  std::optional<Bytes> content;
+  auto proc = [](fs::FsClient& c, std::optional<fs::FileStat>* ds,
+                 std::optional<fs::FileStat>* fst,
+                 std::vector<std::string>* ls,
+                 std::optional<Bytes>* data) -> sim::Task<void> {
+    co_await write_file(c, "/logs@v2/f", DataSpec::from_string("payload"));
+    *ds = co_await c.stat("/logs@v2");
+    *fst = co_await c.stat("/logs@v2/f");
+    *ls = co_await c.list("/logs@v2");
+    *data = co_await read_file(c, "/logs@v2/f");
+  };
+  w.sim.spawn(proc(*client, &dir_st, &file_st, &listed, &content));
+  w.sim.run();
+  ASSERT_TRUE(dir_st.has_value());
+  EXPECT_TRUE(dir_st->is_dir);
+  ASSERT_TRUE(file_st.has_value());
+  EXPECT_EQ(file_st->size, 7u);
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0], "/logs@v2/f");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(std::string(content->begin(), content->end()), "payload");
+}
+
+TEST_P(FsInterfaceTest, RemoveOfAVersionedNameNeverDropsHistory) {
+  // remove("<path>@v<N>") with no literal entry of that name must fail on
+  // both back-ends — versions are pruned by GC/retention policy, never by
+  // a path-level remove — and the base file stays fully intact.
+  FsWorld w;
+  const bool bsfs = std::string(GetParam()) == "BSFS";
+  auto client = w.get(GetParam()).make_client(0);
+  bool removed = true;
+  std::optional<fs::FileStat> base_st, v1_st;
+  auto proc = [](fs::FsClient& c, bool* rm, std::optional<fs::FileStat>* base,
+                 std::optional<fs::FileStat>* v1) -> sim::Task<void> {
+    co_await write_file(c, "/keep", DataSpec::pattern(8, 0, kBlock));
+    *rm = co_await c.remove("/keep@v1");
+    *base = co_await c.stat("/keep");
+    *v1 = co_await c.stat("/keep@v1");
+  };
+  w.sim.spawn(proc(*client, &removed, &base_st, &v1_st));
+  w.sim.run();
+  EXPECT_FALSE(removed);
+  ASSERT_TRUE(base_st.has_value());
+  EXPECT_EQ(base_st->size, kBlock);
+  if (bsfs) {
+    // The version history is untouched: version 1 still stats.
+    ASSERT_TRUE(v1_st.has_value());
+    EXPECT_EQ(v1_st->size, kBlock);
+  } else {
+    // HDFS has no versions: the name is just an absent literal path.
+    EXPECT_FALSE(v1_st.has_value());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, FsInterfaceTest,
                          ::testing::Values("BSFS", "HDFS"));
 
@@ -533,6 +625,53 @@ TEST(BsfsSpecific, SnapshotReadersSeeOldVersion) {
   w.sim.spawn(proc(w, *client, &ok));
   w.sim.run();
   EXPECT_TRUE(ok);
+}
+
+TEST(BsfsSpecific, VersionedPathRoundTrip) {
+  // versioned_path / parse_versioned_path must round-trip for every legal
+  // base path — including bases whose components already contain "@v".
+  const std::string bases[] = {"/a", "/deep/dir/file", "/a@v1/b", "/x@vz",
+                               "/f@v2", "/trailing@v"};
+  const blob::Version versions[] = {1, 9, 42, 1000000};
+  for (const std::string& base : bases) {
+    for (blob::Version v : versions) {
+      const auto [parsed_base, parsed_v] =
+          bsfs::parse_versioned_path(bsfs::versioned_path(base, v));
+      EXPECT_EQ(parsed_base, base) << base << " @v" << v;
+      EXPECT_EQ(parsed_v, v) << base << " @v" << v;
+    }
+  }
+  // Names that are NOT version syntax parse as plain paths.
+  for (const char* plain :
+       {"/a@v1/b", "/x@v", "/x@v12y", "/x@", "/plain", "@v"}) {
+    const auto [base, v] = bsfs::parse_versioned_path(plain);
+    EXPECT_EQ(base, plain);
+    EXPECT_EQ(v, blob::kNoVersion);
+  }
+}
+
+TEST(BsfsSpecific, VersionedStatReportsHistoricalSizes) {
+  FsWorld w;
+  auto client = w.bsfs.make_client(1);
+  std::optional<fs::FileStat> v1, v2, missing;
+  auto proc = [](fs::FsClient& c, std::optional<fs::FileStat>* a,
+                 std::optional<fs::FileStat>* b,
+                 std::optional<fs::FileStat>* m) -> sim::Task<void> {
+    co_await write_file(c, "/grow", DataSpec::pattern(1, 0, kBlock));
+    auto writer = co_await c.append("/grow");
+    co_await writer->write(DataSpec::pattern(2, 0, kBlock));
+    co_await writer->close();
+    *a = co_await c.stat("/grow@v1");
+    *b = co_await c.stat("/grow@v2");
+    *m = co_await c.stat("/grow@v99");
+  };
+  w.sim.spawn(proc(*client, &v1, &v2, &missing));
+  w.sim.run();
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->size, kBlock);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->size, 2 * kBlock);
+  EXPECT_FALSE(missing.has_value());
 }
 
 TEST(BsfsSpecific, CacheDisabledGoesStraightToBlobSeer) {

@@ -148,6 +148,61 @@ TEST(Gc, IsIdempotent) {
   EXPECT_EQ(second.meta_nodes_deleted, 0u);
 }
 
+TEST(Gc, PinCapLimitsThePruneAtFlipTime) {
+  // The pin_cap callback is evaluated by the version manager atomically
+  // with the watermark flip: a snapshot pin visible at that instant caps
+  // the prune below the requested keep_from, the capped versions stay
+  // readable, and the sweep reclaims only below the ACTUAL watermark.
+  GcWorld w;
+  auto client = w.cluster.make_client(0);
+  BlobId blob = 0;
+  auto setup = [](BlobClient& c, BlobId* out) -> sim::Task<void> {
+    auto desc = co_await c.create(kPage);
+    *out = desc.id;
+    for (int i = 0; i < 5; ++i) {
+      co_await c.write(desc.id, 0, marked(static_cast<uint8_t>('a' + i), kPage));
+    }
+  };
+  w.sim.spawn(setup(*client, &blob));
+  w.sim.run();
+
+  GcStats stats;
+  auto gc = [](GcWorld* world, BlobId b, GcStats* out) -> sim::Task<void> {
+    *out = co_await collect_garbage(world->cluster, 0, b, /*keep_from=*/5,
+                                    /*pin_cap=*/[] { return Version(3); });
+  };
+  w.sim.spawn(gc(&w, blob, &stats));
+  w.sim.run();
+  EXPECT_EQ(stats.pruned_below, 3u);
+  EXPECT_EQ(stats.page_replicas_deleted, 2u);  // v1, v2 — not v3/v4
+  EXPECT_EQ(w.total_pages_stored(), 3u);
+
+  // v3 (the pinned floor) still reads; v2 is gone.
+  bool v3_ok = false, v2_gone = false;
+  auto verify = [](GcWorld* world, BlobClient& c, BlobId b, bool* ok3,
+                   bool* gone2) -> sim::Task<void> {
+    auto data = co_await c.read(b, 3, 0, kPage);
+    *ok3 = data.materialize() == Bytes(kPage, 'c');
+    auto info = co_await world->cluster.version_manager().version_info(0, b, 2);
+    *gone2 = !info.has_value();
+  };
+  w.sim.spawn(verify(&w, *client, blob, &v3_ok, &v2_gone));
+  w.sim.run();
+  EXPECT_TRUE(v3_ok);
+  EXPECT_TRUE(v2_gone);
+
+  // With the pin gone, the same request prunes the rest.
+  GcStats rest;
+  auto gc2 = [](GcWorld* world, BlobId b, GcStats* out) -> sim::Task<void> {
+    *out = co_await collect_garbage(world->cluster, 0, b, 5);
+  };
+  w.sim.spawn(gc2(&w, blob, &rest));
+  w.sim.run();
+  EXPECT_EQ(rest.pruned_below, 5u);
+  EXPECT_EQ(rest.page_replicas_deleted, 2u);  // v3, v4
+  EXPECT_EQ(w.total_pages_stored(), 1u);
+}
+
 TEST(Gc, ReclaimsAllReplicasOfReplicatedPages) {
   GcWorld w;
   auto client = w.cluster.make_client(0);

@@ -346,6 +346,80 @@ TEST(Failure, DfsIntermediatesSurviveMapperCrashWithoutReexecution) {
   EXPECT_EQ(stats.intermediate_bytes_read, stats.shuffle_bytes);
 }
 
+TEST(Failure, SplitsArePinnedAgainstConcurrentAppends) {
+  // Regression for the split-size race: splits used to be derived from a
+  // stat at job start, and a RETRIED attempt re-opening the live file
+  // could observe a larger size if a writer appended meanwhile — its last
+  // split would run past the original end and emit records the first
+  // attempt never saw. With the input pinned in a snapshot at submission,
+  // every attempt of a task reads the identical byte range (the engine
+  // asserts it against the pinned snapshot), and ingested data never
+  // leaks into results.
+  CrashWorld w;
+  Rng rng(47);
+  std::string text;
+  std::map<std::string, uint64_t> expect;
+  while (text.size() < kBlock * 8) {
+    std::string line = random_sentence(rng, 1 + rng.below(8));
+    std::istringstream is(line);
+    std::string word;
+    while (is >> word) ++expect[word];
+    text += line;
+  }
+  // No trailing newline: the final unterminated line is exactly the case
+  // where a grown file changes what the last split's reader emits.
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  w.sim.spawn(put_text(&w.bsfs, "/in", text));
+  w.sim.run();
+  const uint64_t pinned_size = text.size();
+
+  // Continuous ingest: a writer keeps appending a marker word while the
+  // job runs. None of it may reach the job's output.
+  auto appender = [](sim::Simulator* s, fs::FileSystem* f) -> sim::Task<void> {
+    auto client = f->make_client(3);
+    for (int round = 0; round < 8; ++round) {
+      co_await s->delay(0.3);
+      auto writer = co_await client->append("/in");
+      if (writer == nullptr) co_return;
+      co_await writer->write(
+          DataSpec::from_string("INGESTED INGESTED INGESTED\n"));
+      co_await writer->close();
+    }
+  };
+
+  CrashyWordCount app;  // slow maps: the job straddles many append rounds
+  MrConfig mcfg;
+  mcfg.tasktracker_nodes = {1, 2};
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.task_failure_prob = 0.5;  // retried attempts re-open their input
+  MapReduceCluster mr(w.sim, w.net, w.bsfs, mcfg);
+  JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  JobStats stats;
+  w.sim.spawn(run_one(&mr, std::move(jc), &stats));
+  w.sim.spawn(appender(&w.sim, &w.bsfs));
+  w.sim.run();
+
+  // Retries actually happened, and the counts are exactly the pinned
+  // text's — the ingested marker never appears.
+  EXPECT_GT(stats.map_failures + stats.reduce_failures, 0u);
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : stats.results) got[k] = std::stoull(v);
+  EXPECT_EQ(got.count("INGESTED"), 0u);
+  EXPECT_EQ(got, expect);
+  // The plan consumed the pinned snapshot, not the grown live file...
+  EXPECT_EQ(stats.input_bytes, pinned_size);
+  ASSERT_EQ(stats.input_snapshot_versions.size(), 1u);
+  EXPECT_GT(stats.input_snapshot_versions[0], 0u);
+  // ...and the v4 counter shows how far ingest ran ahead mid-job.
+  EXPECT_GT(stats.bytes_ingested_during_job, 0u);
+}
+
 TEST(Failure, GeneratorMapsAreRetriedToo) {
   FWorld w;
   RandomTextWriter app(kBlock);
