@@ -6,14 +6,79 @@
 #include <numeric>
 
 #include "common/assert.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/parallel.h"
 
 namespace bs::bench {
+namespace {
+
+// Process-wide observability sink, armed by BenchReport when --metrics or
+// --trace is passed. Worlds register at construction and flush their
+// simulator's registry/trace ring into it at destruction; BenchReport's
+// destructor writes the files. Bench binaries are single-threaded and
+// build one report per process, so a plain global suffices.
+struct ObsSink {
+  std::string metrics_path;
+  std::string trace_path;
+  std::string metrics_text;  // concatenated per-world registry snapshots
+  std::string trace_events;  // merged Chrome trace-event array body
+  bool trace_first = true;
+  uint32_t next_world = 0;
+};
+ObsSink* g_obs = nullptr;
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  BS_CHECK_MSG(f != nullptr, "cannot open observability output file");
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+uint32_t obs_register_world(sim::Simulator& sim, const char* kind,
+                            std::string* label) {
+  if (g_obs == nullptr) return 0;
+  const uint32_t index = g_obs->next_world++;
+  *label = kind + std::to_string(index);
+  if (!g_obs->trace_path.empty()) sim.tracer().set_enabled(true);
+  return index;
+}
+
+void obs_capture_world(sim::Simulator& sim, const std::string& label,
+                       uint32_t index) {
+  if (g_obs == nullptr || label.empty()) return;
+  if (!g_obs->metrics_path.empty()) {
+    g_obs->metrics_text += "# world " + label + "\n";
+    g_obs->metrics_text += sim.metrics().text_snapshot();
+  }
+  if (!g_obs->trace_path.empty()) {
+    // Distinct pid ranges per world keep every world's nodes apart in the
+    // merged trace; the label prefixes the process names.
+    sim.tracer().export_chrome(&g_obs->trace_events, index * 1000, label,
+                               &g_obs->trace_first);
+  }
+}
+
+}  // namespace
 
 BenchReport::BenchReport(std::string name, int argc, char** argv)
     : name_(std::move(name)) {
+  std::string metrics_path, trace_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json_ = true;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_ = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    BS_CHECK_MSG(g_obs == nullptr, "one BenchReport per process");
+    g_obs = new ObsSink;
+    g_obs->metrics_path = std::move(metrics_path);
+    g_obs->trace_path = std::move(trace_path);
   }
 }
 
@@ -34,11 +99,28 @@ void BenchReport::table(const Table& t) {
 }
 
 BenchReport::~BenchReport() {
+  if (g_obs != nullptr) {
+    if (!g_obs->metrics_path.empty()) {
+      write_text_file(g_obs->metrics_path, g_obs->metrics_text);
+    }
+    if (!g_obs->trace_path.empty()) {
+      std::string doc = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+      doc += g_obs->trace_events;
+      doc += "]}\n";
+      write_text_file(g_obs->trace_path, doc);
+    }
+    delete g_obs;
+    g_obs = nullptr;
+  }
   if (!json_) return;
-  std::printf("{\"bench\": \"%s\", \"metrics\": {", name_.c_str());
+  // Keys/names are code-controlled today, but escaping (obs/json.h) keeps
+  // the emitted line valid JSON if one ever carries a quote or backslash.
+  std::printf("{\"bench\": %s, \"metrics\": {",
+              obs::json_quote(name_).c_str());
   for (size_t i = 0; i < metrics_.size(); ++i) {
-    std::printf("%s\"%s\": %.6g", i == 0 ? "" : ", ",
-                metrics_[i].first.c_str(), metrics_[i].second);
+    std::printf("%s%s: %.6g", i == 0 ? "" : ", ",
+                obs::json_quote(metrics_[i].first).c_str(),
+                metrics_[i].second);
   }
   std::printf("}}\n");
 }
@@ -93,7 +175,10 @@ BsfsWorld::BsfsWorld(const WorldOptions& opt)
   fcfg.replication = options.bsfs_replication;
   fcfg.enable_cache = options.client_cache;
   fs = std::make_unique<bsfs::Bsfs>(sim, net, *blobs, *ns, fcfg);
+  obs_index = obs_register_world(sim, "bsfs", &obs_label);
 }
+
+BsfsWorld::~BsfsWorld() { obs_capture_world(sim, obs_label, obs_index); }
 
 HdfsWorld::HdfsWorld(const WorldOptions& opt)
     : options(opt), net(sim, opt.cluster) {
@@ -103,7 +188,10 @@ HdfsWorld::HdfsWorld(const WorldOptions& opt)
   cfg.namenode.replication = options.hdfs_replication;
   fs = std::make_unique<hdfs::Hdfs>(sim, net, cfg,
                                     storage_nodes(opt.cluster));
+  obs_index = obs_register_world(sim, "hdfs", &obs_label);
 }
+
+HdfsWorld::~HdfsWorld() { obs_capture_world(sim, obs_label, obs_index); }
 
 sim::Task<void> put_file(fs::FileSystem& fs, net::NodeId node,
                          std::string path, uint64_t bytes, uint64_t seed) {

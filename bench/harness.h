@@ -33,10 +33,23 @@ constexpr uint64_t kGiB = 1ULL << 30;
 // is printed to stdout instead (machine-readable results for the
 // BENCH_*.json perf trajectory). Keys are slash-delimited paths like
 // "clients=100/bsfs_mbps_per_client"; insertion order is preserved.
+//
+// Observability flags (obs/metrics.h, obs/trace.h):
+//   --metrics <path>  write every world's deterministic registry snapshot
+//                     (text format, one `# world <label>` section per
+//                     world, capture order = construction order);
+//   --trace <path>    enable span tracing in every world and write one
+//                     merged Chrome trace-event JSON file (one "process"
+//                     per world+node, one "thread" per component; load it
+//                     in Perfetto / chrome://tracing).
+// Either flag arms a process-wide sink; worlds built afterwards register
+// at construction and flush into it when they are destroyed, and the
+// report's destructor writes the files. With neither flag, tracing stays
+// disabled and no capture happens.
 class BenchReport {
  public:
   BenchReport(std::string name, int argc, char** argv);
-  ~BenchReport();  // emits the JSON line in --json mode
+  ~BenchReport();  // emits the JSON line in --json mode; writes obs files
 
   bool json() const { return json_; }
 
@@ -79,6 +92,7 @@ struct WorldOptions {
 // A full BSFS deployment over its own simulator.
 struct BsfsWorld {
   explicit BsfsWorld(const WorldOptions& opt = WorldOptions{});
+  ~BsfsWorld();  // flushes metrics/trace into the obs sink, if armed
 
   WorldOptions options;
   sim::Simulator sim;
@@ -86,16 +100,24 @@ struct BsfsWorld {
   std::unique_ptr<blob::BlobSeerCluster> blobs;
   std::unique_ptr<bsfs::NamespaceManager> ns;
   std::unique_ptr<bsfs::Bsfs> fs;
+  // Observability identity, assigned at construction when BenchReport's
+  // --metrics/--trace sink is armed ("bsfs0", "bsfs1", ... in world
+  // construction order); empty otherwise.
+  std::string obs_label;
+  uint32_t obs_index = 0;
 };
 
 // A full HDFS deployment over its own simulator.
 struct HdfsWorld {
   explicit HdfsWorld(const WorldOptions& opt = WorldOptions{});
+  ~HdfsWorld();  // flushes metrics/trace into the obs sink, if armed
 
   WorldOptions options;
   sim::Simulator sim;
   net::Network net;
   std::unique_ptr<hdfs::Hdfs> fs;
+  std::string obs_label;
+  uint32_t obs_index = 0;
 };
 
 // Storage nodes (everything except the master, node 0).

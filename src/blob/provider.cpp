@@ -1,13 +1,38 @@
 #include "blob/provider.h"
 
+#include <cstdio>
+
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bs::blob {
+namespace {
+
+std::string page_args(const PageKey& key, uint64_t bytes) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"blob\":%llu,\"bytes\":%llu",
+                static_cast<unsigned long long>(key.blob),
+                static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+}  // namespace
 
 Provider::Provider(sim::Simulator& sim, net::Network& net, ProviderConfig cfg)
     : sim_(sim), net_(net), cfg_(cfg), ram_freed_(sim), dirty_added_(sim),
-      drained_(sim) {}
+      drained_(sim) {
+  obs::MetricsRegistry& m = sim_.metrics();
+  tracer_ = &sim_.tracer();
+  m_put_pages_ = &m.counter("blob/put_pages");
+  m_put_bytes_ = &m.counter("blob/put_bytes");
+  m_get_pages_ = &m.counter("blob/get_pages");
+  m_get_bytes_ = &m.counter("blob/get_bytes");
+  m_cache_hits_ = &m.counter("blob/cache_hits");
+  m_cache_misses_ = &m.counter("blob/cache_misses");
+  m_replications_ = &m.counter("blob/replications");
+}
 
 bool Provider::ram_resident(const std::string& key) const {
   return dirty_set_.count(key) > 0 || lru_index_.count(key) > 0;
@@ -47,6 +72,7 @@ sim::Task<bool> Provider::put_page(net::NodeId client, PageKey key,
     co_await sim_.delay(net_.config().rpc_timeout_s);
     co_return false;
   }
+  const double t0 = sim_.now();
   // Page body travels client → provider.
   co_await net_.transfer(client, cfg_.node, static_cast<double>(size),
                          rate_cap);
@@ -74,6 +100,12 @@ sim::Task<bool> Provider::put_page(net::NodeId client, PageKey key,
   if (!flusher_running_) {
     flusher_running_ = true;
     sim_.spawn(flusher());
+  }
+  m_put_pages_->inc();
+  m_put_bytes_->inc(static_cast<double>(size));
+  if (tracer_->enabled()) {
+    tracer_->complete("blob", "blob", cfg_.node, "put_page", t0,
+                      page_args(key, size));
   }
   co_return true;
 }
@@ -115,6 +147,7 @@ sim::Task<std::optional<DataSpec>> Provider::get_page(net::NodeId client,
     co_await sim_.delay(net_.config().rpc_timeout_s);
     co_return std::nullopt;
   }
+  const double t0 = sim_.now();
   // Request reaches the provider first.
   co_await net_.control(client, cfg_.node);
   auto raw = store_.get(skey);
@@ -125,11 +158,13 @@ sim::Task<std::optional<DataSpec>> Provider::get_page(net::NodeId client,
   DataSpec data = DataSpec::deserialize(raw->data(), raw->size());
   if (ram_resident(skey)) {
     ++cache_hits_;
+    m_cache_hits_->inc();
     // Refresh LRU position only for clean pages; dirty pages are pinned by
     // the flush queue and not in the LRU yet.
     if (dirty_set_.count(skey) == 0) cache_touch(skey, data.size());
   } else {
     ++cache_misses_;
+    m_cache_misses_->inc();
     co_await net_.disk(cfg_.node).read(static_cast<double>(data.size()));
     cache_touch(skey, data.size());
   }
@@ -138,6 +173,12 @@ sim::Task<std::optional<DataSpec>> Provider::get_page(net::NodeId client,
   // Crashed while serving (mid-read): the stream resets; the client fails
   // over to another replica (symmetric with put_page's mid-transfer check).
   if (down_) co_return std::nullopt;
+  m_get_pages_->inc();
+  m_get_bytes_->inc(static_cast<double>(data.size()));
+  if (tracer_->enabled()) {
+    tracer_->complete("blob", "blob", cfg_.node, "get_page", t0,
+                      page_args(key, data.size()));
+  }
   co_return data;
 }
 
@@ -155,7 +196,10 @@ sim::Task<bool> Provider::replicate_to(Provider& dst, PageKey key,
     cache_touch(skey, data.size());
   }
   // put_page pays the provider→provider flow (client = this node).
-  co_return co_await dst.put_page(cfg_.node, key, std::move(data), rate_cap);
+  const bool ok = co_await dst.put_page(cfg_.node, key, std::move(data),
+                                        rate_cap);
+  if (ok) m_replications_->inc();
+  co_return ok;
 }
 
 void Provider::crash(bool wipe_storage) {

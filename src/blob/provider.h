@@ -132,6 +132,17 @@ class Provider {
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   bool down_ = false;
+
+  // Obs handles (cluster-wide aggregates shared by all providers in the
+  // registry; resolved once here so the data path stays lookup-free).
+  obs::Tracer* tracer_;
+  obs::Counter* m_put_pages_;
+  obs::Counter* m_put_bytes_;
+  obs::Counter* m_get_pages_;
+  obs::Counter* m_get_bytes_;
+  obs::Counter* m_cache_hits_;
+  obs::Counter* m_cache_misses_;
+  obs::Counter* m_replications_;
 };
 
 }  // namespace bs::blob

@@ -1,13 +1,22 @@
 #include "blob/version_manager.h"
 
+#include <cstdio>
+
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bs::blob {
 
 VersionManager::VersionManager(sim::Simulator& sim, net::Network& net,
                                VersionManagerConfig cfg)
-    : sim_(sim), net_(net), cfg_(cfg), queue_(sim, cfg.service_time_s) {}
+    : sim_(sim), net_(net), cfg_(cfg), queue_(sim, cfg.service_time_s) {
+  obs::MetricsRegistry& m = sim_.metrics();
+  tracer_ = &sim_.tracer();
+  m_requests_ = &m.counter("blob/vm_requests");
+  h_publish_s_ = &m.histogram("blob/publish_latency_s");
+}
 
 VersionManager::BlobState& VersionManager::state_of(BlobId blob) {
   auto it = blobs_.find(blob);
@@ -23,6 +32,7 @@ sim::Task<BlobDescriptor> VersionManager::create_blob(net::NodeId client,
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   BlobState state;
   state.desc.id = next_blob_id_++;
   state.desc.page_size = page_size;
@@ -42,6 +52,7 @@ sim::Task<WriteTicket> VersionManager::assign_write(net::NodeId client,
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   BlobState& b = state_of(blob);
   const uint64_t page = b.desc.page_size;
   if (offset == kAppendOffset) {
@@ -78,6 +89,7 @@ sim::Task<WriteTicket> VersionManager::assign_write(net::NodeId client,
   rec.cap_after = t.cap_pages;
   b.history.push_back(rec);
   b.assigned_size = t.size_after;
+  b.assigned_at[t.version] = sim_.now();
 
   co_await net_.control(cfg_.node, client);
   co_return t;
@@ -88,6 +100,7 @@ sim::Task<void> VersionManager::commit(net::NodeId client, BlobId blob,
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   BlobState& b = state_of(blob);
   BS_CHECK(version > b.published);
   b.committed.insert(version);
@@ -95,6 +108,20 @@ sim::Task<void> VersionManager::commit(net::NodeId client, BlobId blob,
   while (b.committed.count(b.published + 1) > 0) {
     b.committed.erase(b.published + 1);
     b.published += 1;
+    // Publish latency = assignment → visibility; it includes the time this
+    // version waited on slower predecessors, which is the in-order-publish
+    // cost the paper's concurrent-writer experiments exercise.
+    const Version v = b.published;
+    auto at = b.assigned_at.find(v);
+    if (at != b.assigned_at.end()) {
+      h_publish_s_->observe(sim_.now() - at->second);
+      b.assigned_at.erase(at);
+    }
+    if (tracer_->enabled()) {
+      char args[64];
+      std::snprintf(args, sizeof(args), "\"blob\":%u,\"version\":%u", blob, v);
+      tracer_->instant("blob", "vm", cfg_.node, "publish", args);
+    }
   }
   b.publish_cv->notify_all();
   co_await net_.control(cfg_.node, client);
@@ -127,6 +154,7 @@ sim::Task<VersionInfo> VersionManager::latest(net::NodeId client, BlobId blob) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   const BlobState& b = state_of(blob);
   const VersionInfo info = info_at(b, b.published);
   co_await net_.control(cfg_.node, client);
@@ -138,6 +166,7 @@ sim::Task<std::optional<VersionInfo>> VersionManager::version_info(
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   const BlobState& b = state_of(blob);
   std::optional<VersionInfo> out;
   if (v != kNoVersion && v <= b.published && v >= b.pruned_below) {
@@ -152,6 +181,7 @@ sim::Task<std::vector<WriteRecord>> VersionManager::full_history(
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   std::vector<WriteRecord> history = state_of(blob).history;
   co_await net_.control(cfg_.node, client);
   co_return history;
@@ -163,6 +193,7 @@ sim::Task<Version> VersionManager::prune(
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   BlobState& b = state_of(blob);
   BS_CHECK_MSG(keep_from >= 1 && keep_from <= b.published,
                "can only prune below a published version");
@@ -184,6 +215,7 @@ sim::Task<BlobDescriptor> VersionManager::describe(net::NodeId client,
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
   ++requests_;
+  m_requests_->inc();
   const BlobDescriptor desc = state_of(blob).desc;
   co_await net_.control(cfg_.node, client);
   co_return desc;

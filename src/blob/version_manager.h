@@ -96,6 +96,9 @@ class VersionManager {
     uint64_t assigned_size = 0;        // size after the latest assigned write
     std::set<Version> committed;       // committed but not yet published
     std::unique_ptr<sim::CondVar> publish_cv;
+    // Assignment time per in-flight version, consumed when it publishes
+    // (feeds the publish-latency histogram).
+    std::unordered_map<Version, double> assigned_at;
   };
 
   VersionInfo info_at(const BlobState& b, Version v) const;
@@ -108,6 +111,11 @@ class VersionManager {
   std::unordered_map<BlobId, BlobState> blobs_;
   BlobId next_blob_id_ = 1;
   uint64_t requests_ = 0;
+
+  // Obs handles (resolved once at construction).
+  obs::Tracer* tracer_;
+  obs::Counter* m_requests_;
+  obs::Histogram* h_publish_s_;
 };
 
 }  // namespace bs::blob

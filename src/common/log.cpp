@@ -12,6 +12,9 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
 std::mutex g_emit_mutex;
 
+thread_local TimeFn g_time_fn = nullptr;
+thread_local void* g_time_ctx = nullptr;
+
 const char* tag(Level lvl) {
   switch (lvl) {
     case Level::kError: return "ERROR";
@@ -39,13 +42,36 @@ void init_from_env() {
     else if (std::strcmp(env, "info") == 0) set_level(Level::kInfo);
     else if (std::strcmp(env, "debug") == 0) set_level(Level::kDebug);
     else if (std::strcmp(env, "trace") == 0) set_level(Level::kTrace);
+    else
+      std::fprintf(stderr,
+                   "[WARN ] unrecognized BS_LOG value '%s' "
+                   "(expected error|warn|info|debug|trace); keeping '%s'\n",
+                   env, tag(level()));
   });
+}
+
+void set_time_hook(TimeFn fn, void* ctx) {
+  g_time_fn = fn;
+  g_time_ctx = ctx;
+}
+
+void clear_time_hook(void* ctx) {
+  if (g_time_ctx == ctx) {
+    g_time_fn = nullptr;
+    g_time_ctx = nullptr;
+  }
 }
 
 void vlogf(Level lvl, const char* fmt, std::va_list ap) {
   if (static_cast<int>(lvl) > g_level.load(std::memory_order_relaxed)) return;
+  const TimeFn time_fn = g_time_fn;  // thread-local: read before the lock
+  const double sim_time = time_fn ? time_fn(g_time_ctx) : 0.0;
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] ", tag(lvl));
+  if (time_fn) {
+    std::fprintf(stderr, "[%s][t=%.6f] ", tag(lvl), sim_time);
+  } else {
+    std::fprintf(stderr, "[%s] ", tag(lvl));
+  }
   std::vfprintf(stderr, fmt, ap);
   std::fputc('\n', stderr);
 }

@@ -18,7 +18,18 @@ Level level();
 void set_level(Level lvl);
 
 // Initializes the level from the BS_LOG environment variable once.
+// Unrecognized values keep the default level and warn once to stderr.
 void init_from_env();
+
+// Installable sim-time hook (per thread, since benches run independent
+// simulations on real threads). While a hook is installed, log lines are
+// prefixed with the current simulated time so they correlate with traces.
+// sim::Simulator installs itself on construction; `clear_time_hook` only
+// uninstalls if `ctx` is still the active owner, so nested or overlapping
+// simulators degrade to no prefix instead of dangling.
+using TimeFn = double (*)(void* ctx);
+void set_time_hook(TimeFn fn, void* ctx);
+void clear_time_hook(void* ctx);
 
 // printf-style emission; prefix includes the level tag.
 void vlogf(Level lvl, const char* fmt, std::va_list ap);

@@ -36,8 +36,11 @@ double Summary::stddev() const {
 }
 
 double Summary::percentile(double q) const {
-  BS_CHECK(!samples_.empty());
-  BS_CHECK(q >= 0.0 && q <= 1.0);
+  // Tolerant edge-case contract (shared with obs::Histogram): an empty
+  // summary reports 0 and out-of-range quantiles clamp instead of indexing
+  // out of bounds.
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   const double rank = q * static_cast<double>(sorted.size() - 1);

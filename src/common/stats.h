@@ -20,7 +20,8 @@ class Summary {
   double min() const;
   double max() const;
   double stddev() const;
-  // q in [0, 1]; linear interpolation between closest ranks.
+  // Linear interpolation between closest ranks; q is clamped to [0, 1]
+  // and an empty summary reports 0.
   double percentile(double q) const;
   const std::vector<double>& samples() const { return samples_; }
   void clear();

@@ -1,6 +1,8 @@
 #include "fault/detector.h"
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bs::fault {
 
@@ -12,6 +14,12 @@ FailureDetector::FailureDetector(sim::Simulator& sim, net::Network& net,
   for (net::NodeId n : monitored_) {
     states_[n] = NodeState{sim_.now(), true};
   }
+  obs::MetricsRegistry& m = sim_.metrics();
+  tracer_ = &sim_.tracer();
+  m_deaths_ = &m.counter("fault/deaths_detected");
+  m_recoveries_ = &m.counter("fault/recoveries_detected");
+  m_heartbeats_ = &m.counter("fault/heartbeats");
+  m_believed_dead_ = &m.gauge("fault/nodes_believed_dead");
 }
 
 void FailureDetector::start() {
@@ -59,6 +67,7 @@ sim::Task<void> FailureDetector::heartbeat_loop(net::NodeId node,
       if (delivered) {
         states_[node].last_beat = sim_.now();
         ++heartbeats_received_;
+        m_heartbeats_->inc();
       }
     }
     co_await sim_.delay(cfg_.heartbeat_s);
@@ -75,10 +84,20 @@ sim::Task<void> FailureDetector::sweep_loop(uint64_t generation) {
         st.believed_up = false;
         ++deaths_detected_;
         last_death_detected_at_ = sim_.now();
+        m_deaths_->inc();
+        m_believed_dead_->add(1);
+        if (tracer_->enabled()) {
+          tracer_->instant("fault", "fault", n, "detected_dead");
+        }
         for (auto& cb : death_cbs_) cb(n);
       } else if (!st.believed_up && lease_ok) {
         st.believed_up = true;
         ++recoveries_detected_;
+        m_recoveries_->inc();
+        m_believed_dead_->add(-1);
+        if (tracer_->enabled()) {
+          tracer_->instant("fault", "fault", n, "detected_up");
+        }
         for (auto& cb : recovery_cbs_) cb(n);
       }
     }

@@ -95,6 +95,11 @@ class FailureDetector final : public net::LivenessView {
   uint64_t recoveries_detected_ = 0;
   uint64_t heartbeats_received_ = 0;
   double last_death_detected_at_ = 0;
+  obs::Tracer* tracer_;
+  obs::Counter* m_deaths_;
+  obs::Counter* m_recoveries_;
+  obs::Counter* m_heartbeats_;
+  obs::Gauge* m_believed_dead_;
 };
 
 }  // namespace bs::fault

@@ -2,22 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "blob/cluster.h"
 #include "common/assert.h"
 #include "hdfs/hdfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bs::fault {
 
 FaultInjector::FaultInjector(sim::Simulator& sim, net::Network& net,
                              FaultInjectorConfig cfg)
-    : sim_(sim), net_(net), cfg_(cfg), rng_(cfg.seed) {}
+    : sim_(sim), net_(net), cfg_(cfg), rng_(cfg.seed) {
+  obs::MetricsRegistry& m = sim_.metrics();
+  tracer_ = &sim_.tracer();
+  m_crashes_ = &m.counter("fault/crashes");
+  m_recoveries_ = &m.counter("fault/recoveries");
+  m_slowdowns_ = &m.counter("fault/slowdowns");
+}
 
 sim::Task<void> FaultInjector::fire_crash(net::NodeId node, double t) {
   co_await sim_.delay(t - sim_.now());
   net_.set_node_up(node, false);
   if (crash_hook_) crash_hook_(node, cfg_.wipe_storage);
   ++crashes_fired_;
+  m_crashes_->inc();
+  if (tracer_->enabled()) {
+    tracer_->instant("fault", "fault", node, "crash",
+                     cfg_.wipe_storage ? "\"wipe\":true" : "\"wipe\":false");
+  }
 }
 
 sim::Task<void> FaultInjector::fire_recovery(net::NodeId node, double t) {
@@ -25,6 +39,10 @@ sim::Task<void> FaultInjector::fire_recovery(net::NodeId node, double t) {
   net_.set_node_up(node, true);
   if (recovery_hook_) recovery_hook_(node);
   ++recoveries_fired_;
+  m_recoveries_->inc();
+  if (tracer_->enabled()) {
+    tracer_->instant("fault", "fault", node, "recover");
+  }
 }
 
 void FaultInjector::crash_at(net::NodeId node, double t) {
@@ -65,6 +83,15 @@ sim::Task<void> FaultInjector::fire_perf(net::NodeId node, net::NodePerf perf,
   co_await sim_.delay(t - sim_.now());
   net_.set_node_perf(node, perf);
   ++slowdowns_fired_;
+  m_slowdowns_->inc();
+  if (tracer_->enabled()) {
+    const bool restore = perf.nic == 1.0 && perf.disk == 1.0 && perf.cpu == 1.0;
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"cpu\":%g,\"disk\":%g,\"nic\":%g",
+                  perf.cpu, perf.disk, perf.nic);
+    tracer_->instant("fault", "fault", node,
+                     restore ? "restore_node" : "slow_node", args);
+  }
 }
 
 void FaultInjector::slow_node_at(net::NodeId node, double factor, double t) {

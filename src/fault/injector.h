@@ -115,6 +115,10 @@ class FaultInjector {
   uint64_t crashes_fired_ = 0;
   uint64_t recoveries_fired_ = 0;
   uint64_t slowdowns_fired_ = 0;
+  obs::Tracer* tracer_;
+  obs::Counter* m_crashes_;
+  obs::Counter* m_recoveries_;
+  obs::Counter* m_slowdowns_;
 };
 
 // Binds the injector's hooks to a deployment's storage services.

@@ -1,10 +1,13 @@
 #include "fault/repair.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "blob/metadata.h"
 #include "bsfs/bsfs.h"
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/parallel.h"
 
 namespace bs::fault {
@@ -15,7 +18,13 @@ using blob::Version;
 
 RepairService::RepairService(blob::BlobSeerCluster& cluster,
                              const net::LivenessView& live, RepairConfig cfg)
-    : cluster_(cluster), live_(live), cfg_(cfg) {}
+    : cluster_(cluster), live_(live), cfg_(cfg) {
+  obs::MetricsRegistry& m = cluster_.simulator().metrics();
+  tracer_ = &cluster_.simulator().tracer();
+  m_passes_ = &m.counter("fault/repair_passes");
+  m_restored_ = &m.counter("fault/replicas_restored");
+  m_bytes_copied_ = &m.counter("fault/repair_bytes");
+}
 
 sim::Task<void> RepairService::repair_leaf(blob::BlobId blob, uint64_t page,
                                            Version version,
@@ -70,6 +79,8 @@ sim::Task<void> RepairService::repair_leaf(blob::BlobId blob, uint64_t page,
         healthy.push_back(target);
         ++stats->replicas_restored;
         stats->bytes_copied += leaf.page_length;
+        m_restored_->inc();
+        m_bytes_copied_->inc(static_cast<double>(leaf.page_length));
       }
     }
   }
@@ -85,6 +96,8 @@ sim::Task<void> RepairService::repair_leaf(blob::BlobId blob, uint64_t page,
 
 sim::Task<RepairStats> RepairService::repair_blob(blob::BlobId blob) {
   RepairStats stats;
+  m_passes_->inc();
+  const double t0 = cluster_.simulator().now();
   auto& vm = cluster_.version_manager();
   const blob::BlobDescriptor desc = co_await vm.describe(cfg_.node, blob);
   const blob::VersionInfo latest = co_await vm.latest(cfg_.node, blob);
@@ -108,6 +121,14 @@ sim::Task<RepairStats> RepairService::repair_blob(blob::BlobId blob) {
   co_await sim::when_all_limited(cluster_.simulator(), std::move(leaves),
                                  cfg_.copy_parallelism);
   stats.finished_at = cluster_.simulator().now();
+  if (tracer_->enabled()) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "\"blob\":%u,\"restored\":%llu,\"bytes\":%llu", blob,
+                  static_cast<unsigned long long>(stats.replicas_restored),
+                  static_cast<unsigned long long>(stats.bytes_copied));
+    tracer_->complete("fault", "fault", cfg_.node, "repair_blob", t0, buf);
+  }
   co_return stats;
 }
 

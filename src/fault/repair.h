@@ -96,6 +96,10 @@ class RepairService {
   blob::BlobSeerCluster& cluster_;
   const net::LivenessView& live_;
   RepairConfig cfg_;
+  obs::Tracer* tracer_;
+  obs::Counter* m_passes_;
+  obs::Counter* m_restored_;
+  obs::Counter* m_bytes_copied_;
 };
 
 }  // namespace bs::fault

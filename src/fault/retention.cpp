@@ -1,22 +1,31 @@
 #include "fault/retention.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "blob/cluster.h"
 #include "bsfs/bsfs.h"
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bs::fault {
 
 RetentionService::RetentionService(bsfs::Bsfs& fs, RetentionConfig cfg)
     : fs_(fs), cfg_(cfg) {
   BS_CHECK_MSG(cfg_.keep_last >= 1, "the latest version is never pruned");
+  obs::MetricsRegistry& m = fs_.simulator().metrics();
+  tracer_ = &fs_.simulator().tracer();
+  m_passes_ = &m.counter("fault/retention_passes");
+  m_replicas_deleted_ = &m.counter("fault/retention_replicas_deleted");
+  m_bytes_reclaimed_ = &m.counter("fault/retention_bytes_reclaimed");
 }
 
 sim::Task<RetentionStats> RetentionService::run_pass() {
   RetentionStats pass;
+  const double t0 = fs_.simulator().now();
   bsfs::NamespaceManager& ns = fs_.ns();
   blob::BlobSeerCluster& cluster = fs_.blobs();
   auto& vm = cluster.version_manager();
@@ -85,6 +94,17 @@ sim::Task<RetentionStats> RetentionService::run_pass() {
 
   ++pass.passes;
   pass.finished_at = fs_.simulator().now();
+  m_passes_->inc();
+  m_replicas_deleted_->inc(static_cast<double>(pass.page_replicas_deleted));
+  m_bytes_reclaimed_->inc(static_cast<double>(pass.bytes_reclaimed));
+  if (tracer_->enabled()) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "\"files\":%llu,\"bytes_reclaimed\":%llu",
+                  static_cast<unsigned long long>(pass.files_scanned),
+                  static_cast<unsigned long long>(pass.bytes_reclaimed));
+    tracer_->complete("fault", "fault", cfg_.node, "retention_pass", t0, buf);
+  }
   total_.merge(pass);
   co_return pass;
 }

@@ -30,6 +30,11 @@ namespace bs::bsfs {
 class Bsfs;
 }
 
+namespace bs::obs {
+class Counter;
+class Tracer;
+}  // namespace bs::obs
+
 namespace bs::fault {
 
 struct RetentionConfig {
@@ -98,6 +103,10 @@ class RetentionService {
   RetentionStats total_;
   bool running_ = false;
   uint64_t generation_ = 0;
+  obs::Tracer* tracer_;
+  obs::Counter* m_passes_;
+  obs::Counter* m_replicas_deleted_;
+  obs::Counter* m_bytes_reclaimed_;
 };
 
 }  // namespace bs::fault

@@ -1,8 +1,11 @@
 #include "hdfs/datanode.h"
 
+#include <cstdio>
 #include <string>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/parallel.h"
 
 namespace bs::hdfs {
@@ -10,7 +13,28 @@ namespace {
 
 std::string block_key(BlockId id) { return "b/" + std::to_string(id); }
 
+std::string block_args(BlockId id, uint64_t bytes) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"block\":%llu,\"bytes\":%llu",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
 }  // namespace
+
+DataNode::DataNode(sim::Simulator& sim, net::Network& net, net::NodeId node,
+                   uint64_t ram_bytes)
+    : sim_(sim), net_(net), node_(node), ram_bytes_(ram_bytes) {
+  obs::MetricsRegistry& m = sim_.metrics();
+  tracer_ = &sim_.tracer();
+  m_blocks_received_ = &m.counter("hdfs/blocks_received");
+  m_bytes_received_ = &m.counter("hdfs/bytes_received");
+  m_bytes_served_ = &m.counter("hdfs/bytes_served");
+  m_cache_hits_ = &m.counter("hdfs/dn_cache_hits");
+  m_cache_misses_ = &m.counter("hdfs/dn_cache_misses");
+  m_replications_ = &m.counter("hdfs/replications");
+}
 
 void DataNode::cache_touch(BlockId id, uint64_t size) {
   auto it = lru_index_.find(id);
@@ -36,6 +60,7 @@ sim::Task<bool> DataNode::receive_block(net::NodeId from, BlockId id,
     co_return false;
   }
   const double bytes = static_cast<double>(data.size());
+  const double t0 = sim_.now();
   // Streaming write-through: the network transfer and the disk write run
   // concurrently; the block is acked when both finish.
   std::vector<sim::Task<void>> legs;
@@ -46,6 +71,12 @@ sim::Task<bool> DataNode::receive_block(net::NodeId from, BlockId id,
   store_.put(block_key(id), data.serialize());
   cache_touch(id, data.size());  // freshly written blocks sit in page cache
   ++blocks_stored_;
+  m_blocks_received_->inc();
+  m_bytes_received_->inc(bytes);
+  if (tracer_->enabled()) {
+    tracer_->complete("hdfs", "hdfs", node_, "recv_block", t0,
+                      block_args(id, data.size()));
+  }
   co_return true;
 }
 
@@ -57,6 +88,7 @@ sim::Task<std::optional<DataSpec>> DataNode::read_block(net::NodeId client,
     co_await sim_.delay(net_.config().rpc_timeout_s);
     co_return std::nullopt;
   }
+  const double t0 = sim_.now();
   co_await net_.control(client, node_);
   auto raw = store_.get(block_key(id));
   if (!raw.has_value()) {
@@ -70,10 +102,12 @@ sim::Task<std::optional<DataSpec>> DataNode::read_block(net::NodeId client,
   if (cache_contains(id)) {
     // Served from the page cache: network only.
     ++cache_hits_;
+    m_cache_hits_->inc();
     cache_touch(id, block.size());
     co_await net_.transfer(node_, client, static_cast<double>(length));
   } else {
     ++cache_misses_;
+    m_cache_misses_->inc();
     // Disk read and network send overlap (streaming).
     std::vector<sim::Task<void>> legs;
     legs.push_back(net_.disk(node_).read(static_cast<double>(length)));
@@ -85,6 +119,11 @@ sim::Task<std::optional<DataSpec>> DataNode::read_block(net::NodeId client,
   // over to another replica.
   if (down_) co_return std::nullopt;
   bytes_served_ += length;
+  m_bytes_served_->inc(static_cast<double>(length));
+  if (tracer_->enabled()) {
+    tracer_->complete("hdfs", "hdfs", node_, "read_block", t0,
+                      block_args(id, length));
+  }
   co_return out;
 }
 
@@ -103,7 +142,10 @@ sim::Task<bool> DataNode::replicate_to(DataNode& dst, BlockId id,
     cache_touch(id, block.size());
   }
   // receive_block pays the dn→dn flow and the destination disk write.
-  co_return co_await dst.receive_block(node_, id, std::move(block), rate_cap);
+  const bool ok =
+      co_await dst.receive_block(node_, id, std::move(block), rate_cap);
+  if (ok) m_replications_->inc();
+  co_return ok;
 }
 
 void DataNode::forget_block(BlockId id) {

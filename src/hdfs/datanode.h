@@ -30,8 +30,7 @@ class DataNode {
   // `ram_bytes` models the OS page cache: recently written/read blocks are
   // served from memory (the paper's reads run over freshly written data).
   DataNode(sim::Simulator& sim, net::Network& net, net::NodeId node,
-           uint64_t ram_bytes = 2ULL << 30)
-      : sim_(sim), net_(net), node_(node), ram_bytes_(ram_bytes) {}
+           uint64_t ram_bytes = 2ULL << 30);
 
   net::NodeId node() const { return node_; }
 
@@ -90,6 +89,15 @@ class DataNode {
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   bool down_ = false;
+
+  // Obs handles (cluster-wide aggregates shared by all datanodes).
+  obs::Tracer* tracer_;
+  obs::Counter* m_blocks_received_;
+  obs::Counter* m_bytes_received_;
+  obs::Counter* m_bytes_served_;
+  obs::Counter* m_cache_hits_;
+  obs::Counter* m_cache_misses_;
+  obs::Counter* m_replications_;
 };
 
 }  // namespace bs::hdfs

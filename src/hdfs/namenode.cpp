@@ -5,6 +5,7 @@
 #include "common/assert.h"
 #include "fs/filesystem.h"
 #include "net/replica_order.h"
+#include "obs/metrics.h"
 
 namespace bs::hdfs {
 
@@ -15,6 +16,13 @@ NameNode::NameNode(sim::Simulator& sim, net::Network& net,
   BS_CHECK(!datanodes_.empty());
   BS_CHECK(cfg_.replication >= 1);
   entries_["/"] = FileEntry{true, false, 0, {}, 0};
+  static const char* kOpNames[kOpCount] = {
+      "create", "add_block", "complete_block", "abandon_block", "close",
+      "stat", "block_locations", "list", "remove", "rename", "mkdir"};
+  for (int op = 0; op < kOpCount; ++op) {
+    m_op_[op] =
+        &sim_.metrics().counter("hdfs/namenode_ops", {{"op", kOpNames[op]}});
+  }
 }
 
 void NameNode::mkdirs_locked(const std::string& path) {
@@ -98,6 +106,7 @@ sim::Task<bool> NameNode::create(net::NodeId client, const std::string& path,
                                  uint32_t replication) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpCreate]->inc();
   bool ok = false;
   if (entries_.count(path) == 0) {
     mkdirs_locked(fs::parent_path(path));
@@ -117,6 +126,7 @@ sim::Task<std::optional<BlockInfo>> NameNode::add_block(
     std::vector<net::NodeId> exclude) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpAddBlock]->inc();
   std::optional<BlockInfo> out;
   auto it = entries_.find(path);
   if (it != entries_.end() && it->second.under_construction &&
@@ -137,6 +147,7 @@ sim::Task<bool> NameNode::complete_block(net::NodeId client,
                                          std::vector<net::NodeId> stored) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpCompleteBlock]->inc();
   bool ok = false;
   auto it = entries_.find(path);
   if (it != entries_.end() && it->second.lease_holder == client) {
@@ -159,6 +170,7 @@ sim::Task<bool> NameNode::abandon_block(net::NodeId client,
                                         BlockId block) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpAbandonBlock]->inc();
   bool ok = false;
   auto it = entries_.find(path);
   if (it != entries_.end() && it->second.lease_holder == client) {
@@ -254,6 +266,7 @@ sim::Task<bool> NameNode::close_file(net::NodeId client,
                                      const std::string& path) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpClose]->inc();
   bool ok = false;
   auto it = entries_.find(path);
   if (it != entries_.end() && it->second.under_construction &&
@@ -269,6 +282,7 @@ sim::Task<std::optional<NameNode::Stat>> NameNode::stat(
     net::NodeId client, const std::string& path) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpStat]->inc();
   std::optional<Stat> out;
   auto it = entries_.find(path);
   if (it != entries_.end()) {
@@ -284,6 +298,7 @@ sim::Task<std::vector<BlockInfo>> NameNode::block_locations(
     uint64_t length) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpLocations]->inc();
   std::vector<BlockInfo> out;
   auto it = entries_.find(path);
   if (it != entries_.end() && !it->second.is_dir) {
@@ -302,6 +317,7 @@ sim::Task<std::vector<std::string>> NameNode::list(net::NodeId client,
                                                    const std::string& dir) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpList]->inc();
   std::vector<std::string> out;
   const std::string prefix = dir == "/" ? "/" : dir + "/";
   for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
@@ -317,6 +333,7 @@ sim::Task<std::vector<std::string>> NameNode::list(net::NodeId client,
 sim::Task<bool> NameNode::remove(net::NodeId client, const std::string& path) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpRemove]->inc();
   const bool ok = entries_.erase(path) > 0;
   co_await net_.control(cfg_.node, client);
   co_return ok;
@@ -326,6 +343,7 @@ sim::Task<bool> NameNode::rename(net::NodeId client, const std::string& from,
                                  const std::string& to) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpRename]->inc();
   bool ok = false;
   auto it = entries_.find(from);
   if (it != entries_.end() && !it->second.is_dir &&
@@ -342,6 +360,7 @@ sim::Task<bool> NameNode::rename(net::NodeId client, const std::string& from,
 sim::Task<bool> NameNode::mkdir(net::NodeId client, const std::string& path) {
   co_await net_.control(client, cfg_.node);
   co_await queue_.process();
+  m_op_[kOpMkdir]->inc();
   bool ok = false;
   auto it = entries_.find(path);
   if (it == entries_.end()) {

@@ -143,6 +143,13 @@ class NameNode {
     return e.replication > 0 ? e.replication : cfg_.replication;
   }
 
+  // Per-op metadata counters ("hdfs/namenode_ops{op=...}") — the paper's
+  // serialization-point argument is about exactly this op mix.
+  enum Op : int {
+    kOpCreate = 0, kOpAddBlock, kOpCompleteBlock, kOpAbandonBlock, kOpClose,
+    kOpStat, kOpLocations, kOpList, kOpRemove, kOpRename, kOpMkdir, kOpCount
+  };
+
   bool node_dead(net::NodeId n) const {
     return liveness_ != nullptr && !liveness_->is_up(n);
   }
@@ -166,6 +173,7 @@ class NameNode {
   const net::LivenessView* liveness_ = nullptr;
   Rng rng_;
   BlockId next_block_ = 1;
+  obs::Counter* m_op_[kOpCount];
 };
 
 }  // namespace bs::hdfs

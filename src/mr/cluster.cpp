@@ -10,6 +10,8 @@
 #include "common/hash.h"
 #include "common/log.h"
 #include "common/wordlist.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/parallel.h"
 
 namespace bs::mr {
@@ -47,6 +49,18 @@ MapReduceCluster::MapReduceCluster(sim::Simulator& sim, net::Network& net,
   slots_.resize(net.config().num_nodes);
   node_slowness_.assign(net.config().num_nodes, 0);
   tracker_running_.assign(net.config().num_nodes, 0);
+  obs::MetricsRegistry& m = sim_.metrics();
+  tracer_ = &sim_.tracer();
+  m_jobs_submitted_ = &m.counter("mr/jobs_submitted");
+  m_jobs_completed_ = &m.counter("mr/jobs_completed");
+  m_launches_map_ = &m.counter("mr/task_launches", {{"kind", "map"}});
+  m_launches_reduce_ = &m.counter("mr/task_launches", {{"kind", "reduce"}});
+  m_spec_launches_ = &m.counter("mr/speculative_launches");
+  m_killed_ = &m.counter("mr/killed_attempts");
+  m_task_failures_ = &m.counter("mr/task_failures");
+  m_fetch_failures_ = &m.counter("mr/fetch_failures");
+  m_maps_reexecuted_ = &m.counter("mr/maps_reexecuted");
+  m_snapshot_pins_ = &m.gauge("fs/snapshot_pins");
 }
 
 std::string MapReduceCluster::temp_path(const JobState& job,
@@ -386,12 +400,23 @@ void MapReduceCluster::launch(const Assignment& a, net::NodeId node) {
     ++job->running_maps;
     ++slots_[node].maps;
     if (a.speculative) ++job->stats.speculative_maps;
+    m_launches_map_->inc();
   } else {
     ++job->running_reduces;
     ++slots_[node].reduces;
     if (a.speculative) ++job->stats.speculative_reduces;
     if (job->stats.first_reduce_start == 0) {
       job->stats.first_reduce_start = sim_.now();
+    }
+    m_launches_reduce_->inc();
+  }
+  if (a.speculative) {
+    m_spec_launches_->inc();
+    if (tracer_->enabled()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\"job\":%u,\"task\":%u", job->job_id,
+                    task.index);
+      tracer_->instant("mr", "mr", node, "speculate", buf);
     }
   }
   job->stats.launches.push_back({a.kind == TaskKind::kMap ? 'm' : 'r',
@@ -430,6 +455,21 @@ void MapReduceCluster::finish_attempt(Attempt* att,
   // (task.done), or its own commit rename lost the race (lost).
   if (!att->committed && !att->failed && (task.done || att->lost)) {
     ++job->stats.killed_attempts;
+    m_killed_->inc();
+  }
+  if (tracer_->enabled()) {
+    const char* outcome = att->committed ? "committed"
+                          : att->failed  ? "failed"
+                                         : "killed";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\"job\":%u,\"task\":%u,\"attempt\":%u,\"spec\":%s,"
+                  "\"outcome\":\"%s\"",
+                  job->job_id, task.index, att->ordinal,
+                  att->speculative ? "true" : "false", outcome);
+    tracer_->complete("mr", "mr", att->node,
+                      att->kind == TaskKind::kMap ? "map" : "reduce",
+                      att->meter.started_at(), buf);
   }
   job->live.erase(it);
   // Wake run_job: the shared-output fallback delays its concat until the
@@ -438,6 +478,14 @@ void MapReduceCluster::finish_attempt(Attempt* att,
 }
 
 // --- job lifecycle --------------------------------------------------------
+
+void MapReduceCluster::register_job_metrics(JobState& job) {
+  const std::string id = std::to_string(job.job_id);
+  job.h_map_latency = &sim_.metrics().histogram(
+      "mr/task_latency_s", {{"job", id}, {"kind", "map"}});
+  job.h_reduce_latency = &sim_.metrics().histogram(
+      "mr/task_latency_s", {{"job", id}, {"kind", "reduce"}});
+}
 
 sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   BS_CHECK(config.app != nullptr);
@@ -453,8 +501,18 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   job.stats.job_name = app.name();
   job.stats.fs_name = fs_.name();
   job.stats.submit_time = sim_.now();
+  m_jobs_submitted_->inc();
+  register_job_metrics(job);
+  if (tracer_->enabled()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"job\":%u", job.job_id);
+    tracer_->instant("mr", "mr", cfg_.jobtracker_node, "job_submit", buf);
+  }
 
   co_await plan_job(job);
+  // GC-visible pin pressure: how many input snapshots live jobs hold
+  // (fault/retention.h honors them; the gauge makes the hold visible).
+  m_snapshot_pins_->add(static_cast<double>(job.dataset.snapshots().size()));
   job.shuffle = make_shuffle_store(job.config.intermediate_mode, sim_, net_,
                                    fs_, job.config.intermediate_replication);
   if (job.config.output_mode == JobConfig::OutputMode::kSharedAppend &&
@@ -500,6 +558,14 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   }
   const double finished_at = sim_.now();
   job.stats.duration = finished_at - job.stats.submit_time;
+  // v5 task-latency summary, read back from the per-job registry
+  // histograms (all commits observed them; empty histogram reads 0).
+  if (job.h_map_latency != nullptr) {
+    job.stats.map_latency_p50 = job.h_map_latency->percentile(0.50);
+    job.stats.map_latency_p99 = job.h_map_latency->percentile(0.99);
+    job.stats.reduce_latency_p50 = job.h_reduce_latency->percentile(0.50);
+    job.stats.reduce_latency_p99 = job.h_reduce_latency->percentile(0.99);
+  }
   if (job.maps_total > 0) {
     job.stats.map_phase_s = job.last_map_commit - job.stats.submit_time;
   }
@@ -523,7 +589,16 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   co_await job.shuffle->cleanup(job.config.output_dir, cfg_.jobtracker_node);
   // The job is drained: drop its snapshot pins so the retention service
   // may reclaim the version history it was holding.
+  m_snapshot_pins_->add(
+      -static_cast<double>(job.dataset.snapshots().size()));
   job.dataset.release();
+  m_jobs_completed_->inc();
+  if (tracer_->enabled()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"job\":%u,\"duration\":%.6f",
+                  job.job_id, job.stats.duration);
+    tracer_->instant("mr", "mr", cfg_.jobtracker_node, "job_complete", buf);
+  }
 
   JobStats out = std::move(job.stats);
   jobs_.erase(job_it);
@@ -585,6 +660,7 @@ void MapReduceCluster::abort_attempt_io(Attempt* att) {
   att->failed = true;
   JobState* job = att->job;
   TaskState& task = *att->task;
+  m_task_failures_->inc();
   if (att->kind == TaskKind::kMap) {
     ++job->stats.map_failures;
   } else {
@@ -615,6 +691,7 @@ void MapReduceCluster::report_fetch_failure(JobState& job,
   // call site's !task.done guard; kept as the tracker-side invariant.)
   if (job_complete(job)) return;
   ++job.stats.fetch_failures;
+  m_fetch_failures_->inc();
   // Stale notification: the output is already declared lost (the map is
   // pending or re-running) — the reducer just retries against the next
   // commit.
@@ -641,6 +718,14 @@ void MapReduceCluster::report_fetch_failure(JobState& job,
   BS_CHECK(job.maps_done > 0);
   --job.maps_done;
   ++job.stats.maps_reexecuted;
+  m_maps_reexecuted_->inc();
+  if (tracer_->enabled()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"job\":%u,\"map\":%u", job.job_id,
+                  map_index);
+    tracer_->instant("mr", "mr", cfg_.jobtracker_node, "map_output_lost",
+                     buf);
+  }
   // Revoke the lost commit's locality attribution; the re-execution's own
   // commit re-attributes (keeps data_local+rack+remote == maps exact).
   switch (task.committed_locality) {
@@ -677,6 +762,7 @@ void MapReduceCluster::finish_map_commit(Attempt* att) {
   job->last_map_commit = sim_.now();
   const double elapsed = att->meter.elapsed(sim_.now());
   job->map_commit_durations.push_back(elapsed);
+  if (job->h_map_latency != nullptr) job->h_map_latency->observe(elapsed);
   record_node_speed(*job, TaskKind::kMap, att->node, elapsed);
   task.committed_locality = att->locality;
   switch (att->locality) {
@@ -699,6 +785,7 @@ void MapReduceCluster::finish_reduce_commit(Attempt* att) {
   job->last_reduce_commit = sim_.now();
   const double elapsed = att->meter.elapsed(sim_.now());
   job->reduce_commit_durations.push_back(elapsed);
+  if (job->h_reduce_latency != nullptr) job->h_reduce_latency->observe(elapsed);
   record_node_speed(*job, TaskKind::kReduce, att->node, elapsed);
   if (att->speculative) ++job->stats.speculative_wins;
   job->progress->notify_all();

@@ -286,6 +286,11 @@ class MapReduceCluster {
     // speculation sweep); 0 until enough commits exist.
     double map_lag_baseline = 0;
     double reduce_lag_baseline = 0;
+    // Per-job task-latency histograms (mr/task_latency_s{job=,kind=}),
+    // resolved at submission; the v5 JobStats percentile summary is read
+    // from them when the job completes.
+    obs::Histogram* h_map_latency = nullptr;
+    obs::Histogram* h_reduce_latency = nullptr;
     JobStats stats;
     std::unique_ptr<sim::CondVar> progress;  // commit notifications
     sim::WaitGroup attempts;   // live attempt coroutines + speculation loop
@@ -320,6 +325,12 @@ class MapReduceCluster {
                : cfg_.shuffle_parallel_copies;
   }
 
+  // Out of line and never inlined: building the labeled histogram keys
+  // (std::string + initializer-list temporaries) inside the run_job
+  // coroutine body miscompiles under GCC 12 at -O2, corrupting the
+  // caller's frame. Keeping the construction in a plain function keeps
+  // the coroutine frame free of those temporaries.
+  [[gnu::noinline]] void register_job_metrics(JobState& job);
   sim::Task<void> plan_job(JobState& job);
   sim::Task<void> tasktracker_loop(net::NodeId node);
   Assignment schedule(net::NodeId node);
@@ -398,6 +409,19 @@ class MapReduceCluster {
   // Scratch for schedule() (rebuilt every heartbeat; no per-call allocs).
   std::vector<JobState*> scratch_active_;
   std::vector<SchedulableJob> scratch_view_;
+
+  // Obs handles, resolved once at construction (see net/network.h).
+  obs::Tracer* tracer_;
+  obs::Counter* m_jobs_submitted_;
+  obs::Counter* m_jobs_completed_;
+  obs::Counter* m_launches_map_;
+  obs::Counter* m_launches_reduce_;
+  obs::Counter* m_spec_launches_;
+  obs::Counter* m_killed_;
+  obs::Counter* m_task_failures_;
+  obs::Counter* m_fetch_failures_;
+  obs::Counter* m_maps_reexecuted_;
+  obs::Gauge* m_snapshot_pins_;
 };
 
 // Splits `text` into lines and feeds them to `fn(offset, line)`; exposed

@@ -61,6 +61,10 @@ std::string debug_string(const JobStats& s) {
   }
   out += '\n';
   append_num(&out, "bytes_ingested_during_job", s.bytes_ingested_during_job);
+  append_num(&out, "map_latency_p50", s.map_latency_p50);
+  append_num(&out, "map_latency_p99", s.map_latency_p99);
+  append_num(&out, "reduce_latency_p50", s.reduce_latency_p50);
+  append_num(&out, "reduce_latency_p99", s.reduce_latency_p99);
   for (const TaskLaunch& l : s.launches) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "launch %c%u a%u node=%u t=%a spec=%d\n",

@@ -7,9 +7,12 @@
 // destroyed, and the bytes moved through the intermediate store in each
 // direction. v4 adds the snapshot-isolation trail (mr/dataset.h): the
 // pinned version of every input snapshot and how many bytes writers
-// ingested into the inputs while the job ran against its pins. Every field
-// is serialized exactly by debug_string, which is what the determinism
-// suite gates byte-for-byte.
+// ingested into the inputs while the job ran against its pins. v5 adds
+// task-latency summaries (p50/p99 of committed attempt durations per
+// kind), derived at job completion from the per-job histograms the
+// observability registry keeps (obs/metrics.h). Every field is serialized
+// exactly by debug_string, which is what the determinism suite gates
+// byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +78,13 @@ struct JobStats {
   // submission and job completion — how far the live dataset ran ahead of
   // the snapshot the job kept reading.
   uint64_t bytes_ingested_during_job = 0;
+  // Task-latency summary (v5): percentiles of committed attempt durations,
+  // read from the registry's mr/task_latency_s{job=,kind=} histograms when
+  // the job completes (0 when the kind ran no tasks).
+  double map_latency_p50 = 0;
+  double map_latency_p99 = 0;
+  double reduce_latency_p50 = 0;
+  double reduce_latency_p99 = 0;
   std::vector<TaskLaunch> launches;
   // Record-mode result sample: reduce outputs collected (small jobs only).
   std::vector<std::pair<std::string, std::string>> results;

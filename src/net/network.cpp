@@ -1,10 +1,14 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bs::net {
 namespace {
@@ -13,9 +17,17 @@ namespace {
 // arithmetic accumulates tiny float error that this absorbs.
 constexpr double kRemainingEps = 0.5;
 
+std::string xfer_args(NodeId src, NodeId dst, double bytes) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"src\":%u,\"dst\":%u,\"bytes\":%.0f", src,
+                dst, bytes);
+  return buf;
+}
+
 }  // namespace
 
 sim::Task<void> Disk::io(double bytes, bool is_read) {
+  const double t0 = sim_.now();
   co_await gate_.acquire();
   // The rate is sampled when the request reaches the head of the queue, so
   // a slow-node injection mid-queue affects every request issued after it.
@@ -24,8 +36,16 @@ sim::Task<void> Disk::io(double bytes, bool is_read) {
   gate_.release();
   if (is_read) {
     bytes_read_ += bytes;
+    if (m_read_bytes_) m_read_bytes_->inc(bytes);
   } else {
     bytes_written_ += bytes;
+    if (m_write_bytes_) m_write_bytes_->inc(bytes);
+  }
+  if (tracer_ && tracer_->enabled()) {
+    char args[48];
+    std::snprintf(args, sizeof(args), "\"bytes\":%.0f", bytes);
+    tracer_->complete("net", "disk", node_, is_read ? "read" : "write", t0,
+                      args);
   }
 }
 
@@ -53,6 +73,26 @@ Network::Network(sim::Simulator& sim, const ClusterConfig& cfg)
   up_.assign(n, 1);
   incarnation_.assign(n, 0);
   perf_.assign(n, NodePerf{});
+
+  obs::MetricsRegistry& m = sim_.metrics();
+  tracer_ = &sim_.tracer();
+  m_flows_ = &m.counter("net/flows");
+  m_bytes_ = &m.counter("net/bytes");
+  m_rpcs_ = &m.counter("net/rpcs");
+  m_rpc_timeouts_ = &m.counter("net/rpc_timeouts");
+  m_transfer_s_ = &m.histogram("net/transfer_s");
+  obs::Counter* disk_rd = &m.counter("net/disk_read_bytes");
+  obs::Counter* disk_wr = &m.counter("net/disk_write_bytes");
+  for (uint32_t i = 0; i < n; ++i) {
+    disks_[i]->attach_obs(tracer_, i, disk_rd, disk_wr);
+  }
+  m_rack_up_bytes_.reserve(r);
+  m_rack_down_bytes_.reserve(r);
+  for (uint32_t i = 0; i < r; ++i) {
+    const obs::Labels labels = {{"rack", std::to_string(i)}};
+    m_rack_up_bytes_.push_back(&m.counter("net/rack_uplink_bytes", labels));
+    m_rack_down_bytes_.push_back(&m.counter("net/rack_downlink_bytes", labels));
+  }
 }
 
 void Network::set_node_up(NodeId node, bool up) {
@@ -82,18 +122,30 @@ sim::Task<void> Network::transfer(NodeId src, NodeId dst, double bytes,
   bytes_moved_ += bytes;
   tx_bytes_[src] += bytes;
   rx_bytes_[dst] += bytes;
+  m_bytes_->inc(bytes);
+  const double t0 = sim_.now();
   if (src == dst) {
     co_await sim_.delay(bytes / cfg_.loopback_bps);
-    co_return;
+  } else {
+    m_flows_->inc();
+    if (!cfg_.same_rack(src, dst)) {
+      m_rack_up_bytes_[cfg_.rack_of(src)]->inc(bytes);
+      m_rack_down_bytes_[cfg_.rack_of(dst)]->inc(bytes);
+    }
+    sim::Event done(sim_);
+    add_flow(src, dst, bytes, rate_cap, &done);
+    co_await done.wait();
   }
-  sim::Event done(sim_);
-  add_flow(src, dst, bytes, rate_cap, &done);
-  co_await done.wait();
+  m_transfer_s_->observe(sim_.now() - t0);
+  if (tracer_->enabled()) {
+    tracer_->complete("net", "net", dst, "xfer", t0, xfer_args(src, dst, bytes));
+  }
 }
 
 sim::Task<void> Network::control(NodeId src, NodeId dst) {
   (void)src;
   (void)dst;
+  m_rpcs_->inc();
   co_await sim_.delay(cfg_.control_latency_s);
 }
 
@@ -103,6 +155,11 @@ sim::Task<bool> Network::try_transfer(NodeId src, NodeId dst, double bytes,
   if (!up_[src] || !up_[dst]) {
     // Connecting to (or from) a dead node: the caller learns by timeout,
     // exactly like try_control.
+    m_rpc_timeouts_->inc();
+    if (tracer_->enabled()) {
+      tracer_->instant("net", "net", src, "xfer_timeout",
+                       xfer_args(src, dst, bytes));
+    }
     co_await sim_.delay(cfg_.rpc_timeout_s);
     co_return false;
   }
@@ -135,8 +192,15 @@ sim::Task<bool> Network::try_disk_write(NodeId node, double bytes) {
 
 sim::Task<bool> Network::try_control(NodeId src, NodeId dst) {
   BS_CHECK(src < cfg_.num_nodes && dst < cfg_.num_nodes);
+  m_rpcs_->inc();
   if (!up_[dst]) {
     // The request vanishes; the caller learns by connection timeout.
+    m_rpc_timeouts_->inc();
+    if (tracer_->enabled()) {
+      char args[32];
+      std::snprintf(args, sizeof(args), "\"dst\":%u", dst);
+      tracer_->instant("net", "net", src, "rpc_timeout", args);
+    }
     co_await sim_.delay(cfg_.rpc_timeout_s);
     co_return false;
   }

@@ -25,6 +25,13 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 
+namespace bs::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Tracer;
+}  // namespace bs::obs
+
 namespace bs::net {
 
 // Per-node FIFO disk. Concurrent requests queue; each pays a positioning
@@ -35,6 +42,16 @@ class Disk {
   Disk(sim::Simulator& sim, double read_bps, double write_bps, double seek_s)
       : sim_(sim), gate_(sim, 1), read_bps_(read_bps), write_bps_(write_bps),
         seek_s_(seek_s) {}
+
+  // Observability wiring (done by Network at construction): byte counters
+  // are shared cluster-wide aggregates; spans carry the owning node id.
+  void attach_obs(obs::Tracer* tracer, uint32_t node, obs::Counter* read_bytes,
+                  obs::Counter* write_bytes) {
+    tracer_ = tracer;
+    node_ = node;
+    m_read_bytes_ = read_bytes;
+    m_write_bytes_ = write_bytes;
+  }
 
   sim::Task<void> read(double bytes) { return io(bytes, /*is_read=*/true); }
   sim::Task<void> write(double bytes) { return io(bytes, /*is_read=*/false); }
@@ -61,6 +78,10 @@ class Disk {
   double scale_ = 1.0;
   double bytes_read_ = 0;
   double bytes_written_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t node_ = 0;
+  obs::Counter* m_read_bytes_ = nullptr;
+  obs::Counter* m_write_bytes_ = nullptr;
 };
 
 // Degraded-node performance, driven by the fault injector's slow-node
@@ -212,6 +233,18 @@ class Network {
   std::vector<uint64_t> incarnation_;  // power-loss count per node
   std::vector<NodePerf> perf_;  // degradation factors per node
   GroundTruth truth_{*this};
+
+  // Obs handles, resolved once at construction (hot paths never do string
+  // lookups). Per-rack byte counters keep link accounting bounded: racks,
+  // not the O(nodes) NIC links, are the contended resource in the topology.
+  obs::Tracer* tracer_;
+  obs::Counter* m_flows_;
+  obs::Counter* m_bytes_;
+  obs::Counter* m_rpcs_;
+  obs::Counter* m_rpc_timeouts_;
+  obs::Histogram* m_transfer_s_;
+  std::vector<obs::Counter*> m_rack_up_bytes_;
+  std::vector<obs::Counter*> m_rack_down_bytes_;
 };
 
 }  // namespace bs::net

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace bs::obs {
+
+void Tracer::set_capacity(size_t cap) {
+  capacity_ = cap == 0 ? 1 : cap;
+  ring_.clear();
+  total_ = 0;
+}
+
+size_t Tracer::size() const {
+  return total_ < capacity_ ? static_cast<size_t>(total_) : capacity_;
+}
+
+void Tracer::push(TraceEvent ev) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[static_cast<size_t>(total_ % capacity_)] = std::move(ev);
+  }
+  ++total_;
+}
+
+void Tracer::instant(const char* cat, const char* comp, uint32_t node,
+                     std::string name, std::string args) {
+  if (!enabled_) return;
+  push(TraceEvent{std::move(name), cat, comp, std::move(args), sim_.now(),
+                  -1.0, node});
+}
+
+void Tracer::complete(const char* cat, const char* comp, uint32_t node,
+                      std::string name, double t_begin, std::string args) {
+  if (!enabled_) return;
+  push(TraceEvent{std::move(name), cat, comp, std::move(args), t_begin,
+                  sim_.now() - t_begin, node});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  if (total_ <= capacity_) {
+    out = ring_;
+  } else {
+    const size_t head = static_cast<size_t>(total_ % capacity_);
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(head));
+  }
+  return out;
+}
+
+namespace {
+
+// Sim seconds -> trace microseconds, fixed-point text (deterministic).
+std::string fmt_us(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+void Tracer::export_chrome(std::string* out, uint32_t pid_base,
+                           const std::string& process_prefix,
+                           bool* first) const {
+  const std::vector<TraceEvent> evs = events();
+
+  // Deterministic pid/tid naming: processes are nodes actually seen,
+  // threads are component names interned in sorted order.
+  std::map<uint32_t, std::map<std::string, int>> seen;  // node -> comp -> tid
+  for (const TraceEvent& e : evs) seen[e.node][e.comp] = 0;
+  for (auto& [node, comps] : seen) {
+    int tid = 1;
+    for (auto& [comp, id] : comps) id = tid++;
+  }
+
+  auto emit = [&](const std::string& obj) {
+    if (!*first) *out += ',';
+    *first = false;
+    *out += '\n';
+    *out += obj;
+  };
+
+  for (const auto& [node, comps] : seen) {
+    const uint32_t pid = pid_base + node;
+    std::string name = process_prefix.empty()
+                           ? "node" + std::to_string(node)
+                           : process_prefix + "/node" + std::to_string(node);
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":" + json_quote(name) +
+         "}}");
+    for (const auto& [comp, tid] : comps) {
+      emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" + json_quote(comp) +
+           "}}");
+    }
+  }
+
+  for (const TraceEvent& e : evs) {
+    const uint32_t pid = pid_base + e.node;
+    const int tid = seen[e.node][e.comp];
+    std::string obj = "{\"name\":" + json_quote(e.name);
+    obj += ",\"cat\":" + json_quote(e.cat);
+    if (e.dur < 0) {
+      obj += ",\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      obj += ",\"ph\":\"X\",\"dur\":" + fmt_us(e.dur);
+    }
+    obj += ",\"ts\":" + fmt_us(e.ts);
+    obj += ",\"pid\":" + std::to_string(pid);
+    obj += ",\"tid\":" + std::to_string(tid);
+    if (!e.args.empty()) obj += ",\"args\":{" + e.args + "}";
+    obj += '}';
+    emit(obj);
+  }
+}
+
+std::string Tracer::chrome_json(const std::string& process_prefix) const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  export_chrome(&out, 0, process_prefix, &first);
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace bs::obs

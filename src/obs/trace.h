@@ -1,0 +1,86 @@
+// Tracer — sim-time span recording with Chrome trace-event export.
+//
+// Components record complete spans (begin/end) and instant events into a
+// fixed-capacity ring buffer; when the ring fills, the oldest events are
+// dropped so the trace always covers the newest activity. Timestamps are
+// simulated seconds, which makes the export byte-deterministic for a given
+// seed — there is no wall clock anywhere in the pipeline.
+//
+// The export speaks the Chrome trace-event JSON format (load in
+// chrome://tracing or https://ui.perfetto.dev): one "process" per simulated
+// node, one "thread" per component name ("net", "disk", "blob", "hdfs",
+// "mr", "fault"), sim seconds mapped to trace microseconds.
+//
+// Tracing is off by default; every record call starts with an `enabled()`
+// check so an un-traced run pays one predictable branch per site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace bs::obs {
+
+struct TraceEvent {
+  std::string name;   // e.g. "map 3.0", "xfer", "crash"
+  const char* cat;    // subsystem: "net", "blob", "hdfs", "mr", "fault"
+  const char* comp;   // component = trace "thread" within the node
+  std::string args;   // pre-rendered JSON members ("\"bytes\":123"), may be empty
+  double ts;          // begin, sim seconds
+  double dur;         // span length in sim seconds; < 0 marks an instant
+  uint32_t node;      // trace "process"
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulator& sim) : sim_(sim) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Capacity changes drop already-recorded events (ring is rebuilt).
+  void set_capacity(size_t cap);
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const;           // events currently retained
+  uint64_t recorded() const { return total_; }  // ever recorded
+  uint64_t dropped() const { return total_ - size(); }
+
+  // Instant event at the current sim time.
+  void instant(const char* cat, const char* comp, uint32_t node,
+               std::string name, std::string args = {});
+
+  // Complete span from t_begin to now. Call sites capture
+  // `double t0 = sim.now()` before the awaited work and report afterwards.
+  void complete(const char* cat, const char* comp, uint32_t node,
+                std::string name, double t_begin, std::string args = {});
+
+  // Retained events, oldest first (for tests and exporters).
+  std::vector<TraceEvent> events() const;
+
+  // Appends Chrome trace-event objects (plus process_name / thread_name
+  // metadata) for all retained events to `out`, comma-separated. `first`
+  // carries the needs-a-comma state across multiple tracers being merged
+  // into one document; `pid_base` offsets node ids so merged worlds do not
+  // collide; `process_prefix` labels the world in process names.
+  void export_chrome(std::string* out, uint32_t pid_base,
+                     const std::string& process_prefix, bool* first) const;
+
+  // Whole-document convenience: {"traceEvents":[...]}.
+  std::string chrome_json(const std::string& process_prefix = {}) const;
+
+ private:
+  void push(TraceEvent ev);
+
+  sim::Simulator& sim_;
+  bool enabled_ = false;
+  size_t capacity_ = 16384;
+  std::vector<TraceEvent> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace bs::obs

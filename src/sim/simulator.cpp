@@ -4,10 +4,22 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bs::sim {
 
+namespace {
+double sim_time_hook(void* ctx) { return static_cast<Simulator*>(ctx)->now(); }
+}  // namespace
+
+Simulator::Simulator() {
+  // Log lines emitted while this world runs carry its simulated time.
+  log::set_time_hook(&sim_time_hook, this);
+}
+
 Simulator::~Simulator() {
+  log::clear_time_hook(this);
   // Drop queued (non-owning) handles first, then destroy still-live
   // process frames; destruction runs their locals' destructors, which may
   // only touch primitives that outlive them (standard teardown order:
@@ -65,6 +77,16 @@ Time Simulator::run() {
   }
   reap_finished();
   return now_;
+}
+
+obs::MetricsRegistry& Simulator::metrics() {
+  if (!metrics_) metrics_ = std::make_unique<obs::MetricsRegistry>();
+  return *metrics_;
+}
+
+obs::Tracer& Simulator::tracer() {
+  if (!tracer_) tracer_ = std::make_unique<obs::Tracer>(*this);
+  return *tracer_;
 }
 
 Time Simulator::run_until(Time t) {

@@ -9,10 +9,16 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "sim/task.h"
+
+namespace bs::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace bs::obs
 
 namespace bs::sim {
 
@@ -21,7 +27,7 @@ using Time = double;
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -67,6 +73,13 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
   size_t live_processes() const { return spawned_.size(); }
 
+  // Observability plane shared by every component of this world: a metrics
+  // registry (always on; counters are cheap) and a span tracer (off until
+  // enabled). Both are lazily constructed on first access so an
+  // uninstrumented Simulator costs nothing extra.
+  obs::MetricsRegistry& metrics();
+  obs::Tracer& tracer();
+
  private:
   struct Event {
     Time t;
@@ -86,6 +99,8 @@ class Simulator {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Task<void>> spawned_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_processed_ = 0;

@@ -191,6 +191,31 @@ TEST(Stats, SummaryBasics) {
   EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
 }
 
+TEST(Stats, SummaryEdgeCases) {
+  // Empty summary: every percentile reads 0 instead of indexing out of
+  // bounds, and mean/stddev are 0.
+  Summary empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+
+  // Out-of-range quantiles clamp to the extremes.
+  Summary s;
+  for (double x : {2.0, 8.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(-0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.5), 8.0);
+
+  // stddev needs two samples: one sample reports 0, not NaN (the n-1
+  // divisor would divide by zero).
+  Summary one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.mean(), 7.0);
+}
+
 TEST(Stats, Counters) {
   Counters c;
   c.inc("reads");

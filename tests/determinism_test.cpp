@@ -19,6 +19,8 @@
 #include "mr/cluster.h"
 #include "mr/shuffle.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace bs {
@@ -34,16 +36,25 @@ struct RunResult {
   double job_duration = 0;
   uint64_t data_local = 0;
   std::vector<std::pair<std::string, std::string>> results;
+  // Observability plane (obs/): the registry snapshot and trace export are
+  // documented byte-deterministic, so they are gated like everything else.
+  std::string metrics_snapshot;
+  std::string trace_json;
 
   bool operator==(const RunResult& o) const {
     return end_time == o.end_time && events == o.events && flows == o.flows &&
            bytes_moved == o.bytes_moved && job_duration == o.job_duration &&
-           data_local == o.data_local && results == o.results;
+           data_local == o.data_local && results == o.results &&
+           metrics_snapshot == o.metrics_snapshot &&
+           trace_json == o.trace_json;
   }
 };
 
 RunResult run_stack(const std::string& backend) {
   sim::Simulator sim;
+  // Tracing on for the whole run: recording spans must not perturb the
+  // simulation (every timing assertion below would catch it if it did).
+  sim.tracer().set_enabled(true);
   net::ClusterConfig ncfg;
   ncfg.num_nodes = 24;
   ncfg.nodes_per_rack = 6;
@@ -108,6 +119,8 @@ RunResult run_stack(const std::string& backend) {
   out.job_duration = stats.duration;
   out.data_local = stats.data_local_maps;
   out.results = stats.results;
+  out.metrics_snapshot = sim.metrics().text_snapshot();
+  out.trace_json = sim.tracer().chrome_json();
   return out;
 }
 
@@ -123,6 +136,28 @@ TEST(Determinism, HdfsStackIsBitReproducible) {
   const RunResult a = run_stack("HDFS");
   const RunResult b = run_stack("HDFS");
   EXPECT_TRUE(a == b);
+}
+
+// Observability plane: the registry and tracer ride the same deterministic
+// event loop, so two identical runs must produce byte-identical metric
+// snapshots and Chrome-trace exports — on both backends. (The snapshots
+// also ride RunResult::operator== above; this test pins the obs-specific
+// claims: non-empty, every instrumented subsystem contributed.)
+TEST(Determinism, ObservabilitySnapshotsAreBitReproducible) {
+  for (const char* backend : {"BSFS", "HDFS"}) {
+    const RunResult a = run_stack(backend);
+    const RunResult b = run_stack(backend);
+    EXPECT_EQ(a.metrics_snapshot, b.metrics_snapshot) << backend;
+    EXPECT_EQ(a.trace_json, b.trace_json) << backend;
+    EXPECT_FALSE(a.metrics_snapshot.empty());
+    for (const char* needle :
+         {"net/bytes", "net/rpcs", "mr/jobs_completed",
+          "mr/task_launches{kind=map}", "hdfs/namenode_ops{op=create}",
+          "blob/vm_requests"}) {
+      EXPECT_NE(a.metrics_snapshot.find(needle), std::string::npos)
+          << backend << " missing " << needle;
+    }
+  }
 }
 
 TEST(Determinism, BackendsDifferButAgreeOnResults) {
