@@ -164,6 +164,7 @@ BsfsWorld::BsfsWorld(const WorldOptions& opt)
   bcfg.provider_manager_node = 0;
   bcfg.provider.ram_bytes = options.provider_ram;
   bcfg.provider.read_cache = options.provider_read_cache;
+  bcfg.provider.durability = options.blob_durability;
   bcfg.manager.policy = options.placement;
   bcfg.dht.service_time_s = options.dht_service_time_s;
   blobs = std::make_unique<blob::BlobSeerCluster>(sim, net, std::move(bcfg));
@@ -186,6 +187,7 @@ HdfsWorld::HdfsWorld(const WorldOptions& opt)
   cfg.namenode.node = 0;
   cfg.namenode.block_size = options.block_size;
   cfg.namenode.replication = options.hdfs_replication;
+  cfg.datanode_durability = options.hdfs_durability;
   fs = std::make_unique<hdfs::Hdfs>(sim, net, cfg,
                                     storage_nodes(opt.cluster));
   obs_index = obs_register_world(sim, "hdfs", &obs_label);

@@ -15,6 +15,7 @@
 
 #include "blob/cluster.h"
 #include "bsfs/bsfs.h"
+#include "common/durability.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "fs/filesystem.h"
@@ -87,6 +88,11 @@ struct WorldOptions {
   double dht_service_time_s = 50e-6;
   // HDFS knobs.
   uint32_t hdfs_replication = 1;
+  // Write-path durability (common/durability.h). Defaults preserve the
+  // paper's models: BSFS providers write-behind (ack on RAM), HDFS
+  // datanodes synchronous write-through (ack after disk).
+  DurabilityPolicy blob_durability = DurabilityPolicy::none();
+  DurabilityPolicy hdfs_durability = DurabilityPolicy::immediate();
 };
 
 // A full BSFS deployment over its own simulator.

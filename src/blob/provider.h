@@ -1,13 +1,36 @@
 // Page provider — stores page replicas on one cluster node.
 //
 // Write path: the page body arrives over the network (a flow), lands in the
-// provider's RAM buffer, and is acknowledged immediately; a background
-// flusher persists buffered pages to the local disk through the KV store
-// (the BerkeleyDB stand-in). If the RAM buffer is full, incoming writes
-// block until the flusher drains — this is the backpressure that makes
-// provider write throughput degrade to disk speed once RAM is exhausted,
-// and it is why BlobSeer's load-balanced remote writes beat HDFS's
-// synchronous local-disk writes in the paper's §IV.B write benchmark.
+// provider's RAM buffer, and is acknowledged per the configured
+// DurabilityPolicy (common/durability.h); a background flusher persists
+// buffered pages to the local disk through the KV store (the BerkeleyDB
+// stand-in). If the RAM buffer is full, incoming writes block until the
+// flusher drains — this is the backpressure that makes provider write
+// throughput degrade to disk speed once RAM is exhausted, and it is why
+// BlobSeer's load-balanced remote writes beat HDFS's synchronous local-disk
+// writes in the paper's §IV.B write benchmark.
+//
+// Durability spectrum on this path (ack semantics are what each level
+// means *here*; bench/ext8_group_commit.cpp measures the trade):
+//   kNone       (default — the paper's write-behind model) ack as soon as
+//               the page is in RAM; the flusher persists pages one at a
+//               time in the background. A power loss destroys every
+//               buffered page: the acked-unsynced window is bounded only
+//               by flusher backlog.
+//   kBatched    ack when the page is in RAM *and* the acked-unsynced
+//               window is at most max_records pages — the ack blocks while
+//               the window is full. The flusher coalesces up to
+//               max_records pages per disk write (count-or-time trigger),
+//               paying one positioning overhead per batch. A power loss
+//               destroys at most max_records acked pages plus the batch in
+//               flight.
+//   kImmediate  ack only after the page's own batch (of one) is on the
+//               platter. A power loss destroys zero acked pages.
+//
+// Power loss discards exactly the unsynced window: pages whose batch
+// reached the disk survive a plain crash (the KV journal replays on
+// reboot); unsynced pages die with RAM, and the batch in flight dies via
+// the PR-4 incarnation machinery (net::Network::try_disk_write).
 //
 // Read path: RAM-resident pages (recently written or LRU-cached) are served
 // from memory; otherwise the page is read from disk first. Either way the
@@ -20,10 +43,11 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "blob/types.h"
 #include "common/dataspec.h"
+#include "common/durability.h"
 #include "common/stats.h"
 #include "kv/kvstore.h"
 #include "net/network.h"
@@ -40,6 +64,9 @@ struct ProviderConfig {
   // paper-scale read benches run cold (data >> RAM), so this mostly serves
   // the cache ablation.
   bool read_cache = true;
+  // When the write path acks relative to when it syncs (see file comment).
+  // The default preserves the paper's write-behind semantics.
+  DurabilityPolicy durability = DurabilityPolicy::none();
 };
 
 class Provider {
@@ -49,12 +76,12 @@ class Provider {
   net::NodeId node() const { return cfg_.node; }
 
   // Receives one page from `client` and stores it. Returns true once the
-  // page is safely in RAM (durability is the flusher's job, as in
-  // BlobSeer's write-behind BerkeleyDB layer); false if the provider is
-  // down — at request time (the caller waits out the connection timeout)
-  // or mid-transfer (the bytes are discarded). `rate_cap` caps the incoming
-  // flow's rate (used by the repair service to throttle background
-  // re-replication traffic; 0 = uncapped).
+  // page is acknowledged per cfg_.durability (see file comment); false if
+  // the provider is down — at request time (the caller waits out the
+  // connection timeout), mid-transfer (the bytes are discarded), or if a
+  // power loss destroyed the page before its durability settled.
+  // `rate_cap` caps the incoming flow's rate (used by the repair service to
+  // throttle background re-replication traffic; 0 = uncapped).
   sim::Task<bool> put_page(net::NodeId client, PageKey key, DataSpec data,
                            double rate_cap = 0);
 
@@ -71,15 +98,18 @@ class Provider {
   // --- fault injection (called by the fault layer, not clients) ---
   //
   // A crash is fail-stop at the network level: every request fails until
-  // recover(). Storage semantics: pages already acknowledged survive a
-  // plain crash (the KV journal replays on reboot, and the model treats
-  // buffered pages as flushed before power loss); wipe_storage models a
-  // disk loss, after which only re-replication can restore the data.
+  // recover(). Storage semantics: pages whose flush reached the disk
+  // survive a plain crash (the KV journal replays on reboot); pages still
+  // in the unsynced window are destroyed — exactly the window, no more, no
+  // less (bytes_lost_on_power_loss accounts them). wipe_storage
+  // additionally models a disk loss, after which only re-replication can
+  // restore the data.
   void crash(bool wipe_storage = false);
   void recover();
   bool is_down() const { return down_; }
 
-  // Blocks until every buffered page is on disk (used by tests/benches to
+  // Blocks until every buffered page is on disk, forcing batches out
+  // regardless of the count-or-time trigger (used by tests/benches to
   // measure full-durability time).
   sim::Task<void> drain();
 
@@ -100,28 +130,59 @@ class Provider {
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
   const kv::KvStore& store() const { return store_; }
+  // The durability spectrum's observable side: the unsynced window now, and
+  // what power losses destroyed so far.
+  uint64_t unsynced_pages() const { return dirty_.size() + inflight_.size(); }
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+  uint64_t flush_batches() const { return flush_batches_; }
+  uint64_t bytes_lost_on_power_loss() const { return bytes_lost_; }
+  uint64_t acked_bytes_lost_on_power_loss() const { return acked_bytes_lost_; }
 
  private:
+  // One page awaiting its flush. `seq` orders the unsynced window:
+  // synced_seq_ is the highest seq on the platter, so seq - synced_seq_ is
+  // the page's depth in the window.
+  struct DirtyPage {
+    std::string key;
+    uint64_t size = 0;
+    uint64_t seq = 0;
+    double enqueued_at = 0;
+  };
+
   // LRU bookkeeping for RAM-resident *clean* pages.
   void cache_touch(const std::string& key, uint64_t size);
   void cache_evict_for(uint64_t need);
   bool ram_resident(const std::string& key) const;
 
+  // True if a page with this seq has been acked already (for loss
+  // accounting at power-loss time).
+  bool seq_acked(uint64_t seq) const;
+  void drop_unsynced(std::vector<DirtyPage>& pages);
+  void advance_synced(uint64_t seq);
+
   sim::Task<void> flusher();
+  sim::Task<void> flush_timer(double deadline);
 
   sim::Simulator& sim_;
   net::Network& net_;
   ProviderConfig cfg_;
   kv::KvStore store_;  // persisted pages (the "disk" contents)
 
-  // Dirty queue: pages in RAM awaiting flush.
-  std::deque<std::pair<std::string, uint64_t>> dirty_;
-  std::unordered_set<std::string> dirty_set_;
+  // Dirty queue: pages in RAM awaiting flush. dirty_seq_ maps key → seq for
+  // every page that is dirty or in the in-flight batch.
+  std::deque<DirtyPage> dirty_;
+  std::vector<DirtyPage> inflight_;  // the batch on the platter path
+  std::unordered_map<std::string, uint64_t> dirty_seq_;
+  uint64_t next_seq_ = 0;    // last seq assigned
+  uint64_t synced_seq_ = 0;  // highest seq durable on disk
   uint64_t ram_used_ = 0;
+  uint64_t unsynced_bytes_ = 0;
   sim::CondVar ram_freed_;
   sim::CondVar dirty_added_;
   sim::CondVar drained_;
+  sim::CondVar sync_cv_;  // notified when synced_seq_ advances (and on crash)
   bool flusher_running_ = false;
+  bool force_flush_ = false;  // drain(): flush now, ignore the batch trigger
 
   // Clean-page LRU (front = most recent).
   std::list<std::pair<std::string, uint64_t>> lru_;
@@ -131,6 +192,9 @@ class Provider {
   uint64_t pages_stored_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t flush_batches_ = 0;
+  uint64_t bytes_lost_ = 0;
+  uint64_t acked_bytes_lost_ = 0;
   bool down_ = false;
 
   // Obs handles (cluster-wide aggregates shared by all providers in the
@@ -143,6 +207,7 @@ class Provider {
   obs::Counter* m_cache_hits_;
   obs::Counter* m_cache_misses_;
   obs::Counter* m_replications_;
+  kv::GroupCommitObs gc_;
 };
 
 }  // namespace bs::blob

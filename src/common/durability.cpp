@@ -1,0 +1,17 @@
+#include "common/durability.h"
+
+namespace bs {
+
+const char* durability_level_name(DurabilityLevel level) {
+  switch (level) {
+    case DurabilityLevel::kNone:
+      return "none";
+    case DurabilityLevel::kBatched:
+      return "batched";
+    case DurabilityLevel::kImmediate:
+      return "immediate";
+  }
+  return "?";
+}
+
+}  // namespace bs

@@ -2,25 +2,45 @@
 //
 // Writes are pipelined (client → dn1 → dn2 → dn3): in the fluid
 // approximation all pipeline hops transfer concurrently and the block
-// completes when the slowest hop finishes; each datanode then has the block
-// on its disk (HDFS acks once replicas are written through). The
-// synchronous disk write is the contrast with BlobSeer's write-behind
-// providers — it is what pins HDFS write throughput to local-disk speed in
-// the paper's §IV.B write benchmark.
+// completes when the slowest hop finishes. When each datanode acks is the
+// DurabilityPolicy (common/durability.h), HDFS's hflush/hsync spectrum:
+//   kImmediate  (default — the paper's model) the transfer and the disk
+//               write overlap and the block is acked only when both finish
+//               (hsync per block). This synchronous disk write is the
+//               contrast with BlobSeer's write-behind providers — it is
+//               what pins HDFS write throughput to local-disk speed in the
+//               paper's §IV.B write benchmark. Power loss destroys zero
+//               acked blocks.
+//   kBatched    ack when the transfer finishes (hflush) *and* the
+//               acked-unsynced window is at most max_records blocks; a
+//               background syncer coalesces up to max_records blocks per
+//               disk write on a count-or-time trigger (periodic hsync).
+//               Power loss destroys at most the window plus the batch in
+//               flight.
+//   kNone       ack on transfer alone; syncing is best-effort background
+//               work on the same cadence. Power loss destroys every
+//               unsynced block.
+// Power loss discards exactly the unsynced window (the batch in flight is
+// failed by the PR-4 incarnation machinery, net::Network::try_disk_write);
+// synced blocks survive a plain crash.
 //
 // Reads stream one block from one datanode (HDFS reads are single-source —
 // the contrast with BSFS's striped parallel page fetches).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/dataspec.h"
+#include "common/durability.h"
 #include "hdfs/namenode.h"
 #include "kv/kvstore.h"
 #include "net/network.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 
 namespace bs::hdfs {
@@ -30,15 +50,16 @@ class DataNode {
   // `ram_bytes` models the OS page cache: recently written/read blocks are
   // served from memory (the paper's reads run over freshly written data).
   DataNode(sim::Simulator& sim, net::Network& net, net::NodeId node,
-           uint64_t ram_bytes = 2ULL << 30);
+           uint64_t ram_bytes = 2ULL << 30,
+           DurabilityPolicy durability = DurabilityPolicy::immediate());
 
   net::NodeId node() const { return node_; }
 
   // Receives a block body from `from` (client or upstream datanode) and
-  // writes it through to the local disk. The transfer and the disk write
-  // overlap (streaming), so the cost is max(network, disk) + seek. False
-  // when the datanode is down (at request time — the sender waits out the
-  // connection timeout — or mid-transfer, discarding the bytes).
+  // persists it per the durability policy (see file comment). False when
+  // the datanode is down (at request time — the sender waits out the
+  // connection timeout — or mid-transfer, discarding the bytes) or when a
+  // power loss destroyed the block before its durability settled.
   sim::Task<bool> receive_block(net::NodeId from, BlockId id, DataSpec data,
                                 double rate_cap = 0);
 
@@ -57,26 +78,50 @@ class DataNode {
   // of a dead datanode discards what it streamed). No modeled cost.
   void forget_block(BlockId id);
 
-  // Fail-stop crash / recovery (fault-injector hooks). wipe_storage models
-  // a disk loss; otherwise stored blocks survive the reboot.
+  // Fail-stop crash / recovery (fault-injector hooks). A plain crash
+  // destroys exactly the unsynced window (blocks whose hsync has not
+  // reached the platter); wipe_storage additionally models a disk loss.
   void crash(bool wipe_storage = false);
   void recover() { down_ = false; }
   bool is_down() const { return down_; }
+
+  // Blocks until every unsynced block is on disk, forcing batches out
+  // regardless of the count-or-time trigger.
+  sim::Task<void> drain();
 
   bool has_block(BlockId id) const;
   uint64_t blocks_stored() const { return blocks_stored_; }
   uint64_t bytes_served() const { return bytes_served_; }
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
+  // The durability spectrum's observable side.
+  uint64_t unsynced_blocks() const { return unsynced_.size() + inflight_.size(); }
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+  uint64_t sync_batches() const { return sync_batches_; }
+  uint64_t bytes_lost_on_power_loss() const { return bytes_lost_; }
+  uint64_t acked_bytes_lost_on_power_loss() const { return acked_bytes_lost_; }
 
  private:
+  struct UnsyncedBlock {
+    BlockId id = 0;
+    uint64_t size = 0;
+    uint64_t seq = 0;
+    double enqueued_at = 0;
+  };
+
   void cache_touch(BlockId id, uint64_t size);
   bool cache_contains(BlockId id) const { return lru_index_.count(id) > 0; }
+  bool seq_acked(uint64_t seq) const;
+  void advance_synced(uint64_t seq);
+  void drop_unsynced(std::vector<UnsyncedBlock>& blocks);
+  sim::Task<void> syncer();
+  sim::Task<void> sync_timer(double deadline);
 
   sim::Simulator& sim_;
   net::Network& net_;
   net::NodeId node_;
   uint64_t ram_bytes_;
+  DurabilityPolicy durability_;
   kv::KvStore store_;
   // Page-cache LRU over whole blocks (front = most recent).
   std::list<std::pair<BlockId, uint64_t>> lru_;
@@ -90,6 +135,22 @@ class DataNode {
   uint64_t cache_misses_ = 0;
   bool down_ = false;
 
+  // hflush/hsync bookkeeping (kBatched/kNone only; kImmediate syncs
+  // inline). unsynced_ holds blocks awaiting the background hsync.
+  std::deque<UnsyncedBlock> unsynced_;
+  std::vector<UnsyncedBlock> inflight_;  // the batch on the platter path
+  uint64_t next_seq_ = 0;
+  uint64_t synced_seq_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+  uint64_t sync_batches_ = 0;
+  uint64_t bytes_lost_ = 0;
+  uint64_t acked_bytes_lost_ = 0;
+  sim::CondVar sync_added_;
+  sim::CondVar sync_cv_;  // notified when synced_seq_ advances (and on crash)
+  sim::CondVar drained_;
+  bool syncer_running_ = false;
+  bool force_sync_ = false;
+
   // Obs handles (cluster-wide aggregates shared by all datanodes).
   obs::Tracer* tracer_;
   obs::Counter* m_blocks_received_;
@@ -98,6 +159,7 @@ class DataNode {
   obs::Counter* m_cache_hits_;
   obs::Counter* m_cache_misses_;
   obs::Counter* m_replications_;
+  kv::GroupCommitObs gc_;
 };
 
 }  // namespace bs::hdfs

@@ -21,7 +21,8 @@ Hdfs::Hdfs(sim::Simulator& sim, net::Network& net, HdfsConfig cfg,
   namenode_ = std::make_unique<NameNode>(sim, net, datanode_nodes,
                                          cfg_.namenode);
   for (net::NodeId n : datanode_nodes) {
-    datanodes_.emplace(n, std::make_unique<DataNode>(sim, net, n, cfg_.datanode_ram));
+    datanodes_.emplace(n, std::make_unique<DataNode>(sim, net, n, cfg_.datanode_ram,
+                                                     cfg_.datanode_durability));
   }
 }
 
@@ -32,6 +33,18 @@ std::unique_ptr<fs::FsClient> Hdfs::make_client(net::NodeId node) {
 void Hdfs::set_liveness(const net::LivenessView* view) {
   liveness_ = view;
   namenode_->set_liveness(view);
+}
+
+sim::Task<void> Hdfs::drain_all() {
+  // Deterministic launch order (datanodes_ is an unordered_map).
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(datanodes_.size());
+  for (auto& [node, dn] : datanodes_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  std::vector<sim::Task<void>> drains;
+  drains.reserve(nodes.size());
+  for (net::NodeId n : nodes) drains.push_back(datanodes_.at(n)->drain());
+  co_await sim::when_all(sim_, std::move(drains));
 }
 
 void Hdfs::crash_datanode(net::NodeId node, bool wipe_storage) {

@@ -23,6 +23,10 @@ struct HdfsConfig {
   NameNodeConfig namenode;
   // Datanode page-cache size (see DataNode).
   uint64_t datanode_ram = 2ULL << 30;
+  // When datanodes ack a block relative to its disk sync — the
+  // hflush/hsync spectrum (see hdfs/datanode.h). The default is the
+  // paper's synchronous write-through model.
+  DurabilityPolicy datanode_durability = DurabilityPolicy::immediate();
   // Per-stream protocol efficiency: HDFS's packet/ack pipeline does not
   // quite fill a NIC; one stream tops out at this fraction of line rate.
   double stream_efficiency = 0.92;
@@ -112,6 +116,10 @@ class Hdfs final : public fs::FileSystem {
   DataNode& datanode_on(net::NodeId node) { return *datanodes_.at(node); }
   const HdfsConfig& config() const { return cfg_; }
   sim::Simulator& simulator() { return sim_; }
+
+  // Waits until every datanode hsynced its unsynced window to disk (a
+  // no-op under the default kImmediate policy).
+  sim::Task<void> drain_all();
 
   // --- fault tolerance ---
 

@@ -1,9 +1,12 @@
 #include "kv/journal.h"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "common/assert.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
 
 namespace bs::kv {
 
@@ -29,9 +32,15 @@ void MemoryJournal::corrupt_tail(uint64_t keep_records) {
 }
 
 FileJournal::FileJournal(std::string path) : path_(std::move(path)) {
-  // Count existing intact records so record_count() is correct after reopen.
-  scan([this](const Bytes&) { ++record_count_; });
-  // scan() recomputed byte_size_ as a side effect below; recompute here.
+  // Count existing intact records (scan also finds the end of the intact
+  // prefix), then chop off any torn tail so later appends stay reachable.
+  scan([](const Bytes&) {});
+  std::error_code ec;
+  const auto actual = std::filesystem::file_size(path_, ec);
+  if (!ec && actual > valid_file_bytes_) {
+    std::filesystem::resize_file(path_, valid_file_bytes_, ec);
+    BS_CHECK_MSG(!ec, "cannot truncate torn journal tail");
+  }
 }
 
 FileJournal::~FileJournal() = default;
@@ -48,12 +57,16 @@ void FileJournal::append(const Bytes& record) {
   std::fclose(f);
   ++record_count_;
   byte_size_ += record.size();
+  valid_file_bytes_ += sizeof(len) + sizeof(crc) + record.size();
 }
 
 void FileJournal::scan(const std::function<void(const Bytes&)>& fn) {
   std::FILE* f = std::fopen(path_.c_str(), "rb");
-  if (f == nullptr) return;  // no journal yet
-  uint64_t count = 0, bytes = 0;
+  if (f == nullptr) {
+    record_count_ = byte_size_ = valid_file_bytes_ = 0;
+    return;  // no journal yet
+  }
+  uint64_t count = 0, bytes = 0, valid = 0;
   while (true) {
     uint32_t len = 0, crc = 0;
     if (std::fread(&len, sizeof(len), 1, f) != 1) break;
@@ -64,10 +77,12 @@ void FileJournal::scan(const std::function<void(const Bytes&)>& fn) {
     fn(record);
     ++count;
     bytes += len;
+    valid += sizeof(len) + sizeof(crc) + len;
   }
   std::fclose(f);
   record_count_ = count;
   byte_size_ = bytes;
+  valid_file_bytes_ = valid;
 }
 
 void FileJournal::truncate() {
@@ -75,6 +90,184 @@ void FileJournal::truncate() {
   if (f != nullptr) std::fclose(f);
   record_count_ = 0;
   byte_size_ = 0;
+  valid_file_bytes_ = 0;
+}
+
+GroupCommitObs GroupCommitObs::resolve(sim::Simulator& sim) {
+  obs::MetricsRegistry& m = sim.metrics();
+  return GroupCommitObs{
+      .batches = &m.counter("kv/group_commit_batches"),
+      .records = &m.counter("kv/group_commit_records"),
+      .unsynced_bytes = &m.gauge("kv/unsynced_bytes"),
+      .flush_latency = &m.histogram("kv/flush_latency_s"),
+      .bytes_lost = &m.counter("kv/bytes_lost_on_power_loss"),
+      .acked_bytes_lost = &m.counter("kv/acked_bytes_lost_on_power_loss"),
+  };
+}
+
+GroupCommitJournal::GroupCommitJournal(sim::Simulator& sim, net::Network& net,
+                                       net::NodeId node,
+                                       std::unique_ptr<Journal> inner,
+                                       DurabilityPolicy policy)
+    : sim_(sim), net_(net), node_(node), inner_(std::move(inner)),
+      policy_(policy), gc_(GroupCommitObs::resolve(sim)) {
+  BS_CHECK(inner_ != nullptr);
+  BS_CHECK(policy_.max_records > 0);
+}
+
+std::shared_ptr<GroupCommitJournal::Batch> GroupCommitJournal::enqueue(
+    const Bytes& record, bool early_acked) {
+  if (!open_) {
+    open_ = std::make_shared<Batch>(sim_);
+    open_->id = ++next_batch_id_;
+    open_->opened_at = sim_.now();
+    if (policy_.level != DurabilityLevel::kImmediate &&
+        policy_.max_delay_s > 0) {
+      sim_.spawn(batch_timer(open_->id));
+    }
+  }
+  open_->records.push_back(record);
+  open_->bytes += record.size();
+  if (early_acked) open_->early_acked_bytes += record.size();
+  ++unsynced_records_;
+  unsynced_bytes_ += record.size();
+  gc_.unsynced_bytes->add(static_cast<double>(record.size()));
+  std::shared_ptr<Batch> b = open_;
+  if (policy_.level == DurabilityLevel::kImmediate ||
+      open_->records.size() >= policy_.max_records) {
+    close_open();  // count trigger (kImmediate: every record its own batch)
+  }
+  return b;
+}
+
+void GroupCommitJournal::close_open() {
+  if (!open_) return;
+  queue_.push_back(std::move(open_));
+  open_ = nullptr;
+  if (!flusher_running_) {
+    flusher_running_ = true;
+    sim_.spawn(flusher());
+  }
+}
+
+sim::Task<void> GroupCommitJournal::batch_timer(uint64_t id) {
+  co_await sim_.delay(policy_.max_delay_s);
+  // Time trigger: close the batch if it is still the open one (a count
+  // trigger, sync, or power loss may have beaten the timer).
+  if (open_ && open_->id == id) close_open();
+}
+
+sim::Task<void> GroupCommitJournal::flusher() {
+  while (!queue_.empty()) {
+    inflight_ = queue_.front();
+    queue_.pop_front();
+    const bool ok = co_await net_.try_disk_write(
+        node_, static_cast<double>(inflight_->bytes));
+    std::shared_ptr<Batch> b = std::move(inflight_);
+    inflight_ = nullptr;
+    if (b->resolved) continue;  // settled by truncate() while on the platter path
+    if (ok) {
+      for (const Bytes& r : b->records) inner_->append(r);
+      ++batches_synced_;
+      records_synced_ += b->records.size();
+      gc_.batches->inc();
+      gc_.records->inc(static_cast<double>(b->records.size()));
+      gc_.flush_latency->observe(sim_.now() - b->opened_at);
+    } else {
+      // The node lost power under the write (incarnation bumped): the batch
+      // never reached the platter and dies with RAM.
+      lose_batch(*b);
+    }
+    release_unsynced(*b);
+    resolve(*b, ok);
+  }
+  flusher_running_ = false;
+}
+
+void GroupCommitJournal::resolve(Batch& b, bool ok) {
+  b.ok = ok;
+  b.resolved = true;
+  b.done.set();
+}
+
+void GroupCommitJournal::release_unsynced(const Batch& b) {
+  unsynced_records_ -= b.records.size();
+  unsynced_bytes_ -= b.bytes;
+  gc_.unsynced_bytes->add(-static_cast<double>(b.bytes));
+}
+
+void GroupCommitJournal::lose_batch(Batch& b) {
+  bytes_lost_ += b.bytes;
+  acked_bytes_lost_ += b.early_acked_bytes;
+  gc_.bytes_lost->inc(static_cast<double>(b.bytes));
+  gc_.acked_bytes_lost->inc(static_cast<double>(b.early_acked_bytes));
+}
+
+void GroupCommitJournal::append(const Bytes& record) {
+  enqueue(record, /*early_acked=*/true);
+}
+
+sim::Task<bool> GroupCommitJournal::append_acked(const Bytes& record) {
+  if (policy_.level == DurabilityLevel::kNone) {
+    enqueue(record, /*early_acked=*/true);
+    co_return true;
+  }
+  std::shared_ptr<Batch> b = enqueue(record, /*early_acked=*/false);
+  co_await b->done.wait();
+  co_return b->ok;
+}
+
+sim::Task<bool> GroupCommitJournal::sync() {
+  close_open();
+  // Batches resolve FIFO, so the last pending batch settles last.
+  std::shared_ptr<Batch> last;
+  if (!queue_.empty()) {
+    last = queue_.back();
+  } else {
+    last = inflight_;
+  }
+  if (!last) co_return true;
+  co_await last->done.wait();
+  co_return last->ok;
+}
+
+void GroupCommitJournal::scan(const std::function<void(const Bytes&)>& fn) {
+  inner_->scan(fn);
+}
+
+void GroupCommitJournal::truncate() {
+  // Checkpoint: the snapshot record the caller appends next subsumes every
+  // pending record, so pending batches resolve as durable-by-proxy rather
+  // than failing their waiters.
+  inner_->truncate();
+  auto settle = [this](const std::shared_ptr<Batch>& b) {
+    release_unsynced(*b);
+    resolve(*b, true);
+  };
+  if (open_) {
+    settle(open_);
+    open_ = nullptr;
+  }
+  for (auto& b : queue_) settle(b);
+  queue_.clear();
+  if (inflight_) settle(inflight_);  // flusher skips it via b->resolved
+}
+
+void GroupCommitJournal::power_loss() {
+  // Drop the open batch and everything queued behind the disk; the batch in
+  // flight (if any) is failed by try_disk_write's incarnation check and
+  // accounted by the flusher when the write resolves.
+  auto drop = [this](const std::shared_ptr<Batch>& b) {
+    lose_batch(*b);
+    release_unsynced(*b);
+    resolve(*b, false);
+  };
+  if (open_) {
+    drop(open_);
+    open_ = nullptr;
+  }
+  for (auto& b : queue_) drop(b);
+  queue_.clear();
 }
 
 }  // namespace bs::kv

@@ -63,6 +63,19 @@ void KvStore::put(const std::string& key, Bytes value) {
   it->second = std::move(value);
 }
 
+sim::Task<bool> KvStore::put_acked(const std::string& key, Bytes value) {
+  Bytes record = encode_put(key, value);
+  // Apply to the in-memory map first (the store's answer-to-reads), then
+  // wait out the journal's durability verdict — mirroring write-behind
+  // semantics: a reader sees the value immediately, the ack tells the
+  // writer when it would survive a power loss.
+  auto [it, inserted] = map_.try_emplace(key);
+  if (!inserted) value_bytes_ -= it->second.size();
+  value_bytes_ += value.size();
+  it->second = std::move(value);
+  co_return co_await journal_->append_acked(record);
+}
+
 std::optional<Bytes> KvStore::get(const std::string& key) const {
   auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;

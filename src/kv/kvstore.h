@@ -29,6 +29,13 @@ class KvStore {
   KvStore();
 
   void put(const std::string& key, Bytes value);
+  // Like put, but resolves with the journal's durability verdict for the
+  // record (kv::Journal::append_acked): true once the mutation is as
+  // durable as the journal's policy promises, false if a power loss
+  // destroyed it first. Plain journals resolve true immediately.
+  sim::Task<bool> put_acked(const std::string& key, Bytes value);
+  // Forces the journal's buffered records to the platter (group commit).
+  sim::Task<bool> sync() { return journal_->sync(); }
   std::optional<Bytes> get(const std::string& key) const;
   bool contains(const std::string& key) const;
   bool erase(const std::string& key);
@@ -49,6 +56,7 @@ class KvStore {
   void checkpoint();
 
   const Journal& journal() const { return *journal_; }
+  Journal& journal() { return *journal_; }
 
  private:
   enum class Op : uint8_t { kPut = 1, kErase = 2, kSnapshot = 3 };

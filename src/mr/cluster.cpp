@@ -61,6 +61,7 @@ MapReduceCluster::MapReduceCluster(sim::Simulator& sim, net::Network& net,
   m_fetch_failures_ = &m.counter("mr/fetch_failures");
   m_maps_reexecuted_ = &m.counter("mr/maps_reexecuted");
   m_snapshot_pins_ = &m.gauge("fs/snapshot_pins");
+  m_kv_bytes_lost_ = &m.counter("kv/bytes_lost_on_power_loss");
 }
 
 std::string MapReduceCluster::temp_path(const JobState& job,
@@ -503,6 +504,7 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
   job.stats.submit_time = sim_.now();
   m_jobs_submitted_->inc();
   register_job_metrics(job);
+  job.kv_lost_at_submit = m_kv_bytes_lost_->value();
   if (tracer_->enabled()) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "\"job\":%u", job.job_id);
@@ -566,6 +568,10 @@ sim::Task<JobStats> MapReduceCluster::run_job(JobConfig config) {
     job.stats.reduce_latency_p50 = job.h_reduce_latency->percentile(0.50);
     job.stats.reduce_latency_p99 = job.h_reduce_latency->percentile(0.99);
   }
+  // v6 durability trail: what the cluster's write sites lost to power
+  // losses while this job ran.
+  job.stats.bytes_lost_on_power_loss = static_cast<uint64_t>(
+      m_kv_bytes_lost_->value() - job.kv_lost_at_submit);
   if (job.maps_total > 0) {
     job.stats.map_phase_s = job.last_map_commit - job.stats.submit_time;
   }

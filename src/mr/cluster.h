@@ -291,6 +291,9 @@ class MapReduceCluster {
     // from them when the job completes.
     obs::Histogram* h_map_latency = nullptr;
     obs::Histogram* h_reduce_latency = nullptr;
+    // kv/bytes_lost_on_power_loss reading at submission; the v6 JobStats
+    // durability trail is the counter's delta at completion.
+    double kv_lost_at_submit = 0;
     JobStats stats;
     std::unique_ptr<sim::CondVar> progress;  // commit notifications
     sim::WaitGroup attempts;   // live attempt coroutines + speculation loop
@@ -422,6 +425,7 @@ class MapReduceCluster {
   obs::Counter* m_fetch_failures_;
   obs::Counter* m_maps_reexecuted_;
   obs::Gauge* m_snapshot_pins_;
+  obs::Counter* m_kv_bytes_lost_;  // cluster-wide kv/bytes_lost_on_power_loss
 };
 
 // Splits `text` into lines and feeds them to `fn(offset, line)`; exposed

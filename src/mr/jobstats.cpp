@@ -65,6 +65,7 @@ std::string debug_string(const JobStats& s) {
   append_num(&out, "map_latency_p99", s.map_latency_p99);
   append_num(&out, "reduce_latency_p50", s.reduce_latency_p50);
   append_num(&out, "reduce_latency_p99", s.reduce_latency_p99);
+  append_num(&out, "bytes_lost_on_power_loss", s.bytes_lost_on_power_loss);
   for (const TaskLaunch& l : s.launches) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "launch %c%u a%u node=%u t=%a spec=%d\n",

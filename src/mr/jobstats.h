@@ -10,9 +10,11 @@
 // ingested into the inputs while the job ran against its pins. v5 adds
 // task-latency summaries (p50/p99 of committed attempt durations per
 // kind), derived at job completion from the per-job histograms the
-// observability registry keeps (obs/metrics.h). Every field is serialized
-// exactly by debug_string, which is what the determinism suite gates
-// byte-for-byte.
+// observability registry keeps (obs/metrics.h). v6 adds the durability
+// trail (common/durability.h): bytes the cluster's write sites lost to
+// power losses while the job ran — the cost side of the group-commit
+// throughput/durability trade. Every field is serialized exactly by
+// debug_string, which is what the determinism suite gates byte-for-byte.
 #pragma once
 
 #include <cstdint>
@@ -85,6 +87,10 @@ struct JobStats {
   double map_latency_p99 = 0;
   double reduce_latency_p50 = 0;
   double reduce_latency_p99 = 0;
+  // Durability trail (v6): bytes destroyed by power losses anywhere in the
+  // cluster's write sites (kv/bytes_lost_on_power_loss delta) between this
+  // job's submission and its completion.
+  uint64_t bytes_lost_on_power_loss = 0;
   std::vector<TaskLaunch> launches;
   // Record-mode result sample: reduce outputs collected (small jobs only).
   std::vector<std::pair<std::string, std::string>> results;

@@ -586,6 +586,133 @@ TEST(Determinism, SnapshotIngestHdfsIsBitReproducible) {
   EXPECT_NE(a.find("bytes_ingested_during_job=0\n"), std::string::npos);
 }
 
+// Group-commit durability (JobStats v6, common/durability.h): a full
+// MapReduce run with BOTH storage backends' write sites on the kBatched
+// policy — count- and timer-triggered flushes interleaving freely — while
+// a storage node power-cycles twice mid-job (unsynced windows destroyed,
+// synced data kept, replica failover covering the reads). The flush
+// timers, the batch boundaries, the incarnation bumps, and the v6 loss
+// accounting must all ride the one deterministic event loop: two identical
+// runs agree byte-for-byte on JobStats AND on the obs registry snapshot.
+std::string run_group_commit_crash(const std::string& backend) {
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = 20;
+  ncfg.nodes_per_rack = 5;
+  ncfg.rpc_timeout_s = 0.3;
+  net::Network net(sim, ncfg);
+  const DurabilityPolicy batched = DurabilityPolicy::batched(16, 0.005);
+  blob::BlobSeerConfig bcfg;
+  bcfg.provider.durability = batched;
+  blob::BlobSeerCluster blobs(sim, net, std::move(bcfg));
+  bsfs::NamespaceManager ns(sim, net, {});
+  bsfs::Bsfs bsfs_fs(sim, net, blobs, ns,
+                     bsfs::BsfsConfig{.block_size = kBlock,
+                                      .page_size = kBlock / 8,
+                                      .replication = 2,
+                                      .enable_cache = true});
+  hdfs::HdfsConfig hcfg;
+  hcfg.namenode = {.node = 0,
+                   .service_time_s = 150e-6,
+                   .block_size = kBlock,
+                   .replication = 2,
+                   .placement_seed = 7};
+  hcfg.datanode_ram = 1u << 30;
+  hcfg.stream_efficiency = 0.92;
+  hcfg.datanode_durability = batched;
+  hdfs::Hdfs hdfs_fs(sim, net, std::move(hcfg));
+  const bool use_bsfs = backend == "BSFS";
+  fs::FileSystem& fs = use_bsfs ? static_cast<fs::FileSystem&>(bsfs_fs)
+                                : static_cast<fs::FileSystem&>(hdfs_fs);
+  if (use_bsfs) {
+    blobs.set_liveness(&net.ground_truth());
+  } else {
+    hdfs_fs.set_liveness(&net.ground_truth());
+  }
+
+  Rng rng(909);
+  const std::string corpus = random_text(rng, kBlock * 8);
+  auto stage = [](fs::FileSystem* f, std::string text) -> sim::Task<void> {
+    auto client = f->make_client(1);
+    auto writer = co_await client->create("/in");
+    co_await writer->write(DataSpec::from_string(std::move(text)));
+    co_await writer->close();
+  };
+  sim.spawn(stage(&fs, corpus));
+  sim.run();
+
+  // Node 5 (storage-only; the tasktrackers are 1-3) power-cycles twice
+  // while the job runs. wipe_storage=false: this is a power loss, not a
+  // disk death — exactly the unsynced batches die.
+  auto cycles = [](sim::Simulator* s, blob::BlobSeerCluster* b,
+                   hdfs::Hdfs* h, bool bsfs_run) -> sim::Task<void> {
+    for (const double at : {0.8, 2.0}) {
+      co_await s->delay(at - s->now());
+      if (bsfs_run) {
+        b->crash_provider(5, /*wipe_storage=*/false);
+      } else {
+        h->crash_datanode(5, /*wipe_storage=*/false);
+      }
+      co_await s->delay(0.4);
+      if (bsfs_run) {
+        b->recover_provider(5);
+      } else {
+        h->recover_datanode(5);
+      }
+    }
+  };
+  sim.spawn(cycles(&sim, &blobs, &hdfs_fs, use_bsfs));
+
+  SlowWordCount app;
+  mr::MrConfig mcfg;
+  mcfg.tasktracker_nodes = {1, 2, 3};
+  mcfg.heartbeat_s = 0.05;
+  mcfg.task_startup_s = 0.01;
+  mcfg.speculative_execution = true;
+  mcfg.speculative_min_runtime_s = 0.05;
+  mcfg.speculation_interval_s = 0.1;
+  mr::MapReduceCluster cluster(sim, net, fs, mcfg);
+  mr::JobConfig jc;
+  jc.input_files = {"/in"};
+  jc.output_dir = "/out";
+  jc.app = &app;
+  jc.num_reducers = 2;
+  jc.record_read_size = 512;
+  mr::JobStats stats;
+  auto run = [](mr::MapReduceCluster* c, mr::JobConfig conf,
+                mr::JobStats* out) -> sim::Task<void> {
+    *out = co_await c->run_job(std::move(conf));
+  };
+  sim.spawn(run(&cluster, std::move(jc), &stats));
+  sim.run();
+
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), "end=%a events=%llu flows=%llu moved=%a\n",
+                sim.now(),
+                static_cast<unsigned long long>(sim.events_processed()),
+                static_cast<unsigned long long>(net.flows_started()),
+                net.bytes_moved());
+  return mr::debug_string(stats) + tail + sim.metrics().text_snapshot();
+}
+
+TEST(Determinism, GroupCommitPowerCyclesBsfsAreBitReproducible) {
+  const std::string a = run_group_commit_crash("BSFS");
+  const std::string b = run_group_commit_crash("BSFS");
+  EXPECT_EQ(a, b);
+  // The batched write path must actually have run (group-commit batches in
+  // the obs snapshot) and the job must have finished with real output.
+  EXPECT_NE(a.find("kv/group_commit_batches"), std::string::npos);
+  EXPECT_NE(a.find("kv/flush_latency_s"), std::string::npos);
+  EXPECT_NE(a.find("bytes_lost_on_power_loss="), std::string::npos);
+}
+
+TEST(Determinism, GroupCommitPowerCyclesHdfsAreBitReproducible) {
+  const std::string a = run_group_commit_crash("HDFS");
+  const std::string b = run_group_commit_crash("HDFS");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("kv/group_commit_batches"), std::string::npos);
+}
+
 TEST(Determinism, BlobWritesProduceIdenticalPlacement) {
   auto run_once = [] {
     sim::Simulator sim;

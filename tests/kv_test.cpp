@@ -3,9 +3,11 @@
 // property test against std::map as the oracle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "kv/journal.h"
@@ -195,6 +197,58 @@ TEST(FileJournal, TruncatedFileStopsCleanly) {
   int count = 0;
   j.scan([&](const Bytes&) { ++count; });
   EXPECT_EQ(count, 1);
+}
+
+// The torn-tail hardening proved at every byte offset: truncate a real
+// on-disk journal anywhere inside (or at the end of) its last record,
+// reopen, append a fresh record, and reopen again. Every record that was
+// fully on disk before the tear must replay, and the post-recovery append
+// must be reachable — without the constructor truncating the torn tail,
+// fopen("ab") would park the new record behind garbage where scan() (which
+// stops at the first bad frame) could never reach it.
+TEST(FileJournal, TornTailAtEveryOffsetKeepsAckedPrefix) {
+  TempFile master;
+  const std::vector<std::string> payloads = {"aaaaa", "bbbbbbb", "ccc"};
+  std::vector<uint64_t> frame_end;  // file offset just past each record
+  {
+    FileJournal j(master.path());
+    uint64_t off = 0;
+    for (const auto& p : payloads) {
+      j.append(bytes_of(p));
+      off += 8 + p.size();  // [u32 len][u32 crc] + payload
+      frame_end.push_back(off);
+    }
+  }
+  std::FILE* mf = std::fopen(master.path().c_str(), "rb");
+  ASSERT_NE(mf, nullptr);
+  std::vector<char> image(frame_end.back());
+  ASSERT_EQ(std::fread(image.data(), 1, image.size(), mf), image.size());
+  std::fclose(mf);
+
+  for (uint64_t cut = 0; cut <= image.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    TempFile tmp;
+    {
+      std::FILE* f = std::fopen(tmp.path().c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fwrite(image.data(), 1, cut, f), cut);
+      std::fclose(f);
+    }
+    const size_t intact =
+        static_cast<size_t>(std::count_if(frame_end.begin(), frame_end.end(),
+                                          [&](uint64_t e) { return e <= cut; }));
+    {
+      FileJournal j(tmp.path());
+      EXPECT_EQ(j.record_count(), intact);
+      j.append(bytes_of("recovered"));
+    }
+    FileJournal j(tmp.path());
+    std::vector<std::string> seen;
+    j.scan([&](const Bytes& r) { seen.push_back(str_of(r)); });
+    ASSERT_EQ(seen.size(), intact + 1);
+    for (size_t i = 0; i < intact; ++i) EXPECT_EQ(seen[i], payloads[i]);
+    EXPECT_EQ(seen.back(), "recovered");
+  }
 }
 
 TEST(FileJournal, CheckpointThenRecover) {

@@ -402,6 +402,180 @@ void run_iteration(const std::string& backend, uint64_t seed) {
   }
 }
 
+// --- durability spectrum fuzz -------------------------------------------
+//
+// Property: under a random DurabilityPolicy and a random power-cycle
+// schedule, the write-path ack contract holds at both storage sites.
+//   * kImmediate never loses an acked record (site accounting agrees);
+//   * kBatched loses at most the configured window per power cycle —
+//     max_records acked-beyond-sync plus the batch in flight on the disk;
+//   * every record either acked or was refused — nobody hangs.
+// The client keeps its own ledger of acks and audits survivors end-to-end
+// (has_page / has_block after recovery), independent of the sites' loss
+// counters.
+
+struct DurabilityPlan {
+  DurabilityPolicy policy;
+  uint64_t record_bytes = 0;
+  uint64_t records = 0;
+  std::vector<std::pair<double, double>> cycles;  // (crash at, outage secs)
+};
+
+DurabilityPlan random_durability_plan(Rng& rng) {
+  DurabilityPlan plan;
+  const uint64_t level = rng.below(3);
+  const uint64_t max_records = 4 + rng.below(29);
+  const double max_delay = 0.002 + rng.uniform() * 0.02;
+  plan.policy = level == 0   ? DurabilityPolicy::none()
+                : level == 1 ? DurabilityPolicy::batched(max_records, max_delay)
+                             : DurabilityPolicy::immediate();
+  plan.record_bytes = kBlock * (1 + rng.below(8));
+  plan.records = 150 + rng.below(100);
+  const int cycles = 1 + static_cast<int>(rng.below(2));
+  double at = 0.05 + rng.uniform() * 0.1;
+  for (int c = 0; c < cycles; ++c) {
+    const double outage = 0.1 + rng.uniform() * 0.3;
+    plan.cycles.emplace_back(at, outage);
+    at += outage + 0.1 + rng.uniform() * 0.2;
+  }
+  return plan;
+}
+
+sim::Task<void> provider_stream(blob::Provider* p, const DurabilityPlan* plan,
+                                std::vector<uint8_t>* acked) {
+  for (uint64_t i = 0; i < plan->records; ++i) {
+    const bool ok = co_await p->put_page(
+        0, blob::PageKey{7, i, 1},
+        DataSpec::pattern(i, 0, plan->record_bytes));
+    (*acked)[i] = ok ? 1 : 2;
+  }
+}
+
+sim::Task<void> provider_cycles(sim::Simulator* sim, blob::BlobSeerCluster* b,
+                                const DurabilityPlan* plan, net::NodeId node) {
+  double now = 0;
+  for (const auto& [at, outage] : plan->cycles) {
+    co_await sim->delay(at - now);
+    b->crash_provider(node, /*wipe_storage=*/false);
+    co_await sim->delay(outage);
+    b->recover_provider(node);
+    now = at + outage;
+  }
+}
+
+sim::Task<void> datanode_stream(hdfs::DataNode* dn, const DurabilityPlan* plan,
+                                std::vector<uint8_t>* acked) {
+  for (uint64_t i = 0; i < plan->records; ++i) {
+    const bool ok = co_await dn->receive_block(
+        0, static_cast<hdfs::BlockId>(i + 1),
+        DataSpec::pattern(i, 0, plan->record_bytes));
+    (*acked)[i] = ok ? 1 : 2;
+  }
+}
+
+sim::Task<void> datanode_cycles(sim::Simulator* sim, hdfs::Hdfs* h,
+                                const DurabilityPlan* plan, net::NodeId node) {
+  double now = 0;
+  for (const auto& [at, outage] : plan->cycles) {
+    co_await sim->delay(at - now);
+    h->crash_datanode(node, /*wipe_storage=*/false);
+    co_await sim->delay(outage);
+    h->recover_datanode(node);
+    now = at + outage;
+  }
+}
+
+void run_durability_iteration(const std::string& backend, uint64_t seed) {
+  SCOPED_TRACE(backend + " durability seed=" + std::to_string(seed));
+  Rng rng(seed);
+  const DurabilityPlan plan = random_durability_plan(rng);
+  SCOPED_TRACE(std::string("level=") +
+               durability_level_name(plan.policy.level) +
+               " window=" + std::to_string(plan.policy.max_records) +
+               " cycles=" + std::to_string(plan.cycles.size()));
+
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.num_nodes = 4;
+  ncfg.nodes_per_rack = 4;
+  net::Network net(sim, ncfg);
+  const net::NodeId node = 1;
+  const bool use_bsfs = backend == "BSFS";
+
+  std::vector<uint8_t> acked(plan.records, 0);
+  uint64_t lost_acked_bytes = 0;
+  uint64_t site_acked_lost = 0;
+
+  if (use_bsfs) {
+    blob::BlobSeerConfig bcfg;
+    bcfg.provider.durability = plan.policy;
+    blob::BlobSeerCluster blobs(sim, net, std::move(bcfg));
+    blob::Provider& p = blobs.provider_on(node);
+    sim.spawn(provider_stream(&p, &plan, &acked));
+    sim.spawn(provider_cycles(&sim, &blobs, &plan, node));
+    sim.run();
+    for (uint64_t i = 0; i < plan.records; ++i) {
+      if (acked[i] == 1 && !p.has_page(blob::PageKey{7, i, 1})) {
+        lost_acked_bytes += plan.record_bytes;
+      }
+    }
+    site_acked_lost = p.acked_bytes_lost_on_power_loss();
+  } else {
+    hdfs::HdfsConfig hcfg;
+    hcfg.namenode.block_size = kBlock;
+    hcfg.datanode_durability = plan.policy;
+    hdfs::Hdfs h(sim, net, std::move(hcfg));
+    hdfs::DataNode& dn = h.datanode_on(node);
+    sim.spawn(datanode_stream(&dn, &plan, &acked));
+    sim.spawn(datanode_cycles(&sim, &h, &plan, node));
+    sim.run();
+    for (uint64_t i = 0; i < plan.records; ++i) {
+      if (acked[i] == 1 &&
+          !dn.has_block(static_cast<hdfs::BlockId>(i + 1))) {
+        lost_acked_bytes += plan.record_bytes;
+      }
+    }
+    site_acked_lost = dn.acked_bytes_lost_on_power_loss();
+  }
+
+  // Liveness: every record's ack settled one way or the other.
+  for (uint64_t i = 0; i < plan.records; ++i) EXPECT_NE(acked[i], 0);
+
+  switch (plan.policy.level) {
+    case DurabilityLevel::kImmediate:
+      // The strong promise: nothing acked was lost, and the site's own
+      // accounting agrees with the client's audit.
+      EXPECT_EQ(lost_acked_bytes, 0u);
+      EXPECT_EQ(site_acked_lost, 0u);
+      break;
+    case DurabilityLevel::kBatched: {
+      // Bounded loss: per power cycle at most max_records acked records
+      // beyond the last sync plus the in-flight batch.
+      const uint64_t bound = plan.cycles.size() * 2 * plan.policy.max_records *
+                             plan.record_bytes;
+      EXPECT_LE(lost_acked_bytes, bound);
+      EXPECT_LE(site_acked_lost, bound);
+      break;
+    }
+    case DurabilityLevel::kNone:
+      // No promise to audit — but the run must still terminate with every
+      // ack settled (checked above) and survivors readable.
+      break;
+  }
+}
+
+TEST(MrFuzz, DurabilitySpectrumHoldsAckContractOnBsfs) {
+  for (int i = 0; i < 2 * kIterations; ++i) {
+    run_durability_iteration("BSFS", 0xd00dULL + static_cast<uint64_t>(i));
+  }
+}
+
+TEST(MrFuzz, DurabilitySpectrumHoldsAckContractOnHdfs) {
+  for (int i = 0; i < 2 * kIterations; ++i) {
+    run_durability_iteration("HDFS", 0xd00dULL + static_cast<uint64_t>(i));
+  }
+}
+
 TEST(MrFuzz, RandomJobMixesHoldInvariantsOnBsfs) {
   for (int i = 0; i < kIterations; ++i) {
     run_iteration("BSFS", 0xf002ULL + static_cast<uint64_t>(i));
