@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
         static_cast<double>(kClients) * kFileBytes / durable_s / kMiB;
     uint64_t min_load = UINT64_MAX, max_load = 0;
     for (const auto& [node, bytes] :
-         world.blobs->provider_manager().load()) {
+         world.blobs->provider_manager().load_sorted()) {
       min_load = std::min(min_load, bytes);
       max_load = std::max(max_load, bytes);
     }

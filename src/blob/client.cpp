@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/container.h"
 #include "net/replica_order.h"
 #include "common/log.h"
 #include "sim/parallel.h"
@@ -238,7 +239,7 @@ sim::Task<DataSpec> BlobClient::read(BlobId blob, Version version,
 
   std::vector<MetaNode> leaves =
       co_await collect_leaves(blob, info, ps, target);
-  std::unordered_map<uint64_t, const MetaNode*> leaf_by_page;
+  bs::unordered_map<uint64_t, const MetaNode*> leaf_by_page;
   for (const MetaNode& l : leaves) leaf_by_page[l.range.first] = &l;
 
   // Fetch pages in parallel (bounded), in page order.
@@ -306,7 +307,7 @@ sim::Task<std::vector<PageLocation>> BlobClient::locate(BlobId blob,
 
   std::vector<MetaNode> leaves =
       co_await collect_leaves(blob, info, ps, target);
-  std::unordered_map<uint64_t, const MetaNode*> leaf_by_page;
+  bs::unordered_map<uint64_t, const MetaNode*> leaf_by_page;
   for (const MetaNode& l : leaves) leaf_by_page[l.range.first] = &l;
   for (uint64_t p = first_page; p < end_page; ++p) {
     PageLocation loc;

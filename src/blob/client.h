@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "blob/metadata.h"
+#include "common/container.h"
 #include "blob/provider.h"
 #include "blob/provider_manager.h"
 #include "blob/types.h"
@@ -65,7 +66,7 @@ class ProviderDirectory {
   size_t size() const { return by_node_.size(); }
 
  private:
-  std::unordered_map<net::NodeId, Provider*> by_node_;
+  bs::unordered_map<net::NodeId, Provider*> by_node_;
 };
 
 class BlobClient {
@@ -147,7 +148,7 @@ class BlobClient {
   const ProviderDirectory& providers_;
   dht::Dht& dht_;
   ClientConfig cfg_;
-  std::unordered_map<BlobId, BlobDescriptor> desc_cache_;
+  bs::unordered_map<BlobId, BlobDescriptor> desc_cache_;
 
   uint64_t pages_written_ = 0;
   uint64_t pages_read_ = 0;

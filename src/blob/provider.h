@@ -42,10 +42,10 @@
 #include <list>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "blob/types.h"
+#include "common/container.h"
 #include "common/dataspec.h"
 #include "common/durability.h"
 #include "common/stats.h"
@@ -172,7 +172,7 @@ class Provider {
   // every page that is dirty or in the in-flight batch.
   std::deque<DirtyPage> dirty_;
   std::vector<DirtyPage> inflight_;  // the batch on the platter path
-  std::unordered_map<std::string, uint64_t> dirty_seq_;
+  bs::unordered_map<std::string, uint64_t> dirty_seq_;
   uint64_t next_seq_ = 0;    // last seq assigned
   uint64_t synced_seq_ = 0;  // highest seq durable on disk
   uint64_t ram_used_ = 0;
@@ -186,7 +186,7 @@ class Provider {
 
   // Clean-page LRU (front = most recent).
   std::list<std::pair<std::string, uint64_t>> lru_;
-  std::unordered_map<std::string, std::list<std::pair<std::string, uint64_t>>::iterator>
+  bs::unordered_map<std::string, std::list<std::pair<std::string, uint64_t>>::iterator>
       lru_index_;
 
   uint64_t pages_stored_ = 0;

@@ -20,6 +20,17 @@ ProviderManager::ProviderManager(sim::Simulator& sim, net::Network& net,
   }
 }
 
+std::vector<std::pair<net::NodeId, uint64_t>> ProviderManager::load_sorted()
+    const {
+  std::vector<std::pair<net::NodeId, uint64_t>> out;
+  out.reserve(providers_.size());
+  // providers_ is the construction order; sorting by node id decouples the
+  // report from both insertion history and hash buckets.
+  for (const auto& [node, bytes] : load_) out.emplace_back(node, bytes);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 size_t ProviderManager::eligible_count(
     const std::vector<net::NodeId>& exclude) const {
   size_t n = 0;

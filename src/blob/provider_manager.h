@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "blob/types.h"
+#include "common/container.h"
 #include "common/rng.h"
 #include "net/liveness.h"
 #include "net/network.h"
@@ -70,10 +70,14 @@ class ProviderManager {
   // nodes stop receiving new pages once detected. Null = everything is up.
   void set_liveness(const net::LivenessView* view) { liveness_ = view; }
 
-  // Allocated bytes per provider (the PM's own load view).
-  const std::unordered_map<net::NodeId, uint64_t>& load() const {
+  // Allocated bytes per provider (the PM's own load view). Keyed lookups
+  // only — iteration order is hash-scrambled; use load_sorted() wherever
+  // the traversal order can reach output.
+  const bs::unordered_map<net::NodeId, uint64_t>& load() const {
     return load_;
   }
+  // Same data ordered by node id, for reports and balance sweeps.
+  std::vector<std::pair<net::NodeId, uint64_t>> load_sorted() const;
   uint64_t total_requests() const { return requests_; }
 
  private:
@@ -91,8 +95,8 @@ class ProviderManager {
   ProviderManagerConfig cfg_;
   net::ServiceQueue queue_;
   std::vector<net::NodeId> providers_;
-  std::unordered_map<net::NodeId, uint64_t> load_;
-  std::unordered_map<net::NodeId, size_t> index_of_;
+  bs::unordered_map<net::NodeId, uint64_t> load_;
+  bs::unordered_map<net::NodeId, size_t> index_of_;
   const net::LivenessView* liveness_ = nullptr;
   Rng rng_;
   size_t rr_cursor_ = 0;

@@ -15,10 +15,10 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "blob/types.h"
+#include "common/container.h"
 #include "net/network.h"
 #include "net/rpc.h"
 #include "sim/sync.h"
@@ -98,7 +98,7 @@ class VersionManager {
     std::unique_ptr<sim::CondVar> publish_cv;
     // Assignment time per in-flight version, consumed when it publishes
     // (feeds the publish-latency histogram).
-    std::unordered_map<Version, double> assigned_at;
+    bs::unordered_map<Version, double> assigned_at;
   };
 
   VersionInfo info_at(const BlobState& b, Version v) const;
@@ -108,7 +108,7 @@ class VersionManager {
   net::Network& net_;
   VersionManagerConfig cfg_;
   net::ServiceQueue queue_;
-  std::unordered_map<BlobId, BlobState> blobs_;
+  bs::unordered_map<BlobId, BlobState> blobs_;
   BlobId next_blob_id_ = 1;
   uint64_t requests_ = 0;
 

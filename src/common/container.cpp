@@ -1,0 +1,45 @@
+#include "common/container.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace bs {
+
+namespace {
+
+uint64_t seed_from_env() {
+  const char* env = std::getenv("BS_HASH_SEED");
+  if (env == nullptr || *env == '\0') return kDefaultHashSeed;
+  char* end = nullptr;
+  // Base 0: accepts decimal and 0x-prefixed hex.
+  const unsigned long long v = std::strtoull(env, &end, 0);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    // Unparseable values must not silently fall back to the default — a CI
+    // matrix entry with a typo'd seed would then test nothing. Hash the
+    // string instead so every distinct value still scrambles differently.
+    uint64_t h = kDefaultHashSeed;
+    for (const char* p = env; *p != '\0'; ++p) {
+      h = mix_hash(h ^ static_cast<uint8_t>(*p), kDefaultHashSeed);
+    }
+    return h;
+  }
+  return static_cast<uint64_t>(v);
+}
+
+uint64_t& seed_slot() {
+  static uint64_t seed = seed_from_env();
+  return seed;
+}
+
+}  // namespace
+
+uint64_t hash_seed() { return seed_slot(); }
+
+uint64_t set_hash_seed(uint64_t seed) {
+  uint64_t& slot = seed_slot();
+  const uint64_t prev = slot;
+  slot = seed;
+  return prev;
+}
+
+}  // namespace bs

@@ -1,0 +1,72 @@
+// Hash-order-scrambled unordered containers (determinism sanitizer layer 1).
+//
+// std::unordered_map/set iterate in bucket order, which is a pure function
+// of the hash values — so any code path that lets iteration order escape
+// into scheduling decisions, placement, or snapshots is deterministic *by
+// accident*: it reproduces only while the hasher, the bucket count, and the
+// insertion history all stay identical. That class of bug survives every
+// same-binary determinism test and detonates on the first compiler upgrade.
+//
+// The bs::unordered_map/set aliases below close the loophole the way
+// Abseil's Swiss tables do: every hasher mixes a per-process seed into the
+// underlying std::hash value, so bucket order is *deliberately* different
+// from run to run when the seed changes. The determinism suite re-runs its
+// byte-identical-snapshot cases under several BS_HASH_SEED values; any
+// iteration-order leak into observable state becomes a hard test failure
+// instead of a latent hazard.
+//
+// Raw std::unordered_* is banned outside this header (enforced by
+// tools/lint bslint rule `raw-unordered`).
+//
+// Seed sources, in precedence order:
+//   1. set_hash_seed(v)    — test hook; affects containers constructed after
+//      the call (hashers capture the seed at construction).
+//   2. BS_HASH_SEED env    — decimal or 0x-hex, read once at first use.
+//   3. kDefaultHashSeed    — fixed default: unset builds stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>  // bslint: allow(raw-unordered)
+#include <unordered_set>  // bslint: allow(raw-unordered)
+
+namespace bs {
+
+inline constexpr uint64_t kDefaultHashSeed = 0x5eed0fbadc0ffee1ULL;
+
+// Current process-wide hash seed (env-initialized on first call).
+uint64_t hash_seed();
+// Overrides the seed for containers constructed from now on. Returns the
+// previous value so tests can save/restore.
+uint64_t set_hash_seed(uint64_t seed);
+
+// Finalizing mixer (splitmix64): even the identity std::hash of integral
+// keys comes out avalanched, so a seed change reshuffles every bucket.
+constexpr uint64_t mix_hash(uint64_t h, uint64_t seed) {
+  uint64_t x = h + 0x9e3779b97f4a7c15ULL + seed;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Hasher wrapping std::hash<T> with the process seed captured at
+// construction time (one load per container, not per lookup).
+template <class T>
+struct SeededHash {
+  uint64_t seed = hash_seed();
+  size_t operator()(const T& v) const
+      noexcept(noexcept(std::hash<T>{}(v))) {
+    return static_cast<size_t>(mix_hash(std::hash<T>{}(v), seed));
+  }
+};
+
+template <class K, class V, class Eq = std::equal_to<K>>
+using unordered_map =
+    std::unordered_map<K, V, SeededHash<K>, Eq>;  // bslint: allow(raw-unordered)
+
+template <class K, class Eq = std::equal_to<K>>
+using unordered_set =
+    std::unordered_set<K, SeededHash<K>, Eq>;  // bslint: allow(raw-unordered)
+
+}  // namespace bs

@@ -74,8 +74,8 @@ size_t Dht::total_entries() const {
   return n;
 }
 
-std::unordered_map<net::NodeId, uint64_t> Dht::requests_per_node() const {
-  std::unordered_map<net::NodeId, uint64_t> out;
+std::map<net::NodeId, uint64_t> Dht::requests_per_node() const {
+  std::map<net::NodeId, uint64_t> out;
   for (const auto& [node, server] : servers_) out[node] = server->requests;
   return out;
 }

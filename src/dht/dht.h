@@ -9,12 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/container.h"
 #include "common/dataspec.h"
 #include "common/stats.h"
 #include "dht/ring.h"
@@ -51,8 +52,10 @@ class Dht {
   size_t total_entries() const;
   uint64_t gets() const { return gets_; }
   uint64_t puts() const { return puts_; }
-  // Requests served per provider node (balance inspection).
-  std::unordered_map<net::NodeId, uint64_t> requests_per_node() const;
+  // Requests served per provider node (balance inspection). Ordered by
+  // node id: callers iterate this into reports, so the order is part of
+  // the observable surface and must not depend on hash buckets.
+  std::map<net::NodeId, uint64_t> requests_per_node() const;
 
  private:
   struct Server {
@@ -70,7 +73,7 @@ class Dht {
   net::Network& net_;
   DhtConfig cfg_;
   HashRing ring_;
-  std::unordered_map<net::NodeId, std::unique_ptr<Server>> servers_;
+  bs::unordered_map<net::NodeId, std::unique_ptr<Server>> servers_;
   uint64_t gets_ = 0;
   uint64_t puts_ = 0;
 };

@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/container.h"
 #include "net/liveness.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -86,7 +86,7 @@ class FailureDetector final : public net::LivenessView {
   net::Network& net_;
   FailureDetectorConfig cfg_;
   std::vector<net::NodeId> monitored_;
-  std::unordered_map<net::NodeId, NodeState> states_;
+  bs::unordered_map<net::NodeId, NodeState> states_;
   std::vector<std::function<void(net::NodeId)>> death_cbs_;
   std::vector<std::function<void(net::NodeId)>> recovery_cbs_;
   bool running_ = false;

@@ -32,9 +32,9 @@
 #include <deque>
 #include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/container.h"
 #include "common/dataspec.h"
 #include "common/durability.h"
 #include "hdfs/namenode.h"
@@ -125,7 +125,7 @@ class DataNode {
   kv::KvStore store_;
   // Page-cache LRU over whole blocks (front = most recent).
   std::list<std::pair<BlockId, uint64_t>> lru_;
-  std::unordered_map<BlockId,
+  bs::unordered_map<BlockId,
                      std::list<std::pair<BlockId, uint64_t>>::iterator>
       lru_index_;
   uint64_t ram_used_ = 0;

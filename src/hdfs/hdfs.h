@@ -11,8 +11,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/container.h"
 #include "fs/filesystem.h"
 #include "hdfs/datanode.h"
 #include "hdfs/namenode.h"
@@ -162,7 +162,7 @@ class Hdfs final : public fs::FileSystem {
   net::Network& net_;
   HdfsConfig cfg_;
   std::unique_ptr<NameNode> namenode_;
-  std::unordered_map<net::NodeId, std::unique_ptr<DataNode>> datanodes_;
+  bs::unordered_map<net::NodeId, std::unique_ptr<DataNode>> datanodes_;
   const net::LivenessView* liveness_ = nullptr;
 };
 

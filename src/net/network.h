@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/container.h"
 #include "common/stats.h"
 #include "net/cluster.h"
 #include "net/liveness.h"
@@ -214,7 +214,7 @@ class Network {
   sim::Simulator& sim_;
   ClusterConfig cfg_;
   std::vector<double> link_capacity_;
-  std::unordered_map<uint64_t, Flow> flows_;
+  bs::unordered_map<uint64_t, Flow> flows_;
   // Scratch for recompute_rates (sized to the link count, reused).
   std::vector<double> scratch_remaining_;
   std::vector<uint32_t> scratch_count_;

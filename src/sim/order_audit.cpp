@@ -1,0 +1,45 @@
+#include "sim/order_audit.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace bs::sim {
+
+void OrderAuditor::record(double t, uint64_t seq) {
+  if (events_ > 0 && t == last_t_) ++ties_;
+  last_t_ = t;
+  // bit_cast, not a narrowing conversion: distinct times that round to the
+  // same integer must still hash apart, and -0.0 vs 0.0 counts as a
+  // schedule difference.
+  digest_ = fnv1a64_u64(std::bit_cast<uint64_t>(t), digest_);
+  digest_ = fnv1a64_u64(seq, digest_);
+  ++events_;
+  if (g_digest_lo_ != nullptr) {
+    g_digest_hi_->set(static_cast<double>(digest_ >> 32));
+    g_digest_lo_->set(static_cast<double>(digest_ & 0xffffffffULL));
+    g_events_->set(static_cast<double>(events_));
+    g_ties_->set(static_cast<double>(ties_));
+  }
+}
+
+std::string OrderAuditor::digest_hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest_));
+  return buf;
+}
+
+void OrderAuditor::bind_metrics(obs::MetricsRegistry& m) {
+  g_digest_hi_ = &m.gauge("sim/order_digest_hi");
+  g_digest_lo_ = &m.gauge("sim/order_digest_lo");
+  g_events_ = &m.gauge("sim/order_events");
+  g_ties_ = &m.gauge("sim/order_ties");
+  g_digest_hi_->set(static_cast<double>(digest_ >> 32));
+  g_digest_lo_->set(static_cast<double>(digest_ & 0xffffffffULL));
+  g_events_->set(static_cast<double>(events_));
+  g_ties_->set(static_cast<double>(ties_));
+}
+
+}  // namespace bs::sim

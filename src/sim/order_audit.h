@@ -1,0 +1,67 @@
+// OrderAuditor — sim-time event-stream audit (determinism sanitizer layer 2).
+//
+// The byte-identical snapshots gated by tests/determinism_test.cpp compare
+// *outputs*; two runs can produce identical JobStats while executing a
+// different event schedule (order-dependent ties that happen to converge).
+// Such latent divergence is a loaded gun: the next feature that reads any
+// state mid-tie turns it into a visible nondeterminism bug with no
+// regression test pointing at the cause.
+//
+// The auditor closes that gap by fingerprinting the *schedule itself*: a
+// running FNV-1a hash over every dispatched (time, sequence) pair, plus a
+// count of same-timestamp ties (the exact places where ordering is decided
+// by the queue's seq tie-break rather than by simulated time). Two runs
+// with equal digests executed the same schedule, event for event.
+//
+// Opt-in via Simulator::enable_order_audit() — one branch per dispatch when
+// disabled, a hash step when enabled. When the simulator's metrics registry
+// is bound, the digest is exported as gauges (split into two 32-bit halves,
+// exact in a double) so obs snapshots and bench artifacts carry it:
+//   sim/order_digest_hi, sim/order_digest_lo, sim/order_events, sim/order_ties
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace bs::obs {
+class MetricsRegistry;
+class Gauge;
+}  // namespace bs::obs
+
+namespace bs::sim {
+
+class OrderAuditor {
+ public:
+  // Folds one dispatched event into the digest. Called by
+  // Simulator::dispatch for every event once auditing is enabled.
+  void record(double t, uint64_t seq);
+
+  // FNV digest of the (time, sequence) stream so far. Equal digests ⇒
+  // identical schedules (same events, same order, same times).
+  uint64_t digest() const { return digest_; }
+  // 16 lowercase hex digits; convenient for bench artifacts and logs.
+  std::string digest_hex() const;
+
+  uint64_t events() const { return events_; }
+  // Events dispatched at exactly the same timestamp as their predecessor —
+  // each one is a place where the seq tie-break decided execution order.
+  uint64_t ties() const { return ties_; }
+
+  // Exports digest/ties/events as gauges in `m`, updated on every record()
+  // from then on. Idempotent per registry.
+  void bind_metrics(obs::MetricsRegistry& m);
+
+ private:
+  uint64_t digest_ = kFnvOffset;
+  uint64_t events_ = 0;
+  uint64_t ties_ = 0;
+  double last_t_ = 0;
+  obs::Gauge* g_digest_hi_ = nullptr;
+  obs::Gauge* g_digest_lo_ = nullptr;
+  obs::Gauge* g_events_ = nullptr;
+  obs::Gauge* g_ties_ = nullptr;
+};
+
+}  // namespace bs::sim

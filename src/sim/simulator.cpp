@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/order_audit.h"
 
 namespace bs::sim {
 
@@ -48,6 +49,7 @@ void Simulator::spawn(Task<void> task) {
 void Simulator::dispatch(Event& ev) {
   now_ = ev.t;
   ++events_processed_;
+  if (auditor_) auditor_->record(ev.t, ev.seq);
   if (ev.h) {
     ev.h.resume();
   } else {
@@ -87,6 +89,14 @@ obs::MetricsRegistry& Simulator::metrics() {
 obs::Tracer& Simulator::tracer() {
   if (!tracer_) tracer_ = std::make_unique<obs::Tracer>(*this);
   return *tracer_;
+}
+
+OrderAuditor& Simulator::enable_order_audit() {
+  if (!auditor_) {
+    auditor_ = std::make_unique<OrderAuditor>();
+    auditor_->bind_metrics(metrics());
+  }
+  return *auditor_;
 }
 
 Time Simulator::run_until(Time t) {

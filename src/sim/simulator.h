@@ -22,6 +22,8 @@ class Tracer;
 
 namespace bs::sim {
 
+class OrderAuditor;
+
 // Simulated time in seconds.
 using Time = double;
 
@@ -80,6 +82,15 @@ class Simulator {
   obs::MetricsRegistry& metrics();
   obs::Tracer& tracer();
 
+  // Event-stream audit (sim/order_audit.h): once enabled, every dispatched
+  // (time, sequence) pair is folded into a running digest and exported via
+  // the metrics registry, so tests and benches can assert the *schedule*
+  // (not just the outputs) is identical across runs. Opt-in; events
+  // dispatched before the call are not part of the digest.
+  OrderAuditor& enable_order_audit();
+  // Null until enable_order_audit() is called.
+  OrderAuditor* order_auditor() const { return auditor_.get(); }
+
  private:
   struct Event {
     Time t;
@@ -101,6 +112,7 @@ class Simulator {
   std::vector<Task<void>> spawned_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<OrderAuditor> auditor_;
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_processed_ = 0;

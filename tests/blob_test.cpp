@@ -360,7 +360,7 @@ TEST(BlobCore, LeastLoadedPlacementBalances) {
   };
   w.sim.spawn(proc(*client));
   w.sim.run();
-  const auto& load = w.cluster.provider_manager().load();
+  const auto load = w.cluster.provider_manager().load_sorted();
   uint64_t min_load = UINT64_MAX, max_load = 0;
   for (auto& [node, bytes] : load) {
     min_load = std::min(min_load, bytes);

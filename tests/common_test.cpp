@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/container.h"
 #include "common/dataspec.h"
 #include "common/hash.h"
 #include "common/rng.h"
@@ -287,6 +288,85 @@ TEST(PatternFill, MatchesPerByteGenerator) {
   for (size_t i = 0; i < sizeof(buf); ++i) {
     ASSERT_EQ(buf[i], pattern_byte(42, 13 + i)) << i;
   }
+}
+
+// --- seeded containers (common/container.h) --------------------------------
+
+// RAII save/restore so these tests never leak a scrambled seed into suites
+// running after them in the same process.
+struct SeedGuard {
+  uint64_t saved = set_hash_seed(kDefaultHashSeed);
+  ~SeedGuard() { set_hash_seed(saved); }
+};
+
+TEST(SeededHash, SeedChangesHashesButNotSemantics) {
+  SeedGuard guard;
+  set_hash_seed(1);
+  SeededHash<uint64_t> h1;
+  SeededHash<std::string> s1;
+  set_hash_seed(2);
+  SeededHash<uint64_t> h2;
+  SeededHash<std::string> s2;
+  // Hashers capture the seed at construction: distinct seeds must produce
+  // distinct hash values (this is what reshuffles bucket order)...
+  int differing = 0;
+  for (uint64_t k = 0; k < 64; ++k) differing += h1(k) != h2(k);
+  EXPECT_GE(differing, 60);
+  EXPECT_NE(s1("placement"), s2("placement"));
+  // ...while equal seeds agree with themselves on every call.
+  EXPECT_EQ(h1(42), h1(42));
+  EXPECT_EQ(s1("placement"), s1("placement"));
+}
+
+TEST(SeededHash, ContainersBehaveIdenticallyAcrossSeeds) {
+  SeedGuard guard;
+  auto census = [](uint64_t seed) {
+    set_hash_seed(seed);
+    bs::unordered_map<std::string, int> m;
+    bs::unordered_set<uint64_t> s;
+    for (int i = 0; i < 200; ++i) {
+      m["key-" + std::to_string(i)] = i;
+      s.insert(static_cast<uint64_t>(i * i));
+    }
+    m.erase("key-7");
+    s.erase(81);
+    // Sorted projection: the observable *content* contract.
+    std::map<std::string, int> sorted_m(m.begin(), m.end());
+    std::set<uint64_t> sorted_s(s.begin(), s.end());
+    return std::make_pair(sorted_m, sorted_s);
+  };
+  const auto a = census(0x1111);
+  const auto b = census(0x2222);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SeededHash, IterationOrderActuallyScrambles) {
+  SeedGuard guard;
+  // The whole point of the aliases: with enough elements, two seeds must
+  // disagree on iteration order for at least one of a handful of tries —
+  // otherwise the scrambling is inert and the determinism sweeps under
+  // BS_HASH_SEED would test nothing.
+  auto order = [](uint64_t seed) {
+    set_hash_seed(seed);
+    bs::unordered_set<uint64_t> s;
+    for (uint64_t i = 0; i < 128; ++i) s.insert(i);
+    return std::vector<uint64_t>(s.begin(), s.end());
+  };
+  const auto base = order(1);
+  bool scrambled = false;
+  for (uint64_t seed = 2; seed <= 5 && !scrambled; ++seed) {
+    scrambled = order(seed) != base;
+  }
+  EXPECT_TRUE(scrambled);
+}
+
+TEST(SeededHash, SetHashSeedRoundTrips) {
+  SeedGuard guard;
+  const uint64_t prev = set_hash_seed(777);
+  EXPECT_EQ(hash_seed(), 777u);
+  const uint64_t mid = set_hash_seed(prev);
+  EXPECT_EQ(mid, 777u);
+  EXPECT_EQ(hash_seed(), prev);
 }
 
 }  // namespace

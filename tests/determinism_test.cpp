@@ -10,6 +10,7 @@
 
 #include "blob/cluster.h"
 #include "bsfs/bsfs.h"
+#include "common/container.h"
 #include "common/rng.h"
 #include "common/wordlist.h"
 #include "fault/injector.h"
@@ -21,6 +22,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/order_audit.h"
 #include "sim/simulator.h"
 
 namespace bs {
@@ -55,6 +57,11 @@ RunResult run_stack(const std::string& backend) {
   // Tracing on for the whole run: recording spans must not perturb the
   // simulation (every timing assertion below would catch it if it did).
   sim.tracer().set_enabled(true);
+  // Event-stream audit on: the metrics snapshot then carries the schedule
+  // digest (sim/order_digest_*), so RunResult equality asserts the two
+  // runs executed the same schedule — not merely converged on the same
+  // outputs.
+  sim.enable_order_audit();
   net::ClusterConfig ncfg;
   ncfg.num_nodes = 24;
   ncfg.nodes_per_rack = 6;
@@ -153,7 +160,7 @@ TEST(Determinism, ObservabilitySnapshotsAreBitReproducible) {
     for (const char* needle :
          {"net/bytes", "net/rpcs", "mr/jobs_completed",
           "mr/task_launches{kind=map}", "hdfs/namenode_ops{op=create}",
-          "blob/vm_requests"}) {
+          "blob/vm_requests", "sim/order_digest_lo", "sim/order_ties"}) {
       EXPECT_NE(a.metrics_snapshot.find(needle), std::string::npos)
           << backend << " missing " << needle;
     }
@@ -713,6 +720,30 @@ TEST(Determinism, GroupCommitPowerCyclesHdfsAreBitReproducible) {
   EXPECT_NE(a.find("kv/group_commit_batches"), std::string::npos);
 }
 
+// Hash-order scrambling (common/container.h): every bs::unordered_* hasher
+// mixes the process hash seed into its buckets, so re-running the stack
+// under distinct seeds perturbs every unordered iteration order in the
+// system. Outcomes — JobStats, obs snapshots (order-audit schedule digest
+// included), traces, placement — must be a pure function of the scenario,
+// not of bucket order; any leak diverges one of these comparisons.
+// The CMake-registered determinism_hash_seed_<n> ctest variants rerun the
+// stack cases under distinct BS_HASH_SEED environments on top of this
+// in-process sweep.
+TEST(Determinism, HashSeedScramblingDoesNotChangeOutcomes) {
+  const uint64_t saved = set_hash_seed(kDefaultHashSeed);
+  const RunResult bsfs_base = run_stack("BSFS");
+  const RunResult hdfs_base = run_stack("HDFS");
+  const std::string engine_base = run_engine_v2("BSFS");
+  for (const uint64_t seed :
+       {0x9e3779b97f4a7c15ULL, 0xdeadbeefcafef00dULL, 0x12345ULL}) {
+    set_hash_seed(seed);
+    EXPECT_TRUE(run_stack("BSFS") == bsfs_base) << "seed " << seed;
+    EXPECT_TRUE(run_stack("HDFS") == hdfs_base) << "seed " << seed;
+    EXPECT_EQ(run_engine_v2("BSFS"), engine_base) << "seed " << seed;
+  }
+  set_hash_seed(saved);
+}
+
 TEST(Determinism, BlobWritesProduceIdenticalPlacement) {
   auto run_once = [] {
     sim::Simulator sim;
@@ -730,13 +761,8 @@ TEST(Determinism, BlobWritesProduceIdenticalPlacement) {
     };
     sim.spawn(proc(*client));
     sim.run();
-    // Serialize the placement decision trail.
-    std::vector<std::pair<net::NodeId, uint64_t>> loads;
-    for (const auto& [node, bytes] : cluster.provider_manager().load()) {
-      loads.emplace_back(node, bytes);
-    }
-    std::sort(loads.begin(), loads.end());
-    return loads;
+    // Serialize the placement decision trail (sorted by node id).
+    return cluster.provider_manager().load_sorted();
   };
   EXPECT_EQ(run_once(), run_once());
 }

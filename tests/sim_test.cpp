@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "sim/order_audit.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
@@ -410,6 +412,106 @@ TEST(Simulator, RunsAreReproducible) {
   const auto a = run_once();
   const auto b = run_once();
   EXPECT_EQ(a, b);
+}
+
+// --- OrderAuditor (sim/order_audit.h) --------------------------------------
+
+// A small scenario with deliberate same-timestamp ties: three workers all
+// wake at t=1.0 and t=2.0, so the seq tie-break decides their order.
+Task<void> tied_worker(Simulator& s, uint64_t* sum, uint64_t w) {
+  co_await s.delay(1.0);
+  *sum += w;
+  co_await s.delay(1.0);
+  *sum += w * 10;
+}
+
+TEST(OrderAuditor, DisabledByDefaultAndCostsNothing) {
+  Simulator sim;
+  EXPECT_EQ(sim.order_auditor(), nullptr);
+  uint64_t sum = 0;
+  for (uint64_t w = 1; w <= 3; ++w) sim.spawn(tied_worker(sim, &sum, w));
+  sim.run();
+  EXPECT_EQ(sim.order_auditor(), nullptr);
+  EXPECT_EQ(sum, 66u);
+}
+
+TEST(OrderAuditor, TieCountAndDigestAreStableAcrossIdenticalRuns) {
+  auto run_once = [](uint64_t* sum) {
+    Simulator sim;
+    OrderAuditor& audit = sim.enable_order_audit();
+    for (uint64_t w = 1; w <= 3; ++w) sim.spawn(tied_worker(sim, sum, w));
+    sim.run();
+    return std::tuple<uint64_t, uint64_t, uint64_t>(
+        audit.digest(), audit.ties(), audit.events());
+  };
+  uint64_t sum_a = 0, sum_b = 0;
+  const auto a = run_once(&sum_a);
+  const auto b = run_once(&sum_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sum_a, sum_b);
+  // Three same-time wakeups at t=1.0 and three at t=2.0: at least two ties
+  // per burst (the 2nd and 3rd event of each). Spawn-time events tie too.
+  EXPECT_GE(std::get<1>(a), 4u);
+  EXPECT_GT(std::get<2>(a), 0u);
+}
+
+// The regression the auditor exists to catch: two schedules whose
+// *observable output* is identical (a commutative sum) but whose event
+// order differs. Comparing outputs alone passes; the schedule digest is
+// the only check that fails — which is exactly how an order-dependent tie
+// hides until some later feature reads state mid-tie.
+TEST(OrderAuditor, DigestCatchesOrderSwapThatOutputsCannot) {
+  // All workers tie at t=1.0, then each schedules an identity-dependent
+  // follow-up. Reversing spawn order permutes which coroutine wins each
+  // tie slot, so the follow-ups are *pushed* in a different order and the
+  // (time, seq) stream diverges — while the sum, the final clock, and the
+  // event count all come out identical.
+  auto worker = [](Simulator& s, uint64_t* sum, uint64_t w) -> Task<void> {
+    co_await s.delay(1.0);
+    co_await s.delay(0.01 * static_cast<double>(w));
+    *sum += w;
+  };
+  struct Outcome {
+    uint64_t digest, sum, events;
+    double end;
+  };
+  auto run_with_order = [&worker](std::vector<uint64_t> workers) {
+    Simulator sim;
+    OrderAuditor& audit = sim.enable_order_audit();
+    uint64_t sum = 0;
+    for (uint64_t w : workers) sim.spawn(worker(sim, &sum, w));
+    sim.run();
+    return Outcome{audit.digest(), sum, audit.events(), sim.now()};
+  };
+  const Outcome fwd = run_with_order({1, 2, 3});
+  const Outcome rev = run_with_order({3, 2, 1});
+  // Every coarse output converges: the leak is invisible to them.
+  EXPECT_EQ(fwd.sum, rev.sum);
+  EXPECT_EQ(fwd.events, rev.events);
+  EXPECT_EQ(fwd.end, rev.end);
+  // The schedule digest is not fooled.
+  EXPECT_NE(fwd.digest, rev.digest);
+}
+
+TEST(OrderAuditor, DigestIsExportedThroughObsGauges) {
+  Simulator sim;
+  OrderAuditor& audit = sim.enable_order_audit();
+  uint64_t sum = 0;
+  for (uint64_t w = 1; w <= 3; ++w) sim.spawn(tied_worker(sim, &sum, w));
+  sim.run();
+  const std::string snap = sim.metrics().text_snapshot();
+  const uint64_t hi = audit.digest() >> 32;
+  const uint64_t lo = audit.digest() & 0xffffffffULL;
+  EXPECT_NE(snap.find("sim/order_digest_hi " + std::to_string(hi)),
+            std::string::npos)
+      << snap;
+  EXPECT_NE(snap.find("sim/order_digest_lo " + std::to_string(lo)),
+            std::string::npos)
+      << snap;
+  EXPECT_NE(snap.find("sim/order_ties " + std::to_string(audit.ties())),
+            std::string::npos)
+      << snap;
+  EXPECT_EQ(audit.digest_hex().size(), 16u);
 }
 
 class DelayParamTest : public ::testing::TestWithParam<double> {};
