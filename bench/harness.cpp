@@ -29,6 +29,9 @@ struct ObsSink {
 };
 ObsSink* g_obs = nullptr;
 
+// Process-wide simulator-event total (see report_world_events).
+uint64_t g_total_events = 0;
+
 void write_text_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   BS_CHECK_MSG(f != nullptr, "cannot open observability output file");
@@ -62,8 +65,18 @@ void obs_capture_world(sim::Simulator& sim, const std::string& label,
 
 }  // namespace
 
+void report_world_events(uint64_t events) { g_total_events += events; }
+
+ObsWorldScope::ObsWorldScope(sim::Simulator& sim, const char* kind)
+    : sim_(sim) {
+  index_ = obs_register_world(sim_, kind, &label_);
+}
+
+ObsWorldScope::~ObsWorldScope() { obs_capture_world(sim_, label_, index_); }
+
 BenchReport::BenchReport(std::string name, int argc, char** argv)
-    : name_(std::move(name)) {
+    : name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {  // bslint: allow(wall-clock)
   std::string metrics_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -113,6 +126,15 @@ BenchReport::~BenchReport() {
     g_obs = nullptr;
   }
   if (!json_) return;
+  // Engine-speed trajectory fields, appended so every bench's JSON carries
+  // them without per-bench wiring. Host time, not simulated time.
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() -  // bslint: allow(wall-clock)
+                          start_)
+                          .count();
+  metric("wall_clock_s", wall);
+  metric("events_per_sec",
+         wall > 0 ? static_cast<double>(g_total_events) / wall : 0);
   // Keys/names are code-controlled today, but escaping (obs/json.h) keeps
   // the emitted line valid JSON if one ever carries a quote or backslash.
   std::printf("{\"bench\": %s, \"metrics\": {",
@@ -179,7 +201,10 @@ BsfsWorld::BsfsWorld(const WorldOptions& opt)
   obs_index = obs_register_world(sim, "bsfs", &obs_label);
 }
 
-BsfsWorld::~BsfsWorld() { obs_capture_world(sim, obs_label, obs_index); }
+BsfsWorld::~BsfsWorld() {
+  report_world_events(sim.events_processed());
+  obs_capture_world(sim, obs_label, obs_index);
+}
 
 HdfsWorld::HdfsWorld(const WorldOptions& opt)
     : options(opt), net(sim, opt.cluster) {
@@ -193,7 +218,10 @@ HdfsWorld::HdfsWorld(const WorldOptions& opt)
   obs_index = obs_register_world(sim, "hdfs", &obs_label);
 }
 
-HdfsWorld::~HdfsWorld() { obs_capture_world(sim, obs_label, obs_index); }
+HdfsWorld::~HdfsWorld() {
+  report_world_events(sim.events_processed());
+  obs_capture_world(sim, obs_label, obs_index);
+}
 
 sim::Task<void> put_file(fs::FileSystem& fs, net::NodeId node,
                          std::string path, uint64_t bytes, uint64_t seed) {

@@ -9,6 +9,7 @@
 // what factor, and how throughput holds as the client count grows.
 #pragma once
 
+#include <chrono>  // bslint: allow(wall-clock) — bench self-timing only
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,13 @@ constexpr uint64_t kGiB = 1ULL << 30;
 // is printed to stdout instead (machine-readable results for the
 // BENCH_*.json perf trajectory). Keys are slash-delimited paths like
 // "clients=100/bsfs_mbps_per_client"; insertion order is preserved.
+//
+// Engine-speed trajectory: every --json line additionally carries
+// "wall_clock_s" (host time from report construction to destruction — the
+// only wall-clock measurement in the tree, everything else is simulated
+// time) and "events_per_sec" (total simulator events dispatched across all
+// worlds, divided by that wall clock), so BENCH_*.json tracks the engine's
+// real-time throughput from PR 9 onward.
 //
 // Observability flags (obs/metrics.h, obs/trace.h):
 //   --metrics <path>  write every world's deterministic registry snapshot
@@ -66,6 +74,30 @@ class BenchReport {
   std::string name_;
   bool json_ = false;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::chrono::steady_clock::time_point start_;  // bslint: allow(wall-clock)
+};
+
+// Adds a finished world's event count to the process-wide total behind
+// BenchReport's events_per_sec. BsfsWorld/HdfsWorld destructors call this;
+// benches driving raw Simulators call it themselves before the report goes
+// out of scope.
+void report_world_events(uint64_t events);
+
+// Hooks a bare simulator (one not wrapped in a Bsfs/Hdfs world) into the
+// --metrics/--trace sink: registers at construction (enabling tracing if
+// --trace is armed), flushes the registry snapshot / trace ring at
+// destruction. Labels are "<kind>0", "<kind>1", ... in construction order.
+class ObsWorldScope {
+ public:
+  ObsWorldScope(sim::Simulator& sim, const char* kind);
+  ~ObsWorldScope();
+  ObsWorldScope(const ObsWorldScope&) = delete;
+  ObsWorldScope& operator=(const ObsWorldScope&) = delete;
+
+ private:
+  sim::Simulator& sim_;
+  std::string label_;
+  uint32_t index_ = 0;
 };
 
 // The paper's sweep: 1 to 250 concurrent clients.

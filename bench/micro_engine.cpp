@@ -56,6 +56,55 @@ void BM_FlowSolver(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowSolver)->Arg(64)->Arg(256)->Arg(1024);
 
+// Arrival/departure churn over a handful of repeated paths — the shuffle-
+// storm shape the path-class solver aggregates. Staggered starts keep
+// arrivals and departures interleaving for the whole run, so every change
+// exercises the re-solve path (instant-batched on the incremental backend,
+// full per-flow under BS_LEGACY_SOLVER=1 for an A/B).
+void BM_FlowSolverChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::ClusterConfig cfg;
+    cfg.num_nodes = 32;
+    cfg.nodes_per_rack = 8;
+    net::Network net(sim, cfg);
+    auto proc = [](sim::Simulator& s, net::Network& n, net::NodeId src,
+                   net::NodeId dst, double start) -> sim::Task<void> {
+      co_await s.delay(start);
+      co_await n.transfer(src, dst, 4e6);
+    };
+    for (int i = 0; i < flows; ++i) {
+      const auto pair = static_cast<net::NodeId>(i % 8);
+      sim.spawn(proc(sim, net, pair, 8 + pair, 0.001 * (i % 97)));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(net.bytes_moved());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowSolverChurn)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Steady-state call_at: one self-rescheduling callback, so the pooled slot
+// is recycled every tick — the loop should not allocate after warm-up.
+void BM_CallAt(benchmark::State& state) {
+  struct Ticker {
+    sim::Simulator* sim;
+    int left;
+    void operator()() {
+      if (--left > 0) sim->call_at(sim->now() + 0.001, *this);
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.call_at(0, Ticker{&sim, 1000});
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CallAt);
+
 void BM_SegmentTreeBuild(benchmark::State& state) {
   const uint64_t cap = static_cast<uint64_t>(state.range(0));
   std::vector<blob::WriteRecord> history;

@@ -340,7 +340,7 @@ MapReduceCluster::Assignment MapReduceCluster::schedule(net::NodeId node) {
   if (cfg_.liveness != nullptr && !cfg_.liveness->is_up(node)) return out;
 
   // Reused scratch (schedule() runs on every tasktracker heartbeat — the
-  // simulation's hottest loop; see Network::recompute_rates for the same
+  // simulation's hottest loop; see Network::solve_classes for the same
   // pattern).
   std::vector<JobState*>& active = scratch_active_;
   std::vector<SchedulableJob>& view = scratch_view_;

@@ -1,7 +1,9 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string>
 
@@ -51,6 +53,8 @@ sim::Task<void> Disk::io(double bytes, bool is_read) {
 
 Network::Network(sim::Simulator& sim, const ClusterConfig& cfg)
     : sim_(sim), cfg_(cfg) {
+  const char* env = std::getenv("BS_LEGACY_SOLVER");
+  legacy_ = cfg_.legacy_solver || (env != nullptr && env[0] == '1');
   const uint32_t n = cfg_.num_nodes;
   const uint32_t r = cfg_.num_racks();
   link_capacity_.assign(2 * n + 2 * r, 0);
@@ -74,12 +78,18 @@ Network::Network(sim::Simulator& sim, const ClusterConfig& cfg)
   incarnation_.assign(n, 0);
   perf_.assign(n, NodePerf{});
 
+  // The incremental path defers solve+retime to the end of the simulated
+  // instant; the hook is registered unconditionally (the legacy path simply
+  // never requests a flush).
+  sim_.add_flush_hook(&Network::flush_hook, this);
+
   obs::MetricsRegistry& m = sim_.metrics();
   tracer_ = &sim_.tracer();
   m_flows_ = &m.counter("net/flows");
   m_bytes_ = &m.counter("net/bytes");
   m_rpcs_ = &m.counter("net/rpcs");
   m_rpc_timeouts_ = &m.counter("net/rpc_timeouts");
+  m_solves_ = &m.counter("net/solver_solves");
   m_transfer_s_ = &m.histogram("net/transfer_s");
   obs::Counter* disk_rd = &m.counter("net/disk_read_bytes");
   obs::Counter* disk_wr = &m.counter("net/disk_write_bytes");
@@ -111,8 +121,7 @@ void Network::set_node_perf(NodeId node, NodePerf perf) {
   link_capacity_[link_node_up(node)] = cfg_.nic_bps * perf.nic;
   link_capacity_[link_node_down(node)] = cfg_.nic_bps * perf.nic;
   disks_[node]->set_scale(perf.disk);
-  recompute_rates();
-  retime();
+  after_change();
 }
 
 sim::Task<void> Network::transfer(NodeId src, NodeId dst, double bytes,
@@ -208,59 +217,126 @@ sim::Task<bool> Network::try_control(NodeId src, NodeId dst) {
   co_return true;
 }
 
+uint32_t Network::class_for(NodeId src, NodeId dst, double cap) {
+  const auto key = std::make_tuple(src, dst, cap);
+  auto it = class_index_.find(key);
+  if (it != class_index_.end()) {
+    ++classes_[it->second].n;
+    return it->second;
+  }
+  uint32_t ci;
+  if (!free_classes_.empty()) {
+    ci = free_classes_.back();
+    free_classes_.pop_back();
+  } else {
+    ci = static_cast<uint32_t>(classes_.size());
+    classes_.emplace_back();
+  }
+  PathClass& c = classes_[ci];
+  c.cid = next_class_id_++;
+  c.src = src;
+  c.dst = dst;
+  c.cap = cap;
+  c.n = 1;
+  c.rate = 0;
+  c.path_len = 0;
+  c.path[c.path_len++] = link_node_up(src);
+  if (!cfg_.same_rack(src, dst)) {
+    c.path[c.path_len++] = link_rack_up(cfg_.rack_of(src));
+    c.path[c.path_len++] = link_rack_down(cfg_.rack_of(dst));
+  }
+  c.path[c.path_len++] = link_node_down(dst);
+  // New classes get the largest cid so far, so appending keeps the active
+  // list sorted by creation id (the solver's deterministic order).
+  active_classes_.push_back(ci);
+  class_index_.emplace(key, ci);
+  ++sstats_.path_classes_created;
+  return ci;
+}
+
+void Network::release_member(uint32_t cls) {
+  PathClass& c = classes_[cls];
+  BS_DCHECK(c.n > 0);
+  if (--c.n == 0) {
+    class_index_.erase(std::make_tuple(c.src, c.dst, c.cap));
+    // The dead slot stays in active_classes_ until the next solve's
+    // compaction sweep recycles it.
+  }
+}
+
 void Network::add_flow(NodeId src, NodeId dst, double bytes, double cap,
                        sim::Event* done) {
   advance();
+  double eff_cap = cap;
+  if (cfg_.per_stream_cap_bps > 0) {
+    eff_cap = eff_cap > 0 ? std::min(eff_cap, cfg_.per_stream_cap_bps)
+                          : cfg_.per_stream_cap_bps;
+  }
   Flow f;
   f.id = next_flow_id_++;
+  f.cls = class_for(src, dst, eff_cap);
   f.remaining = bytes;
-  f.cap = cap;
-  if (cfg_.per_stream_cap_bps > 0) {
-    f.cap = f.cap > 0 ? std::min(f.cap, cfg_.per_stream_cap_bps)
-                      : cfg_.per_stream_cap_bps;
-  }
   f.done = done;
   f.src = src;
   f.dst = dst;
-  f.path.push_back(link_node_up(src));
-  if (!cfg_.same_rack(src, dst)) {
-    f.path.push_back(link_rack_up(cfg_.rack_of(src)));
-    f.path.push_back(link_rack_down(cfg_.rack_of(dst)));
-  }
-  f.path.push_back(link_node_down(dst));
-  auto [it, inserted] = flows_.emplace(f.id, std::move(f));
+  auto [it, inserted] = flows_.emplace(f.id, f);
   BS_CHECK(inserted);
   // Ids are monotonically increasing, so push_back keeps the order sorted.
   flow_order_.push_back(&it->second);
   ++flows_started_;
-  recompute_rates();
-  retime();
+  after_change();
 }
 
-void Network::advance() {
+bool Network::advance() {
   const double now = sim_.now();
   const double dt = now - last_advance_;
   last_advance_ = now;
-  if (dt <= 0 && flows_.empty()) return;
+  if (flows_.empty()) return false;
+  // Zero elapsed time moves no bytes: skip the O(flows) sweep. (The legacy
+  // backend keeps the historical full sweep so its event schedule is
+  // exactly the pre-optimization one, sub-half-byte corner cases included.)
+  if (dt <= 0 && !legacy_) return false;
   bool any_finished = false;
   for (Flow* f : flow_order_) {
     f->remaining -= f->rate * dt;
     if (f->remaining <= kRemainingEps) any_finished = true;
   }
-  if (!any_finished) return;
+  if (!any_finished) return false;
   auto it = std::remove_if(flow_order_.begin(), flow_order_.end(),
                            [this](Flow* f) {
                              if (f->remaining > kRemainingEps) return false;
                              f->done->set();
+                             release_member(f->cls);
                              flows_.erase(f->id);
                              return true;
                            });
   flow_order_.erase(it, flow_order_.end());
+  return true;
 }
 
-void Network::recompute_rates() {
+void Network::compact_dead_classes() {
+  size_t w = 0;
+  for (size_t r = 0; r < active_classes_.size(); ++r) {
+    const uint32_t ci = active_classes_[r];
+    if (classes_[ci].n == 0) {
+      free_classes_.push_back(ci);
+      continue;
+    }
+    active_classes_[w++] = ci;
+  }
+  active_classes_.resize(w);
+}
+
+void Network::solve_flows_legacy() {
+  ++sstats_.legacy_solves;
+  m_solves_->inc();
+  compact_dead_classes();
   if (flows_.empty()) return;
   // Progressive filling over flat scratch arrays (no per-call allocation).
+  // This is the pre-optimization per-flow solver, kept verbatim as oracle
+  // and baseline; flows borrow their path and cap from their class (same
+  // values the old per-flow fields held, so the arithmetic — and therefore
+  // the solved rates — are bit-identical to the historical code).
   if (scratch_remaining_.size() != link_capacity_.size()) {
     scratch_remaining_.resize(link_capacity_.size());
     scratch_count_.resize(link_capacity_.size());
@@ -268,7 +344,9 @@ void Network::recompute_rates() {
   scratch_links_.clear();
   for (Flow* f : flow_order_) {
     f->rate = -1;  // -1 = unfrozen
-    for (uint32_t l : f->path) {
+    const PathClass& c = classes_[f->cls];
+    for (uint32_t k = 0; k < c.path_len; ++k) {
+      const uint32_t l = c.path[k];
       if (scratch_count_[l] == 0) {
         scratch_remaining_[l] = link_capacity_[l];
         scratch_links_.push_back(l);
@@ -289,10 +367,12 @@ void Network::recompute_rates() {
     bool froze_capped = false;
     for (Flow* f : flow_order_) {
       if (f->rate >= 0) continue;
-      if (f->cap > 0 && f->cap <= best_share) {
+      const PathClass& c = classes_[f->cls];
+      if (c.cap > 0 && c.cap <= best_share) {
         // Cap binds before the links do: freeze at the cap.
-        f->rate = f->cap;
-        for (uint32_t l : f->path) {
+        f->rate = c.cap;
+        for (uint32_t k = 0; k < c.path_len; ++k) {
+          const uint32_t l = c.path[k];
           scratch_remaining_[l] -= f->rate;
           scratch_count_[l] -= 1;
         }
@@ -306,8 +386,10 @@ void Network::recompute_rates() {
     const double limit = share * (1 + 1e-12);
     for (Flow* f : flow_order_) {
       if (f->rate >= 0) continue;
+      const PathClass& c = classes_[f->cls];
       bool bottlenecked = false;
-      for (uint32_t l : f->path) {
+      for (uint32_t k = 0; k < c.path_len; ++k) {
+        const uint32_t l = c.path[k];
         if (scratch_remaining_[l] <= limit * scratch_count_[l]) {
           bottlenecked = true;
           break;
@@ -315,7 +397,8 @@ void Network::recompute_rates() {
       }
       if (bottlenecked) {
         f->rate = share;
-        for (uint32_t l : f->path) {
+        for (uint32_t k = 0; k < c.path_len; ++k) {
+          const uint32_t l = c.path[k];
           scratch_remaining_[l] -= f->rate;
           scratch_count_[l] -= 1;
         }
@@ -327,24 +410,189 @@ void Network::recompute_rates() {
   for (uint32_t l : scratch_links_) scratch_count_[l] = 0;
 }
 
-void Network::retime() {
-  ++timer_generation_;
+void Network::solve_classes() {
+  ++sstats_.class_solves;
+  m_solves_->inc();
+  compact_dead_classes();
   if (flows_.empty()) return;
+  if (scratch_remaining_.size() != link_capacity_.size()) {
+    scratch_remaining_.resize(link_capacity_.size());
+    scratch_count_.resize(link_capacity_.size());
+  }
+  // Seed link loads: scratch_count_ carries member flows, not classes, so
+  // the fair-share arithmetic matches the per-flow solver's semantics.
+  scratch_links_.clear();
+  for (uint32_t ci : active_classes_) {
+    PathClass& c = classes_[ci];
+    c.rate = -1;  // -1 = unfrozen
+    for (uint32_t k = 0; k < c.path_len; ++k) {
+      const uint32_t l = c.path[k];
+      if (scratch_count_[l] == 0) {
+        scratch_remaining_[l] = link_capacity_[l];
+        scratch_links_.push_back(l);
+      }
+      scratch_count_[l] += c.n;
+    }
+  }
+  size_t unfrozen = active_classes_.size();
+  while (unfrozen > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (uint32_t l : scratch_links_) {
+      const uint32_t cnt = scratch_count_[l];
+      if (cnt == 0) continue;
+      const double fair = scratch_remaining_[l] / cnt;
+      if (fair < best_share) best_share = fair;
+    }
+    bool froze_capped = false;
+    for (uint32_t ci : active_classes_) {
+      PathClass& c = classes_[ci];
+      if (c.rate >= 0) continue;
+      if (c.cap > 0 && c.cap <= best_share) {
+        c.rate = c.cap;
+        const double used = c.rate * c.n;
+        for (uint32_t k = 0; k < c.path_len; ++k) {
+          const uint32_t l = c.path[k];
+          scratch_remaining_[l] -= used;
+          scratch_count_[l] -= c.n;
+        }
+        --unfrozen;
+        froze_capped = true;
+      }
+    }
+    if (froze_capped) continue;
+    const double share = best_share;
+    const double limit = share * (1 + 1e-12);
+    for (uint32_t ci : active_classes_) {
+      PathClass& c = classes_[ci];
+      if (c.rate >= 0) continue;
+      bool bottlenecked = false;
+      for (uint32_t k = 0; k < c.path_len; ++k) {
+        const uint32_t l = c.path[k];
+        if (scratch_remaining_[l] <= limit * scratch_count_[l]) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        c.rate = share;
+        const double used = share * c.n;
+        for (uint32_t k = 0; k < c.path_len; ++k) {
+          const uint32_t l = c.path[k];
+          scratch_remaining_[l] -= used;
+          scratch_count_[l] -= c.n;
+        }
+        --unfrozen;
+      }
+    }
+  }
+  for (uint32_t l : scratch_links_) scratch_count_[l] = 0;
+  for (Flow* f : flow_order_) f->rate = classes_[f->cls].rate;
+}
+
+void Network::mark_rates_dirty() {
+  rates_dirty_ = true;
+  sim_.request_flush();
+}
+
+void Network::flush_hook(void* self) {
+  static_cast<Network*>(self)->flush_solver();
+}
+
+void Network::flush_solver() {
+  if (!rates_dirty_) return;
+  rates_dirty_ = false;
+  solve_classes();
+  retime();
+}
+
+void Network::after_change() {
+  if (legacy_) {
+    solve_flows_legacy();
+    retime();
+  } else {
+    mark_rates_dirty();
+  }
+}
+
+void Network::retime() {
+  if (flows_.empty()) {
+    ++timer_generation_;  // invalidate any pending wake-up
+    timer_pending_ = false;
+    return;
+  }
   double next = std::numeric_limits<double>::infinity();
   for (const Flow* f : flow_order_) {
     if (f->rate > 0) next = std::min(next, f->remaining / f->rate);
   }
   BS_CHECK_MSG(next < std::numeric_limits<double>::infinity(),
                "active flows but no positive rates");
+  const double deadline = sim_.now() + next;
+  // Damping (incremental mode): a re-solve that leaves the earliest
+  // completion where it was keeps the already-scheduled timer.
+  if (!legacy_ && timer_pending_ && deadline == timer_deadline_) {
+    ++sstats_.retimes_damped;
+    return;
+  }
+  ++timer_generation_;
+  timer_pending_ = true;
+  timer_deadline_ = deadline;
+  ++sstats_.retimes_scheduled;
   const uint64_t gen = timer_generation_;
-  sim_.call_at(sim_.now() + next, [this, gen] { on_timer(gen); });
+  sim_.call_at(deadline, [this, gen] { on_timer(gen); });
 }
 
 void Network::on_timer(uint64_t generation) {
   if (generation != timer_generation_) return;  // superseded by a change
-  advance();
-  recompute_rates();
-  retime();
+  timer_pending_ = false;
+  const bool completed = advance();
+  if (legacy_) {
+    solve_flows_legacy();
+    retime();
+    return;
+  }
+  if (completed) {
+    // Departures change the fair shares: batch with anything else this
+    // instant and solve once at its end.
+    mark_rates_dirty();
+  } else if (rates_dirty_) {
+    // An earlier event this instant already changed the flow set (it may
+    // even have completed the flows this timer was armed for); the
+    // instant-end flush will solve and reschedule — rates are stale here,
+    // so computing a deadline from them would be wrong.
+  } else {
+    retime();
+  }
+}
+
+SolverStats Network::solver_stats() const {
+  SolverStats s = sstats_;
+  size_t active = 0;
+  for (uint32_t ci : active_classes_) {
+    if (classes_[ci].n > 0) ++active;
+  }
+  s.active_path_classes = active;
+  return s;
+}
+
+double Network::solver_oracle_max_rel_diff() {
+  if (flows_.empty()) return 0;
+  // Both solvers are pure functions of the current flow set and capacities,
+  // so running them back to back and finishing with the active backend
+  // leaves rates bit-identical to the pre-call state.
+  std::vector<double> legacy_rates;
+  legacy_rates.reserve(flow_order_.size());
+  solve_flows_legacy();
+  for (const Flow* f : flow_order_) legacy_rates.push_back(f->rate);
+  solve_classes();
+  double max_rel = 0;
+  for (size_t i = 0; i < flow_order_.size(); ++i) {
+    const double a = legacy_rates[i];
+    const double b = flow_order_[i]->rate;
+    const double denom = std::max(std::abs(a), 1.0);
+    max_rel = std::max(max_rel, std::abs(a - b) / denom);
+  }
+  if (legacy_) solve_flows_legacy();  // restore the active backend's rates
+  return max_rel;
 }
 
 }  // namespace bs::net

@@ -2,19 +2,43 @@
 //
 // Each bulk transfer is a *flow* along a fixed link path
 // (src NIC up → [rack uplink → rack downlink] → dst NIC down).
-// Whenever the flow set changes, all rates are re-solved by progressive
+// Whenever the flow set changes, rates are re-solved by progressive
 // filling (freeze the bottleneck, subtract, repeat) and the earliest
 // completion is scheduled. This is the standard fluid approximation used in
 // datacenter simulators; it reproduces the contention and hotspot effects
 // the paper's throughput curves depend on, at a cost of O(flows·links) per
 // change instead of per-packet events.
 //
+// Solver engineering (the sim's dominant CPU cost at cluster scale):
+//
+//  - Path-class aggregation: flows sharing one (src, dst, cap) triple share
+//    one link path and therefore one max-min rate — a shuffle storm's
+//    thousands of identical src→rack→dst streams collapse into a handful
+//    of classes. Progressive filling runs over classes weighted by member
+//    count, not over individual flows.
+//  - Instant-batched re-solve: a flow arrival/departure marks rates dirty;
+//    the solve runs ONCE at the end of the simulated instant (via the
+//    simulator's flush hook), so a burst of same-timestamp arrivals pays
+//    for one solve instead of one per flow. Rates inside an instant are
+//    unobservable (no simulated time passes), so this is exact.
+//  - Completion-retime damping: the wake-up timer is left in place when a
+//    re-solve does not move the earliest completion time.
+//
+// The pre-optimization solver (full per-flow progressive filling on every
+// change, no damping) is kept in the binary as the oracle and baseline:
+// enable with ClusterConfig::legacy_solver or BS_LEGACY_SOLVER=1 in the
+// environment. Both paths are individually bit-reproducible; their rates
+// agree to floating-point round-off (gated by net_test and bench/ext9).
+//
 // Control messages (RPCs) are modeled as fixed one-way latencies — they are
 // small enough (hundreds of bytes) that their bandwidth use is negligible.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "common/container.h"
@@ -92,6 +116,16 @@ struct NodePerf {
   double nic = 1.0;   // both NIC directions (link capacities)
   double disk = 1.0;  // local disk bandwidth
   double cpu = 1.0;   // task compute speed (consumed by schedulers/engines)
+};
+
+// Solver introspection for benches and tests (bench/ext9, net_test).
+struct SolverStats {
+  uint64_t class_solves = 0;    // instant-batched path-class re-solves
+  uint64_t legacy_solves = 0;   // full per-flow re-solves (legacy path)
+  uint64_t retimes_scheduled = 0;
+  uint64_t retimes_damped = 0;  // skipped: earliest completion unchanged
+  uint64_t path_classes_created = 0;
+  size_t active_path_classes = 0;
 };
 
 class Network {
@@ -173,6 +207,16 @@ class Network {
   const std::vector<double>& rx_bytes() const { return rx_bytes_; }
   const std::vector<double>& tx_bytes() const { return tx_bytes_; }
 
+  // --- solver introspection (tests / bench gates) ---
+  bool legacy_solver() const { return legacy_; }
+  SolverStats solver_stats() const;
+  // Oracle cross-check: solves the CURRENT flow set with both the legacy
+  // full per-flow filling and the path-class solver and returns the
+  // largest relative rate difference (0 when no flows are active). Leaves
+  // the active mode's rates in place, so calling it mid-run does not
+  // perturb the simulation. Test/bench only — allocates.
+  double solver_oracle_max_rel_diff();
+
  private:
   struct GroundTruth final : LivenessView {
     explicit GroundTruth(const Network& net) : net(net) {}
@@ -180,12 +224,25 @@ class Network {
     const Network& net;
   };
 
+  // All flows between one (src, dst) pair under one cap share this: one
+  // link path, one max-min rate. `n` members are solved as one weighted
+  // entity. Slots are recycled; `cid` (monotonic creation id) keeps the
+  // solver's iteration order deterministic.
+  struct PathClass {
+    uint64_t cid = 0;
+    uint32_t path[4] = {0, 0, 0, 0};
+    uint32_t path_len = 0;
+    uint32_t n = 0;        // member flow count (0 = dead slot)
+    double cap = 0;        // per-flow cap (0 = none); part of the key
+    double rate = 0;       // per-flow rate from the last solve
+    NodeId src = 0, dst = 0;
+  };
+
   struct Flow {
     uint64_t id;
-    std::vector<uint32_t> path;  // link indices
-    double remaining;            // bytes
-    double rate = 0;             // current fair rate, bytes/sec
-    double cap;                  // per-flow cap (0 = none)
+    uint32_t cls;       // index into classes_
+    double remaining;   // bytes
+    double rate = 0;    // current fair rate, bytes/sec
     sim::Event* done;
     NodeId src, dst;
   };
@@ -201,21 +258,44 @@ class Network {
 
   void add_flow(NodeId src, NodeId dst, double bytes, double cap,
                 sim::Event* done);
-  // Advances all flows to `now`, completing any that finished.
-  void advance();
-  // Re-solves max-min fair rates (progressive filling with per-flow caps).
-  // Uses flat per-link scratch arrays (scratch_*) — this runs on every flow
-  // arrival/departure and dominates bench CPU time.
-  void recompute_rates();
-  // Schedules the wake-up for the next flow completion.
+  uint32_t class_for(NodeId src, NodeId dst, double cap);
+  void release_member(uint32_t cls);
+  // Advances all flows to `now`, completing any that finished. Returns
+  // whether any flow completed (and was removed).
+  bool advance();
+  // Recycles class slots whose membership dropped to zero.
+  void compact_dead_classes();
+  // Rate re-solve, both backends. Legacy: per-flow progressive filling
+  // (the pre-optimization oracle). Class: progressive filling over path
+  // classes weighted by member count, rates written back to flows.
+  void solve_flows_legacy();
+  void solve_classes();
+  // Incremental path: marks rates stale and defers solve+retime to the
+  // simulator's instant-end flush (one solve per instant, however many
+  // arrivals/departures it batched).
+  void mark_rates_dirty();
+  void flush_solver();
+  static void flush_hook(void* self);
+  // Immediate re-solve + retime (legacy path and set_node_perf).
+  void after_change();
+  // Schedules the wake-up for the next flow completion. Damped in the
+  // incremental mode: a pending timer at the same deadline is left alone.
   void retime();
   void on_timer(uint64_t generation);
 
   sim::Simulator& sim_;
   ClusterConfig cfg_;
+  bool legacy_ = false;
   std::vector<double> link_capacity_;
   bs::unordered_map<uint64_t, Flow> flows_;
-  // Scratch for recompute_rates (sized to the link count, reused).
+  // Path classes: slot storage + free list; active slots listed in cid
+  // order (dead slots are compacted out during the next solve); ordered
+  // key index for arrival lookup.
+  std::vector<PathClass> classes_;
+  std::vector<uint32_t> free_classes_;
+  std::vector<uint32_t> active_classes_;
+  std::map<std::tuple<NodeId, NodeId, double>, uint32_t> class_index_;
+  // Scratch for the solvers (sized to the link count, reused).
   std::vector<double> scratch_remaining_;
   std::vector<uint32_t> scratch_count_;
   std::vector<uint32_t> scratch_links_;  // links touched by active flows
@@ -224,9 +304,14 @@ class Network {
   std::vector<std::unique_ptr<Disk>> disks_;
   double last_advance_ = 0;
   uint64_t next_flow_id_ = 1;
+  uint64_t next_class_id_ = 1;
   uint64_t timer_generation_ = 0;
+  bool timer_pending_ = false;
+  double timer_deadline_ = 0;
+  bool rates_dirty_ = false;
   uint64_t flows_started_ = 0;
   double bytes_moved_ = 0;
+  SolverStats sstats_;
   std::vector<double> rx_bytes_;
   std::vector<double> tx_bytes_;
   std::vector<char> up_;  // ground-truth power state per node
@@ -242,6 +327,7 @@ class Network {
   obs::Counter* m_bytes_;
   obs::Counter* m_rpcs_;
   obs::Counter* m_rpc_timeouts_;
+  obs::Counter* m_solves_;
   obs::Histogram* m_transfer_s_;
   std::vector<obs::Counter*> m_rack_up_bytes_;
   std::vector<obs::Counter*> m_rack_down_bytes_;

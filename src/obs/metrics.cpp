@@ -15,19 +15,6 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   counts_.assign(bounds_.size() + 1, 0);
 }
 
-void Histogram::observe(double x) {
-  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
-  ++counts_[static_cast<size_t>(it - bounds_.begin())];
-  ++count_;
-  sum_ += x;
-  if (count_ == 1) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-}
-
 double Histogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

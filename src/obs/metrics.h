@@ -18,6 +18,7 @@
 // (op names, racks, job ids) — never per-page or per-request values.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -61,7 +62,21 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
-  void observe(double x);
+  // Hot path (every transfer, RPC, and task records here): inline so call
+  // sites reduce to a branchless-ish bucket search plus a handful of adds —
+  // the engine perf pass measured the out-of-line call in bench profiles.
+  void observe(double x) {
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+    ++counts_[static_cast<size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += x;
+    if (count_ == 1) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+  }
 
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }

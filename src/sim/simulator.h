@@ -4,6 +4,15 @@
 // insertion order, so runs are bit-reproducible. The simulated world is
 // single-threaded by construction (C++ Core Guidelines CP.3: parallelism is
 // *modeled*, not executed, so there is no shared mutable state to race on).
+//
+// The loop is allocation-free in steady state: an Event is a 24-byte POD
+// whose payload is either a coroutine handle or an index into a pooled
+// callback-slot table (tagged in the low bit — coroutine frames come from
+// operator new and are at least pointer-aligned, so bit 0 is free), and
+// detached tasks link themselves onto an intrusive finished list at final
+// suspend instead of being discovered by a periodic scan of every live
+// process. An escaped exception in a detached task rethrows out of run()
+// at the dispatch that finished the task, not at some later reap boundary.
 #pragma once
 
 #include <coroutine>
@@ -41,6 +50,9 @@ class Simulator {
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
   // Schedules a plain callback (used by the flow solver's retimeable wake).
+  // Callback storage is pooled: the std::function lives in a reusable slot,
+  // so steady-state call_at traffic performs no allocation (captures beyond
+  // the function's inline buffer still allocate inside std::function).
   void call_at(Time t, std::function<void()> fn);
 
   // Awaitable: suspends the current coroutine for `dt` simulated seconds.
@@ -63,7 +75,8 @@ class Simulator {
 
   // Detaches a task: it starts at the current time and is owned by the
   // simulator until completion. An escaped exception in a detached task
-  // aborts the simulation (it is a bug, not a modeled failure).
+  // aborts the simulation (it is a bug, not a modeled failure): it is
+  // rethrown out of run() at the dispatch that finished the task.
   void spawn(Task<void> task);
 
   // Runs until the event queue empties. Returns final time.
@@ -73,7 +86,22 @@ class Simulator {
 
   // Number of events processed so far (for tests and perf reporting).
   uint64_t events_processed() const { return events_processed_; }
-  size_t live_processes() const { return spawned_.size(); }
+  size_t live_processes() const { return live_; }
+
+  // --- instant-end hooks -----------------------------------------------
+  //
+  // A component can defer work to the end of the current simulated instant
+  // (after every already-queued event at `now` has dispatched, before time
+  // advances): register a hook once, then call request_flush() whenever
+  // there is pending work. The flow solver uses this to coalesce a burst
+  // of same-instant flow arrivals into ONE re-solve — intermediate rates
+  // within an instant are unobservable (no simulated time passes), so only
+  // the final flow set of the instant needs solving. Hooks run outside any
+  // event dispatch and consume no (time, seq) pairs; they may enqueue new
+  // events (at `now` or later), which are processed before time advances.
+  using FlushHook = void (*)(void* ctx);
+  void add_flush_hook(FlushHook fn, void* ctx);
+  void request_flush() { flush_requested_ = true; }
 
   // Observability plane shared by every component of this world: a metrics
   // registry (always on; counters are cheap) and a span tracer (off until
@@ -83,7 +111,7 @@ class Simulator {
   obs::Tracer& tracer();
 
   // Event-stream audit (sim/order_audit.h): once enabled, every dispatched
-  // (time, sequence) pair is folded into a running digest and exported via
+  // (time, seq) pair is folded into a running digest and exported via
   // the metrics registry, so tests and benches can assert the *schedule*
   // (not just the outputs) is identical across runs. Opt-in; events
   // dispatched before the call are not part of the digest.
@@ -92,11 +120,13 @@ class Simulator {
   OrderAuditor* order_auditor() const { return auditor_.get(); }
 
  private:
+  // POD event: 24 bytes, trivially copyable, so priority-queue sifts are
+  // memcpys. `payload` is a coroutine handle address (bit 0 clear) or
+  // (callback_slot << 1) | 1.
   struct Event {
     Time t;
     uint64_t seq;
-    std::coroutine_handle<> h;   // exactly one of h / fn is set
-    std::function<void()> fn;
+    uintptr_t payload;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -105,17 +135,38 @@ class Simulator {
     }
   };
 
-  void dispatch(Event& ev);
-  void reap_finished();
+  void dispatch(const Event& ev);
+  // Destroys tasks that linked themselves onto the finished list during the
+  // last dispatch; rethrows the first escaped exception it finds.
+  void drain_finished();
+  void run_flush_hooks();
+  // Called from a detached task's final suspend (via the promise hook).
+  static void on_task_finished(void* sim, uint32_t slot);
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Detached tasks live in slab slots (stable under growth via index
+  // addressing); finished tasks push their slot here at final suspend.
   std::vector<Task<void>> spawned_;
+  std::vector<uint32_t> spawned_free_;
+  std::vector<uint32_t> finished_;
+  // Pooled call_at storage: slot functions are moved out at dispatch and
+  // the slot recycled, so the vector stops growing once the high-water
+  // mark of concurrently pending callbacks is reached.
+  std::vector<std::function<void()>> callback_slots_;
+  std::vector<uint32_t> callback_free_;
+  struct Hook {
+    FlushHook fn;
+    void* ctx;
+  };
+  std::vector<Hook> flush_hooks_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<OrderAuditor> auditor_;
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_processed_ = 0;
+  size_t live_ = 0;
+  bool flush_requested_ = false;
 };
 
 }  // namespace bs::sim

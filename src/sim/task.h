@@ -25,16 +25,28 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+  // Detached-task hook (set by Simulator::spawn): at final suspend the task
+  // links itself onto its owner's intrusive finished list, so the owner
+  // never has to scan live processes to discover completions. Unset (and
+  // free) for awaited tasks, whose continuation resumes instead.
+  void (*on_detached_final)(void* owner, uint32_t slot) = nullptr;
+  void* detached_owner = nullptr;
+  uint32_t detached_slot = 0;
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }
     template <typename Promise>
     std::coroutine_handle<> await_suspend(
         std::coroutine_handle<Promise> h) noexcept {
-      // Resume whoever awaited us; a detached task has no continuation and
-      // simply stays suspended at its final point until reaped.
-      auto cont = h.promise().continuation;
-      return cont ? cont : std::noop_coroutine();
+      // Resume whoever awaited us; a detached task notifies its owner and
+      // stays suspended at its final point until the owner destroys it
+      // (the frame must not be destroyed here — it is still suspending).
+      PromiseBase& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.on_detached_final != nullptr) {
+        p.on_detached_final(p.detached_owner, p.detached_slot);
+      }
+      return std::noop_coroutine();
     }
     void await_resume() noexcept {}
   };
@@ -148,6 +160,18 @@ class [[nodiscard]] Task<void> {
     if (h_ && h_.promise().exception) {
       std::rethrow_exception(h_.promise().exception);
     }
+  }
+
+  // Arms the detached-final hook (Simulator::spawn): `fn(owner, slot)` runs
+  // inside this task's final suspend, after the body completed but before
+  // the frame may be destroyed.
+  void set_detached_hook(void (*fn)(void*, uint32_t), void* owner,
+                         uint32_t slot) {
+    BS_CHECK(h_ != nullptr);
+    auto& p = h_.promise();
+    p.on_detached_final = fn;
+    p.detached_owner = owner;
+    p.detached_slot = slot;
   }
 
   auto operator co_await() && noexcept {

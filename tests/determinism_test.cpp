@@ -52,7 +52,7 @@ struct RunResult {
   }
 };
 
-RunResult run_stack(const std::string& backend) {
+RunResult run_stack(const std::string& backend, bool legacy_solver = false) {
   sim::Simulator sim;
   // Tracing on for the whole run: recording spans must not perturb the
   // simulation (every timing assertion below would catch it if it did).
@@ -65,6 +65,7 @@ RunResult run_stack(const std::string& backend) {
   net::ClusterConfig ncfg;
   ncfg.num_nodes = 24;
   ncfg.nodes_per_rack = 6;
+  ncfg.legacy_solver = legacy_solver;
   net::Network net(sim, ncfg);
   blob::BlobSeerCluster blobs(sim, net, {});
   bsfs::NamespaceManager ns(sim, net, {});
@@ -165,6 +166,31 @@ TEST(Determinism, ObservabilitySnapshotsAreBitReproducible) {
           << backend << " missing " << needle;
     }
   }
+}
+
+// Engine rewrite (PR 9): the pre-optimization per-flow solver survives as a
+// selectable backend (ClusterConfig::legacy_solver / BS_LEGACY_SOLVER) so it
+// can serve as an oracle. It must be exactly as deterministic as the
+// incremental default — byte-identical snapshots, schedule digest included —
+// and both solver backends must agree on the application output. (The full
+// suite also runs under BS_LEGACY_SOLVER=1 in CI; this pins the claim
+// in-binary.)
+TEST(Determinism, LegacySolverBackendIsBitReproducible) {
+  for (const char* backend : {"BSFS", "HDFS"}) {
+    const RunResult a = run_stack(backend, /*legacy_solver=*/true);
+    const RunResult b = run_stack(backend, /*legacy_solver=*/true);
+    EXPECT_TRUE(a == b) << backend;
+    EXPECT_NE(a.metrics_snapshot.find("sim/order_digest_lo"),
+              std::string::npos)
+        << backend;
+  }
+  auto sorted = [](std::vector<std::pair<std::string, std::string>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  const RunResult legacy = run_stack("BSFS", /*legacy_solver=*/true);
+  const RunResult incremental = run_stack("BSFS");
+  EXPECT_EQ(sorted(legacy.results), sorted(incremental.results));
 }
 
 TEST(Determinism, BackendsDifferButAgreeOnResults) {

@@ -413,5 +413,129 @@ TEST_P(NetworkLoadTest, ConservationAndCompletion) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetworkLoadTest, ::testing::Range(1, 9));
 
+// --- incremental solver vs. legacy oracle (PR 9) ---------------------------
+
+// Randomized flow churn (staggered arrivals and departures, repeated paths,
+// per-flow caps) with a probe that repeatedly solves the LIVE flow set with
+// both backends and records the worst relative rate difference. Both code
+// paths are compiled into every build; this is the standing proof that the
+// path-class solver computes the same max-min allocation as the full
+// per-flow progressive filling it replaced.
+class SolverOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverOracleTest, IncrementalRatesMatchFullSolveUnderChurn) {
+  Rng rng(GetParam());
+  sim::Simulator sim;
+  auto cfg = small_config();
+  cfg.per_stream_cap_bps = 30e6;  // caps bind on some rounds, not all
+  Network net(sim, cfg);
+  // The oracle comparison is only meaningful with the incremental solver
+  // live; under the BS_LEGACY_SOLVER=1 sweep both sides would be legacy.
+  if (net.legacy_solver()) GTEST_SKIP() << "BS_LEGACY_SOLVER forces legacy";
+
+  auto xfer = [](Network& n, NodeId s, NodeId d, double bytes, double cap,
+                 double start) -> sim::Task<void> {
+    co_await n.simulator().delay(start);
+    co_await n.transfer(s, d, bytes, cap);
+  };
+  const int num_flows = 60;
+  for (int i = 0; i < num_flows; ++i) {
+    // Half the flows reuse one of 6 fixed pairs (same-path classes with
+    // several members); the rest are random pairs.
+    NodeId s, d;
+    if (i % 2 == 0) {
+      s = static_cast<NodeId>(i % 6);
+      d = static_cast<NodeId>((i % 6 + 4) % cfg.num_nodes);
+    } else {
+      s = static_cast<NodeId>(rng.below(cfg.num_nodes));
+      d = static_cast<NodeId>(rng.below(cfg.num_nodes));
+      if (d == s) d = (d + 1) % cfg.num_nodes;
+    }
+    const double bytes = 1e6 + rng.uniform() * 40e6;
+    const double cap = (i % 5 == 0) ? 10e6 + rng.uniform() * 40e6 : 0;
+    const double start = rng.uniform() * 1.5;
+    sim.spawn(xfer(net, s, d, bytes, cap, start));
+  }
+  double max_rel_diff = 0;
+  auto probe = [](Network& n, double* worst) -> sim::Task<void> {
+    for (int k = 0; k < 80; ++k) {
+      co_await n.simulator().delay(0.05);
+      if (n.active_flows() == 0) continue;
+      *worst = std::max(*worst, n.solver_oracle_max_rel_diff());
+    }
+  };
+  sim.spawn(probe(net, &max_rel_diff));
+  sim.run();
+
+  EXPECT_LT(max_rel_diff, 1e-9);
+  EXPECT_EQ(net.active_flows(), 0u);
+  const SolverStats stats = net.solver_stats();
+  EXPECT_GT(stats.class_solves, 0u);
+  EXPECT_GT(stats.path_classes_created, 0u);
+  // Aggregation actually happened: fewer classes than flows.
+  EXPECT_LT(stats.path_classes_created, net.flows_started());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverOracleTest, ::testing::Range(1, 6));
+
+TEST(Network, BackendsAgreeOnCompletionTimesAndBytes) {
+  // The same randomized workload through both solver backends must produce
+  // the same physics: equal bytes moved and completion times within float
+  // round-off (class-aggregated arithmetic may differ by ~1 ulp).
+  auto run_backend = [](bool legacy) {
+    Rng rng(1234);
+    sim::Simulator sim;
+    auto cfg = small_config();
+    cfg.legacy_solver = legacy;
+    Network net(sim, cfg);
+    auto xfer = [](Network& n, NodeId s, NodeId d, double bytes,
+                   double start) -> sim::Task<void> {
+      co_await n.simulator().delay(start);
+      co_await n.transfer(s, d, bytes);
+    };
+    for (int i = 0; i < 40; ++i) {
+      const NodeId s = static_cast<NodeId>(rng.below(8));
+      NodeId d = static_cast<NodeId>(rng.below(8));
+      if (d == s) d = (d + 1) % 8;
+      sim.spawn(xfer(net, s, d, 1e6 + rng.uniform() * 30e6,
+                     rng.uniform() * 0.5));
+    }
+    sim.run();
+    return std::pair<double, double>(sim.now(), net.bytes_moved());
+  };
+  const auto legacy = run_backend(true);
+  const auto incremental = run_backend(false);
+  EXPECT_NEAR(incremental.first, legacy.first,
+              1e-9 * std::max(1.0, legacy.first));
+  EXPECT_DOUBLE_EQ(incremental.second, legacy.second);
+}
+
+TEST(Network, RetimeDampingSkipsUnchangedDeadlines) {
+  // A batch of same-instant arrivals between independent pairs: each flush
+  // re-solve leaves the earliest completion unchanged once it is set, so
+  // damping must absorb retimes that the legacy backend would schedule.
+  sim::Simulator sim;
+  Network net(sim, small_config());
+  // Damping is an incremental-backend behavior; legacy always reschedules.
+  if (net.legacy_solver()) GTEST_SKIP() << "BS_LEGACY_SOLVER forces legacy";
+  auto xfer = [](Network& n, NodeId s, NodeId d, double start,
+                 double bytes) -> sim::Task<void> {
+    co_await n.simulator().delay(start);
+    co_await n.transfer(s, d, bytes);
+  };
+  // t=0: flow A (0→4, 100 MB at a 100 MB/s NIC) completes at exactly 1.0.
+  // At t=0.25 and t=0.5 (binary-exact instants, so the recomputed deadline
+  // is bit-identical), larger flows arrive on independent NIC pairs; the
+  // shared 400 MB/s uplink still leaves everyone at NIC rate, so each
+  // arrival's re-solve leaves the earliest completion pinned at 1.0 and
+  // the retime must be damped instead of rescheduled.
+  sim.spawn(xfer(net, 0, 4, 0, 100e6));
+  sim.spawn(xfer(net, 1, 5, 0.25, 150e6));
+  sim.spawn(xfer(net, 2, 6, 0.5, 150e6));
+  sim.run();
+  const SolverStats stats = net.solver_stats();
+  EXPECT_GT(stats.retimes_damped, 0u);
+}
+
 }  // namespace
 }  // namespace bs::net

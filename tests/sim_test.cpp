@@ -514,6 +514,104 @@ TEST(OrderAuditor, DigestIsExportedThroughObsGauges) {
   EXPECT_EQ(audit.digest_hex().size(), 16u);
 }
 
+// --- engine-rewrite pins (PR 9) --------------------------------------------
+
+// Golden-schedule pin: this scenario (spawn fan-out with 8-way ties, a
+// semaphore handoff chain, nested tasks, call_at callbacks interleaved with
+// coroutine wakes) was recorded against the pre-rewrite event queue
+// (std::function events, periodic reap). The hardcoded digest proves the
+// POD-event / pooled-callback / intrusive-finished-list queue dispatches
+// the EXACT same (time, seq) stream. If an engine change breaks this, it
+// changed the schedule contract, not just performance.
+Task<int> golden_nested(Simulator& s, int depth) {
+  if (depth == 0) {
+    co_await s.delay(0.125);
+    co_return 1;
+  }
+  const int sub = co_await golden_nested(s, depth - 1);
+  co_await s.delay(0.25);
+  co_return sub + 1;
+}
+
+Task<void> golden_worker(Simulator& s, Semaphore& gate, int id,
+                         uint64_t* sum) {
+  co_await s.delay(1.0);  // 8-way tie at t=1
+  co_await gate.acquire();
+  co_await s.delay(0.5 * (id % 3 + 1));
+  *sum += static_cast<uint64_t>(co_await golden_nested(s, id % 4));
+  gate.release();
+}
+
+TEST(OrderAuditor, GoldenScheduleDigestPinnedAcrossQueueRewrite) {
+  Simulator sim;
+  OrderAuditor& audit = sim.enable_order_audit();
+  Semaphore gate(sim, 3);
+  uint64_t sum = 0;
+  for (int id = 0; id < 8; ++id) sim.spawn(golden_worker(sim, gate, id, &sum));
+  for (int i = 0; i < 4; ++i) {
+    sim.call_at(0.5 * (i % 2 + 1), [] {});
+  }
+  sim.run();
+  // Recorded from the pre-rewrite implementation (seed @ PR 8).
+  EXPECT_EQ(audit.digest_hex(), "92aa1bff0b6737e2");
+  EXPECT_EQ(audit.events(), 53u);
+  EXPECT_EQ(audit.ties(), 27u);
+  EXPECT_EQ(sum, 20u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.375);
+}
+
+TEST(Simulator, DetachedTaskExceptionSurfacesAtFinishingDispatch) {
+  // Before the intrusive finished-list, an escaped exception in a detached
+  // task sat unobserved until the next 4096-event reap scan; the simulation
+  // kept running arbitrarily far past the failure. Now the rethrow happens
+  // at the dispatch that finishes the task: the clock reads the failure
+  // time and no later-time event has run.
+  Simulator sim;
+  int bystander_steps = 0;
+  auto thrower = [](Simulator& s) -> Task<void> {
+    co_await s.delay(1.0);
+    throw std::runtime_error("escaped");
+  };
+  auto bystander = [](Simulator& s, int* n) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await s.delay(0.3);
+      ++*n;
+    }
+  };
+  sim.spawn(bystander(sim, &bystander_steps));
+  sim.spawn(thrower(sim));
+  bool caught = false;
+  try {
+    sim.run();
+  } catch (const std::runtime_error& e) {
+    caught = std::string(e.what()) == "escaped";
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);  // surfaced at the finishing dispatch
+  EXPECT_EQ(bystander_steps, 3);     // 0.3, 0.6, 0.9 ran; nothing after 1.0
+  EXPECT_EQ(sim.live_processes(), 1u);  // the bystander is still suspended
+}
+
+TEST(Simulator, CallAtSlotsAreRecycled) {
+  // Self-rescheduling callback: the pooled slot must be reused, and state
+  // captured by value must survive the move in and out of the pool.
+  Simulator sim;
+  struct Ticker {
+    Simulator* sim;
+    int* count;
+    int left;
+    void operator()() {
+      ++*count;
+      if (--left > 0) sim->call_at(sim->now() + 1.0, *this);
+    }
+  };
+  int count = 0;
+  sim.call_at(1.0, Ticker{&sim, &count, 5});
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
 class DelayParamTest : public ::testing::TestWithParam<double> {};
 
 // Property: a chain of n delays of dt lands exactly at n*dt (no drift from
