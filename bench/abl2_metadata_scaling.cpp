@@ -7,10 +7,20 @@
 // pattern, 200 clients): with one metadata server and an exaggerated
 // service time the reads queue behind metadata lookups exactly like an
 // overloaded NameNode.
+//
+// PR 10 adds a second sweep one level up: the DATA-plane DHT above scales
+// page-tree lookups, but every open/stat still funnels through the version
+// manager. The second table shards the VM itself (WorldOptions
+// metadata_shards) under a pure open/stat storm and reports how the VM's
+// busiest shard sheds load as the serial point spreads.
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
+#include "common/assert.h"
+#include "common/rng.h"
 #include "sim/parallel.h"
+#include "sim/sync.h"
 
 using namespace bs;
 using namespace bs::bench;
@@ -20,6 +30,47 @@ namespace {
 constexpr uint32_t kClients = 200;
 constexpr uint64_t kSliceBytes = 256 * kMiB;
 constexpr uint64_t kFileBytes = kClients * kSliceBytes;
+
+// --- VM-shard sweep (PR 10) ---
+
+constexpr uint32_t kVmClients = 2000;
+constexpr uint32_t kVmOps = 8;
+constexpr uint32_t kVmFiles = 128;
+
+std::string vm_file(uint32_t i) { return "/vm/f" + std::to_string(i); }
+
+sim::Task<void> vm_stage(BsfsWorld* world) {
+  auto blob_client = world->blobs->make_client(0);
+  for (uint32_t i = 0; i < kVmFiles; ++i) {
+    const auto desc =
+        co_await blob_client->create(world->options.page_size, 1);
+    co_await blob_client->write(
+        desc.id, 0, DataSpec::pattern(500 + i, 0, world->options.page_size));
+    bool ok = co_await world->ns->add_file(0, vm_file(i), desc.id,
+                                           world->options.block_size);
+    BS_CHECK(ok);
+    ok = co_await world->ns->finalize(0, vm_file(i));
+    BS_CHECK(ok);
+  }
+}
+
+sim::Task<void> vm_storm_client(BsfsWorld* world, uint32_t index,
+                                sim::WaitGroup* wg) {
+  const net::NodeId node = client_node(world->options.cluster, index);
+  auto fs_client = world->fs->make_client(node);
+  Rng rng(splitmix64(0xAB2 + index));
+  for (uint32_t op = 0; op < kVmOps; ++op) {
+    const uint32_t f = static_cast<uint32_t>(rng.below(kVmFiles));
+    if (rng.below(2) == 0) {
+      auto st = co_await fs_client->stat(vm_file(f));
+      BS_CHECK(st.has_value());
+    } else {
+      auto reader = co_await fs_client->open(vm_file(f));
+      BS_CHECK(reader != nullptr);
+    }
+  }
+  wg->done();
+}
 
 }  // namespace
 
@@ -71,7 +122,51 @@ int main(int argc, char** argv) {
     report.metric(k + "/aggregate_mbps", res.aggregate_mbps);
   }
   report.table(table);
+
+  // Phase 2 (PR 10): shard the version manager itself. The storm is pure
+  // open/stat — every op consults the VM, so its serial point dominates.
+  report.say("\nVM sharding — open/stat storm (%u clients x %u ops):\n\n",
+             kVmClients, kVmOps);
+  Table vm_table({"vm shards", "metadata ops/s", "vm requests",
+                  "busiest vm shard's share"});
+  for (uint32_t shards : {1u, 4u, 16u}) {
+    WorldOptions opt;
+    opt.metadata_shards = shards;
+    BsfsWorld world(opt);
+    world.sim.spawn(vm_stage(&world));
+    world.sim.run();
+
+    sim::WaitGroup wg(world.sim);
+    wg.add(kVmClients);
+    const double t0 = world.sim.now();
+    for (uint32_t i = 0; i < kVmClients; ++i) {
+      world.sim.spawn(vm_storm_client(&world, i, &wg));
+    }
+    world.sim.run();
+    const double makespan = world.sim.now() - t0;
+    const double ops_per_s =
+        static_cast<double>(kVmClients) * kVmOps / makespan;
+
+    auto& vm = world.blobs->version_manager();
+    const uint64_t total = vm.total_requests();
+    uint64_t busiest = 0;
+    for (const auto& [node, count] : vm.requests_per_shard()) {
+      busiest = std::max(busiest, count);
+    }
+    const double share = static_cast<double>(busiest) /
+                         static_cast<double>(std::max<uint64_t>(1, total));
+    vm_table.add_row({std::to_string(shards), Table::num(ops_per_s),
+                      std::to_string(total),
+                      Table::num(100.0 * share, 1) + "%"});
+    const std::string k = "vm_shards=" + std::to_string(shards);
+    report.metric(k + "/ops_per_s", ops_per_s);
+    report.metric(k + "/busiest_vm_share", share);
+  }
+  report.table(vm_table);
+
   report.say("\nshape: throughput holds as metadata spreads; a single\n"
-             "metadata server becomes the bottleneck (HDFS NameNode role)\n");
+             "metadata server becomes the bottleneck (HDFS NameNode role).\n"
+             "The same holds one level up: sharding the version manager\n"
+             "spreads the open/stat serial point (PR 10)\n");
   return 0;
 }

@@ -183,6 +183,16 @@ BsfsWorld::BsfsWorld(const WorldOptions& opt)
     }
   }
   bcfg.version_manager_node = 0;
+  bcfg.vm_legacy = options.vm_legacy;
+  // Shard the metadata plane over the first S storage nodes (node 0 stays
+  // the dedicated master for the 1-shard baseline).
+  std::vector<net::NodeId> md_shards;
+  if (options.metadata_shards > 1) {
+    for (uint32_t i = 0; i < options.metadata_shards; ++i) {
+      md_shards.push_back(client_node(opt.cluster, i));
+    }
+  }
+  bcfg.version_manager_nodes = md_shards;
   bcfg.provider_manager_node = 0;
   bcfg.provider.ram_bytes = options.provider_ram;
   bcfg.provider.read_cache = options.provider_read_cache;
@@ -190,13 +200,15 @@ BsfsWorld::BsfsWorld(const WorldOptions& opt)
   bcfg.manager.policy = options.placement;
   bcfg.dht.service_time_s = options.dht_service_time_s;
   blobs = std::make_unique<blob::BlobSeerCluster>(sim, net, std::move(bcfg));
-  ns = std::make_unique<bsfs::NamespaceManager>(sim, net,
-                                                bsfs::NamespaceConfig{});
+  bsfs::NamespaceConfig nscfg;
+  if (!options.vm_legacy) nscfg.shard_nodes = md_shards;
+  ns = std::make_unique<bsfs::NamespaceManager>(sim, net, nscfg);
   bsfs::BsfsConfig fcfg;
   fcfg.block_size = options.block_size;
   fcfg.page_size = options.page_size;
   fcfg.replication = options.bsfs_replication;
   fcfg.enable_cache = options.client_cache;
+  fcfg.lease_ttl_s = options.lease_ttl_s;
   fs = std::make_unique<bsfs::Bsfs>(sim, net, *blobs, *ns, fcfg);
   obs_index = obs_register_world(sim, "bsfs", &obs_label);
 }

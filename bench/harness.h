@@ -118,6 +118,19 @@ struct WorldOptions {
   blob::PlacementPolicy placement = blob::PlacementPolicy::kLeastLoaded;
   uint32_t metadata_nodes = 0;  // 0 = all storage nodes
   double dht_service_time_s = 50e-6;
+  // Metadata-plane sharding (PR 10): number of version-manager/namespace
+  // shards. 1 = the centralized single-server plane (the paper's baseline
+  // and the pre-sharding behavior); S > 1 spreads per-blob/per-path serial
+  // points over the first S storage nodes. HDFS has no sharding lever, so
+  // HdfsWorld ignores this — which is exactly the single-master contrast
+  // ext10 measures.
+  uint32_t metadata_shards = 1;
+  // Forces the centralized oracle VM + namespace even when metadata_shards
+  // asks for more (mirrors BS_LEGACY_VM=1).
+  bool vm_legacy = false;
+  // Client metadata lease TTL in seconds (0 = leases off; see
+  // bsfs::BsfsConfig::lease_ttl_s).
+  double lease_ttl_s = 0;
   // HDFS knobs.
   uint32_t hdfs_replication = 1;
   // Write-path durability (common/durability.h). Defaults preserve the

@@ -3,19 +3,82 @@
 #include <cstdio>
 
 #include "common/assert.h"
+#include "common/hash.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace bs::blob {
 
+namespace {
+
+// Effective serial-point hosts: the configured shard set, or the single
+// legacy node when none is given.
+std::vector<net::NodeId> effective_nodes(const VersionManagerConfig& cfg) {
+  if (cfg.shard_nodes.empty()) return {cfg.node};
+  return cfg.shard_nodes;
+}
+
+}  // namespace
+
 VersionManager::VersionManager(sim::Simulator& sim, net::Network& net,
                                VersionManagerConfig cfg)
-    : sim_(sim), net_(net), cfg_(cfg), queue_(sim, cfg.service_time_s) {
+    : sim_(sim), net_(net), cfg_(std::move(cfg)),
+      ring_(effective_nodes(cfg_)) {
   obs::MetricsRegistry& m = sim_.metrics();
   tracer_ = &sim_.tracer();
   m_requests_ = &m.counter("blob/vm_requests");
   h_publish_s_ = &m.histogram("blob/publish_latency_s");
+
+  const std::vector<net::NodeId> nodes = effective_nodes(cfg_);
+  shards_.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    Shard s;
+    s.node = nodes[i];
+    s.queue = std::make_unique<net::ServiceQueue>(sim_, cfg_.service_time_s);
+    const obs::Labels labels = {{"shard", std::to_string(i)}};
+    s.m_requests = &m.counter("blob/vm_requests", labels);
+    s.h_publish = &m.histogram("blob/publish_latency_s", labels);
+    BS_CHECK_MSG(shard_index_.emplace(s.node, i).second,
+                 "duplicate version-manager shard node");
+    shards_.push_back(std::move(s));
+  }
+}
+
+VersionManager::Shard& VersionManager::shard_of(BlobId blob) {
+  if (shards_.size() == 1) return shards_[0];
+  // splitmix64, not raw FNV: FNV-1a over small sequential ids walks the
+  // ring in a coarse lattice (a handful of shards own everything); the
+  // finalizer's full avalanche is what actually spreads consecutive ids.
+  const net::NodeId owner = ring_.primary(splitmix64(blob));
+  return shards_[shard_index_.at(owner)];
+}
+
+const VersionManager::Shard& VersionManager::shard_of(BlobId blob) const {
+  return const_cast<VersionManager*>(this)->shard_of(blob);
+}
+
+net::NodeId VersionManager::shard_node(BlobId blob) const {
+  return shard_of(blob).node;
+}
+
+uint64_t VersionManager::total_requests() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.requests;
+  return total;
+}
+
+size_t VersionManager::queue_depth() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) total += s.queue->queue_depth();
+  return total;
+}
+
+std::map<net::NodeId, uint64_t> VersionManager::requests_per_shard() const {
+  std::map<net::NodeId, uint64_t> out;
+  for (const Shard& s : shards_) out[s.node] += s.requests;
+  return out;
 }
 
 VersionManager::BlobState& VersionManager::state_of(BlobId blob) {
@@ -29,18 +92,25 @@ sim::Task<BlobDescriptor> VersionManager::create_blob(net::NodeId client,
                                                       uint32_t replication) {
   BS_CHECK(page_size > 0);
   BS_CHECK(replication >= 1);
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  // The id is reserved before any suspension (deterministic in call order),
+  // so the create itself routes to the blob's owner shard and no global
+  // serial point is visited — id allocation is a local counter in a real
+  // deployment too (node-prefixed ranges), not a server round trip.
+  const BlobId id = next_blob_id_++;
+  Shard& s = shard_of(id);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   BlobState state;
-  state.desc.id = next_blob_id_++;
+  state.desc.id = id;
   state.desc.page_size = page_size;
   state.desc.replication = replication;
   state.publish_cv = std::make_unique<sim::CondVar>(sim_);
   const BlobDescriptor desc = state.desc;
   blobs_.emplace(desc.id, std::move(state));
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
   co_return desc;
 }
 
@@ -49,9 +119,11 @@ sim::Task<WriteTicket> VersionManager::assign_write(net::NodeId client,
                                                     uint64_t offset,
                                                     uint64_t size) {
   BS_CHECK(size > 0);
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   BlobState& b = state_of(blob);
   const uint64_t page = b.desc.page_size;
@@ -91,15 +163,17 @@ sim::Task<WriteTicket> VersionManager::assign_write(net::NodeId client,
   b.assigned_size = t.size_after;
   b.assigned_at[t.version] = sim_.now();
 
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
   co_return t;
 }
 
 sim::Task<void> VersionManager::commit(net::NodeId client, BlobId blob,
                                        Version version) {
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   BlobState& b = state_of(blob);
   BS_CHECK(version > b.published);
@@ -114,25 +188,28 @@ sim::Task<void> VersionManager::commit(net::NodeId client, BlobId blob,
     const Version v = b.published;
     auto at = b.assigned_at.find(v);
     if (at != b.assigned_at.end()) {
-      h_publish_s_->observe(sim_.now() - at->second);
+      const double latency = sim_.now() - at->second;
+      h_publish_s_->observe(latency);
+      s.h_publish->observe(latency);
       b.assigned_at.erase(at);
     }
     if (tracer_->enabled()) {
       char args[64];
       std::snprintf(args, sizeof(args), "\"blob\":%u,\"version\":%u", blob, v);
-      tracer_->instant("blob", "vm", cfg_.node, "publish", args);
+      tracer_->instant("blob", "vm", s.node, "publish", args);
     }
   }
   b.publish_cv->notify_all();
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
 }
 
 sim::Task<void> VersionManager::wait_published(net::NodeId client, BlobId blob,
                                                Version version) {
-  co_await net_.control(client, cfg_.node);
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
   BlobState& b = state_of(blob);
   while (b.published < version) co_await b.publish_cv->wait();
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
 }
 
 VersionInfo VersionManager::info_at(const BlobState& b, Version v) const {
@@ -151,48 +228,56 @@ VersionInfo VersionManager::info_at(const BlobState& b, Version v) const {
 }
 
 sim::Task<VersionInfo> VersionManager::latest(net::NodeId client, BlobId blob) {
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   const BlobState& b = state_of(blob);
   const VersionInfo info = info_at(b, b.published);
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
   co_return info;
 }
 
 sim::Task<std::optional<VersionInfo>> VersionManager::version_info(
     net::NodeId client, BlobId blob, Version v) {
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   const BlobState& b = state_of(blob);
   std::optional<VersionInfo> out;
   if (v != kNoVersion && v <= b.published && v >= b.pruned_below) {
     out = info_at(b, v);
   }
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
   co_return out;
 }
 
 sim::Task<std::vector<WriteRecord>> VersionManager::full_history(
     net::NodeId client, BlobId blob) {
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   std::vector<WriteRecord> history = state_of(blob).history;
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
   co_return history;
 }
 
 sim::Task<Version> VersionManager::prune(
     net::NodeId client, BlobId blob, Version keep_from,
     const std::function<Version()>& pin_cap) {
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   BlobState& b = state_of(blob);
   BS_CHECK_MSG(keep_from >= 1 && keep_from <= b.published,
@@ -206,18 +291,20 @@ sim::Task<Version> VersionManager::prune(
   }
   b.pruned_below = std::max(b.pruned_below, keep_from);
   const Version watermark = b.pruned_below;
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
   co_return watermark;
 }
 
 sim::Task<BlobDescriptor> VersionManager::describe(net::NodeId client,
                                                    BlobId blob) {
-  co_await net_.control(client, cfg_.node);
-  co_await queue_.process();
-  ++requests_;
+  Shard& s = shard_of(blob);
+  co_await net_.control(client, s.node);
+  co_await s.queue->process();
+  ++s.requests;
+  s.m_requests->inc();
   m_requests_->inc();
   const BlobDescriptor desc = state_of(blob).desc;
-  co_await net_.control(cfg_.node, client);
+  co_await net_.control(s.node, client);
   co_return desc;
 }
 

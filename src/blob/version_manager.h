@@ -1,4 +1,4 @@
-// The version manager — BlobSeer's only centralized component.
+// The version manager — BlobSeer's control plane for versions.
 //
 // It assigns version numbers to writers (serializing concurrent writes to
 // the same blob into a total order), tracks each blob's write history and
@@ -7,11 +7,22 @@
 // completion and (b) v-1 is published. Readers ask it for the latest
 // published version (a tiny request — the heavy metadata lookups go to the
 // DHT, which is the design point the paper contrasts with HDFS's NameNode).
+//
+// Sharding (PR 10): the per-blob total order never needed a single global
+// server — only a single serial point PER BLOB. When `shard_nodes` lists
+// more than one node, each blob's version chain (assign/commit/publish/
+// latest) lives on exactly one ring owner (consistent hashing over the blob
+// id, `dht::HashRing`), so distinct blobs scale across shards while the
+// per-blob ordering semantics are byte-identical to the centralized
+// manager. The 1-shard configuration IS the legacy centralized manager and
+// is kept selectable (`BlobSeerConfig::vm_legacy`, env `BS_LEGACY_VM=1`) as
+// a cross-check oracle, mirroring the PR-9 BS_LEGACY_SOLVER pattern.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -19,6 +30,7 @@
 
 #include "blob/types.h"
 #include "common/container.h"
+#include "dht/ring.h"
 #include "net/network.h"
 #include "net/rpc.h"
 #include "sim/sync.h"
@@ -28,6 +40,10 @@ namespace bs::blob {
 
 struct VersionManagerConfig {
   net::NodeId node = 0;        // cluster node hosting the service
+  // Sharded deployment: nodes hosting per-blob serial points (each blob is
+  // owned by one of these, chosen by consistent hashing). Empty = {node},
+  // the centralized single-server manager.
+  std::vector<net::NodeId> shard_nodes;
   double service_time_s = 80e-6;
 };
 
@@ -73,7 +89,9 @@ class VersionManager {
   // consulting the fs::SnapshotRegistry) make their pin checks atomic
   // against their own in-flight prune — a pin registered any time before
   // the prune executes is honored, even if it appeared after the caller
-  // decided on keep_from several RPC hops ago.
+  // decided on keep_from several RPC hops ago. The pin check runs on the
+  // blob's owner shard, which is the blob's serial point — sharding does
+  // not weaken the atomicity.
   sim::Task<Version> prune(net::NodeId client, BlobId blob, Version keep_from,
                            const std::function<Version()>& pin_cap = nullptr);
   // Info for a specific published version; nullopt if not published/known.
@@ -83,8 +101,13 @@ class VersionManager {
 
   // --- local introspection (no modeled cost; used by tests/benches) ---
   Version published_version(BlobId blob) const;
-  uint64_t total_requests() const { return requests_; }
-  size_t queue_depth() const { return queue_.queue_depth(); }
+  uint64_t total_requests() const;
+  size_t queue_depth() const;
+  size_t shard_count() const { return shards_.size(); }
+  // The node owning `blob`'s serial point.
+  net::NodeId shard_node(BlobId blob) const;
+  // Requests served per shard node, sorted by node (observable surface).
+  std::map<net::NodeId, uint64_t> requests_per_shard() const;
 
  private:
   struct BlobState {
@@ -101,18 +124,33 @@ class VersionManager {
     bs::unordered_map<Version, double> assigned_at;
   };
 
+  // One per-blob serial point host: its own service queue saturates
+  // independently of the others (the whole point of the refactor).
+  struct Shard {
+    net::NodeId node = 0;
+    std::unique_ptr<net::ServiceQueue> queue;
+    uint64_t requests = 0;
+    obs::Counter* m_requests = nullptr;   // blob/vm_requests{shard=i}
+    obs::Histogram* h_publish = nullptr;  // blob/publish_latency_s{shard=i}
+  };
+
   VersionInfo info_at(const BlobState& b, Version v) const;
   BlobState& state_of(BlobId blob);
+  Shard& shard_of(BlobId blob);
+  const Shard& shard_of(BlobId blob) const;
 
   sim::Simulator& sim_;
   net::Network& net_;
   VersionManagerConfig cfg_;
-  net::ServiceQueue queue_;
+  std::vector<Shard> shards_;
+  dht::HashRing ring_;                      // blob id -> owner node
+  std::map<net::NodeId, size_t> shard_index_;  // owner node -> shards_ index
   bs::unordered_map<BlobId, BlobState> blobs_;
   BlobId next_blob_id_ = 1;
-  uint64_t requests_ = 0;
 
-  // Obs handles (resolved once at construction).
+  // Obs handles (resolved once at construction; per-shard handles live in
+  // the Shard structs — all registered in the constructor, never inside a
+  // coroutine body).
   obs::Tracer* tracer_;
   obs::Counter* m_requests_;
   obs::Histogram* h_publish_s_;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace bs::bsfs {
 
@@ -15,18 +16,94 @@ Bsfs::Bsfs(sim::Simulator& sim, net::Network& net,
     : sim_(sim), net_(net), cluster_(cluster), ns_(ns), cfg_(cfg) {
   BS_CHECK_MSG(cfg_.block_size % cfg_.page_size == 0,
                "block size must be a multiple of the page size");
+  // Lease instruments are registered here, in the constructor — never
+  // inside a coroutine body (the PR-6 labeled-registration rule).
+  obs::MetricsRegistry& m = sim_.metrics();
+  m_ns_hits_ = &m.counter("bsfs/lease_hits", {{"kind", "ns"}});
+  m_ns_misses_ = &m.counter("bsfs/lease_misses", {{"kind", "ns"}});
+  m_vm_hits_ = &m.counter("bsfs/lease_hits", {{"kind", "vm"}});
+  m_vm_misses_ = &m.counter("bsfs/lease_misses", {{"kind", "vm"}});
+  g_ns_hit_rate_ = &m.gauge("bsfs/lease_hit_rate", {{"kind", "ns"}});
+  g_vm_hit_rate_ = &m.gauge("bsfs/lease_hit_rate", {{"kind", "vm"}});
 }
 
 std::unique_ptr<fs::FsClient> Bsfs::make_client(net::NodeId node) {
   return std::make_unique<BsfsClient>(*this, node);
 }
 
+sim::Task<std::optional<NsEntry>> Bsfs::cached_lookup(net::NodeId node,
+                                                      const std::string& path) {
+  if (cfg_.lease_ttl_s <= 0) {
+    co_return co_await ns_.lookup(node, path);
+  }
+  NodeLeases& cache = leases_[node];
+  auto it = cache.ns.find(path);
+  if (it != cache.ns.end()) {
+    const NsLease& lease = it->second;
+    // Valid = inside the TTL window AND no invalidation arrived (the
+    // owner's mutation epoch for this path is unchanged since grant).
+    if (sim_.now() < lease.expires_at &&
+        ns_.mutation_epoch(path) == lease.epoch) {
+      ++ns_lease_hits_;
+      m_ns_hits_->inc();
+      g_ns_hit_rate_->set(static_cast<double>(ns_lease_hits_) /
+                          static_cast<double>(ns_lease_hits_ + ns_lease_misses_));
+      co_return lease.entry;
+    }
+    cache.ns.erase(it);
+  }
+  ++ns_lease_misses_;
+  m_ns_misses_->inc();
+  g_ns_hit_rate_->set(static_cast<double>(ns_lease_hits_) /
+                      static_cast<double>(ns_lease_hits_ + ns_lease_misses_));
+  auto entry = co_await ns_.lookup(node, path);
+  if (entry.has_value()) {
+    // Negative answers are never cached: a create would have to invalidate
+    // a lease on a path that was never granted one.
+    cache.ns[path] = NsLease{*entry, sim_.now() + cfg_.lease_ttl_s,
+                             ns_.mutation_epoch(path)};
+  }
+  co_return entry;
+}
+
+sim::Task<blob::VersionInfo> Bsfs::cached_latest(net::NodeId node,
+                                                 blob::BlobId blob) {
+  blob::VersionManager& vm = cluster_.version_manager();
+  if (cfg_.lease_ttl_s <= 0) {
+    co_return co_await vm.latest(node, blob);
+  }
+  NodeLeases& cache = leases_[node];
+  auto it = cache.vm.find(blob);
+  if (it != cache.vm.end()) {
+    const VmLease& lease = it->second;
+    // Valid = inside the TTL window AND no publish invalidated it (the
+    // cached version is still the published one — the shard's push
+    // channel, checked against shared state at zero modeled cost). A
+    // lease therefore can never serve a version behind the published one.
+    if (sim_.now() < lease.expires_at &&
+        vm.published_version(blob) == lease.info.version) {
+      ++vm_lease_hits_;
+      m_vm_hits_->inc();
+      g_vm_hit_rate_->set(static_cast<double>(vm_lease_hits_) /
+                          static_cast<double>(vm_lease_hits_ + vm_lease_misses_));
+      co_return lease.info;
+    }
+    cache.vm.erase(it);
+  }
+  ++vm_lease_misses_;
+  m_vm_misses_->inc();
+  g_vm_hit_rate_->set(static_cast<double>(vm_lease_hits_) /
+                      static_cast<double>(vm_lease_hits_ + vm_lease_misses_));
+  const blob::VersionInfo info = co_await vm.latest(node, blob);
+  cache.vm[blob] = VmLease{info, sim_.now() + cfg_.lease_ttl_s};
+  co_return info;
+}
+
 sim::Task<blob::Version> Bsfs::snapshot(net::NodeId node,
                                         const std::string& path) {
-  auto entry = co_await ns_.lookup(node, path);
+  auto entry = co_await cached_lookup(node, path);
   BS_CHECK_MSG(entry.has_value() && !entry->is_dir, "snapshot of a non-file");
-  auto client = cluster_.make_client(node);
-  const auto info = co_await client->latest(entry->blob);
+  const auto info = co_await cached_latest(node, entry->blob);
   co_return info.version;
 }
 
@@ -86,7 +163,7 @@ sim::Task<std::pair<std::string, blob::Version>> BsfsClient::resolve_name(
   if (version != blob::kNoVersion) {
     // Literal-first: a namespace entry whose name happens to end in
     // "@v<N>" shadows the versioned interpretation of its prefix.
-    auto literal = co_await owner_.ns_.lookup(node_, path);
+    auto literal = co_await owner_.cached_lookup(node_, path);
     if (literal.has_value()) co_return std::pair{path, blob::kNoVersion};
   }
   co_return std::pair{std::move(base), version};
@@ -100,14 +177,14 @@ sim::Task<std::unique_ptr<fs::FsReader>> BsfsClient::open(
 
 sim::Task<std::unique_ptr<fs::FsReader>> BsfsClient::open_at_version(
     const std::string& path, blob::Version version) {
-  auto entry = co_await owner_.ns_.lookup(node_, path);
+  auto entry = co_await owner_.cached_lookup(node_, path);
   if (!entry.has_value() || entry->is_dir || entry->under_construction) {
     co_return nullptr;
   }
   auto blob_client = owner_.cluster_.make_client(node_);
   blob::VersionInfo pinned;
   if (version == blob::kNoVersion) {
-    pinned = co_await blob_client->latest(entry->blob);
+    pinned = co_await owner_.cached_latest(node_, entry->blob);
   } else {
     auto maybe = co_await owner_.cluster_.version_manager().version_info(
         node_, entry->blob, version);
@@ -145,15 +222,14 @@ sim::Task<std::unique_ptr<fs::FsWriter>> BsfsClient::append_shared(
 sim::Task<std::optional<fs::Snapshot>> BsfsClient::snapshot(
     const std::string& path) {
   auto [base, version] = co_await resolve_name(path);
-  auto entry = co_await owner_.ns_.lookup(node_, base);
+  auto entry = co_await owner_.cached_lookup(node_, base);
   std::optional<fs::Snapshot> out;
   if (!entry.has_value() || entry->is_dir || entry->under_construction) {
     co_return out;
   }
-  auto blob_client = owner_.cluster_.make_client(node_);
   blob::VersionInfo info;
   if (version == blob::kNoVersion) {
-    info = co_await blob_client->latest(entry->blob);
+    info = co_await owner_.cached_latest(node_, entry->blob);
   } else {
     auto maybe = co_await owner_.cluster_.version_manager().version_info(
         node_, entry->blob, version);
@@ -174,7 +250,7 @@ sim::Task<std::optional<blob::BlobId>> BsfsClient::snapshot_blob(
   if (snap.object != 0) {
     co_return static_cast<blob::BlobId>(snap.object);
   }
-  auto entry = co_await owner_.ns_.lookup(node_, snap.path);
+  auto entry = co_await owner_.cached_lookup(node_, snap.path);
   if (!entry.has_value() || entry->is_dir || entry->under_construction) {
     co_return std::nullopt;
   }
@@ -208,7 +284,7 @@ sim::Task<std::vector<fs::BlockLocation>> BsfsClient::snapshot_locations(
 sim::Task<std::optional<fs::FileStat>> BsfsClient::stat(
     const std::string& path) {
   auto [base, version] = co_await resolve_name(path);
-  auto entry = co_await owner_.ns_.lookup(node_, base);
+  auto entry = co_await owner_.cached_lookup(node_, base);
   if (!entry.has_value()) co_return std::nullopt;
   fs::FileStat st;
   st.path = path;
@@ -216,8 +292,7 @@ sim::Task<std::optional<fs::FileStat>> BsfsClient::stat(
   st.block_size = entry->block_size;
   if (!entry->is_dir) {
     if (version == blob::kNoVersion) {
-      auto blob_client = owner_.cluster_.make_client(node_);
-      st.size = co_await blob_client->size(entry->blob);
+      st.size = (co_await owner_.cached_latest(node_, entry->blob)).size;
     } else {
       auto info = co_await owner_.cluster_.version_manager().version_info(
           node_, entry->blob, version);
@@ -244,7 +319,7 @@ sim::Task<bool> BsfsClient::rename(const std::string& from,
 sim::Task<std::vector<fs::BlockLocation>> BsfsClient::locations(
     const std::string& path, uint64_t offset, uint64_t length) {
   auto [base, version] = co_await resolve_name(path);
-  auto entry = co_await owner_.ns_.lookup(node_, base);
+  auto entry = co_await owner_.cached_lookup(node_, base);
   if (!entry.has_value() || entry->is_dir) {
     co_return std::vector<fs::BlockLocation>{};
   }

@@ -34,6 +34,14 @@ struct BsfsConfig {
   // Client-side cache on/off (ablation A3); when off, reads go straight to
   // BlobSeer at request granularity and writes flush per call.
   bool enable_cache = true;
+  // Metadata lease TTL (0 = leases off). When set, read paths cache
+  // namespace entries and latest-published-version answers per client
+  // node for up to this long; a publish or namespace mutation invalidates
+  // the lease early (the owner's invalidation channel — modeled as a
+  // zero-cost shared-state check), so a lease never serves a stale entry
+  // or a version behind the published one. Read-mostly metadata storms
+  // then hit the local cache instead of the wire (PR 10).
+  double lease_ttl_s = 0;
 };
 
 class Bsfs;
@@ -190,18 +198,63 @@ class Bsfs final : public fs::FileSystem {
   const BsfsConfig& config() const { return cfg_; }
   NamespaceManager& ns() { return ns_; }
   blob::BlobSeerCluster& blobs() { return cluster_; }
-  sim::Simulator& simulator() { return sim_; }
+  sim::Simulator& simulator() override { return sim_; }
+
+  // Lease traffic counters (also exported as obs counters + hit-rate
+  // gauges); all zero when lease_ttl_s == 0.
+  uint64_t ns_lease_hits() const { return ns_lease_hits_; }
+  uint64_t ns_lease_misses() const { return ns_lease_misses_; }
+  uint64_t vm_lease_hits() const { return vm_lease_hits_; }
+  uint64_t vm_lease_misses() const { return vm_lease_misses_; }
 
  private:
   friend class BsfsClient;
   friend class BsfsReader;
   friend class BsfsWriter;
 
+  // A leased namespace entry / latest-version answer, held per client
+  // NODE (BsfsClients are throwaway per-op stubs; the node is the stable
+  // cache domain, like a DFS client process).
+  struct NsLease {
+    NsEntry entry;
+    double expires_at = 0;
+    uint64_t epoch = 0;  // NamespaceManager::mutation_epoch at grant time
+  };
+  struct VmLease {
+    blob::VersionInfo info;
+    double expires_at = 0;
+  };
+  struct NodeLeases {
+    bs::unordered_map<std::string, NsLease> ns;
+    bs::unordered_map<blob::BlobId, VmLease> vm;
+  };
+
+  // lookup()/latest() through the lease cache. A hit costs zero simulated
+  // time (the answer is local); validity = TTL not expired AND the
+  // invalidation channel is quiet (namespace epoch unchanged / cached
+  // version still the published one). Negative lookups are never cached.
+  sim::Task<std::optional<NsEntry>> cached_lookup(net::NodeId node,
+                                                  const std::string& path);
+  sim::Task<blob::VersionInfo> cached_latest(net::NodeId node,
+                                             blob::BlobId blob);
+
   sim::Simulator& sim_;
   net::Network& net_;
   blob::BlobSeerCluster& cluster_;
   NamespaceManager& ns_;
   BsfsConfig cfg_;
+
+  bs::unordered_map<net::NodeId, NodeLeases> leases_;
+  uint64_t ns_lease_hits_ = 0;
+  uint64_t ns_lease_misses_ = 0;
+  uint64_t vm_lease_hits_ = 0;
+  uint64_t vm_lease_misses_ = 0;
+  obs::Counter* m_ns_hits_ = nullptr;
+  obs::Counter* m_ns_misses_ = nullptr;
+  obs::Counter* m_vm_hits_ = nullptr;
+  obs::Counter* m_vm_misses_ = nullptr;
+  obs::Gauge* g_ns_hit_rate_ = nullptr;
+  obs::Gauge* g_vm_hit_rate_ = nullptr;
 };
 
 }  // namespace bs::bsfs

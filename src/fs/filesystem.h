@@ -19,6 +19,10 @@
 #include "net/cluster.h"
 #include "sim/task.h"
 
+namespace bs::sim {
+class Simulator;
+}  // namespace bs::sim
+
 namespace bs::fs {
 
 struct FileStat {
@@ -289,6 +293,10 @@ class FileSystem {
   virtual std::string name() const = 0;
   virtual uint64_t block_size() const = 0;
   virtual std::unique_ptr<FsClient> make_client(net::NodeId node) = 0;
+  // The simulated world this file system lives in — lets generic layers
+  // (mr::Dataset) fan concurrent metadata lookups out with sim::when_all
+  // without knowing the back-end.
+  virtual sim::Simulator& simulator() = 0;
 
   // Live snapshot pins against this file system (jobs register here; the
   // retention service consults it before pruning version history).

@@ -115,7 +115,7 @@ class Hdfs final : public fs::FileSystem {
   NameNode& namenode() { return *namenode_; }
   DataNode& datanode_on(net::NodeId node) { return *datanodes_.at(node); }
   const HdfsConfig& config() const { return cfg_; }
-  sim::Simulator& simulator() { return sim_; }
+  sim::Simulator& simulator() override { return sim_; }
 
   // Waits until every datanode hsynced its unsynced window to disk (a
   // no-op under the default kImmediate policy).

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "sim/parallel.h"
 
 namespace bs::mr {
 
@@ -11,24 +12,42 @@ sim::Task<Dataset> Dataset::resolve(fs::FileSystem& fs, net::NodeId node,
                                     std::vector<std::string> files) {
   Dataset out;
   out.fs_ = &fs;
-  auto client = fs.make_client(node);
-  for (std::string& file : files) {
-    // Pin-all first: the registry protects every version of the path for
-    // the round trips it takes to learn the concrete one, then the lease
-    // narrows to exactly the resolved snapshot.
-    const uint64_t lease = fs.registry().pin_all(file);
-    auto snap = co_await client->snapshot(file);
-    BS_CHECK_MSG(snap.has_value(), "missing input file");
-    fs.registry().resolve(lease, *snap);
-    // The ingest baseline is the LIVE file's size right now — for a
-    // historical "@v<N>" input it exceeds the pinned size, and ingest
-    // that predates this job must not count as "during" it.
-    auto live = co_await client->stat(snap->path);
-    out.baselines_.push_back(
-        live.has_value() ? std::max(live->size, snap->size) : snap->size);
-    out.leases_.push_back(lease);
-    out.snaps_.push_back(*std::move(snap));
+  // Pin-all first, sequentially: the registry protects every version of
+  // each path for the round trips it takes to learn the concrete one (and
+  // sequential pinning keeps lease ids deterministic), then each lease
+  // narrows to exactly the resolved snapshot.
+  out.leases_.reserve(files.size());
+  for (const std::string& file : files) {
+    out.leases_.push_back(fs.registry().pin_all(file));
   }
+  // The per-file metadata round trips (snapshot + live stat) are
+  // independent — fan them out so submission cost is the slowest file's
+  // lookup, not the sum; each shard of a sharded metadata plane absorbs
+  // its own slice of the storm (PR 10).
+  out.snaps_.resize(files.size());
+  out.baselines_.resize(files.size());
+  std::vector<sim::Task<void>> lookups;
+  lookups.reserve(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    auto one = [](fs::FileSystem* f, net::NodeId n, std::string file,
+                  uint64_t lease, fs::Snapshot* snap_out,
+                  uint64_t* baseline_out) -> sim::Task<void> {
+      auto client = f->make_client(n);
+      auto snap = co_await client->snapshot(file);
+      BS_CHECK_MSG(snap.has_value(), "missing input file");
+      f->registry().resolve(lease, *snap);
+      // The ingest baseline is the LIVE file's size right now — for a
+      // historical "@v<N>" input it exceeds the pinned size, and ingest
+      // that predates this job must not count as "during" it.
+      auto live = co_await client->stat(snap->path);
+      *baseline_out =
+          live.has_value() ? std::max(live->size, snap->size) : snap->size;
+      *snap_out = *std::move(snap);
+    };
+    lookups.push_back(one(&fs, node, files[i], out.leases_[i], &out.snaps_[i],
+                          &out.baselines_[i]));
+  }
+  co_await sim::when_all(fs.simulator(), std::move(lookups));
   co_return out;
 }
 

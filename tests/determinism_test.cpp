@@ -52,7 +52,8 @@ struct RunResult {
   }
 };
 
-RunResult run_stack(const std::string& backend, bool legacy_solver = false) {
+RunResult run_stack(const std::string& backend, bool legacy_solver = false,
+                    bool sharded_metadata = false) {
   sim::Simulator sim;
   // Tracing on for the whole run: recording spans must not perturb the
   // simulation (every timing assertion below would catch it if it did).
@@ -67,13 +68,24 @@ RunResult run_stack(const std::string& backend, bool legacy_solver = false) {
   ncfg.nodes_per_rack = 6;
   ncfg.legacy_solver = legacy_solver;
   net::Network net(sim, ncfg);
-  blob::BlobSeerCluster blobs(sim, net, {});
-  bsfs::NamespaceManager ns(sim, net, {});
-  bsfs::Bsfs bsfs_fs(sim, net, blobs, ns,
-                     bsfs::BsfsConfig{.block_size = kBlock,
-                                      .page_size = kBlock / 8,
-                                      .replication = 1,
-                                      .enable_cache = true});
+  // Sharded-metadata variant (PR 10): version-manager serial points and
+  // namespace entries spread over ring shards, with client leases on — the
+  // whole control plane must stay exactly as bit-reproducible as the
+  // centralized one.
+  blob::BlobSeerConfig bscfg;
+  bsfs::NamespaceConfig nscfg;
+  bsfs::BsfsConfig fscfg{.block_size = kBlock,
+                         .page_size = kBlock / 8,
+                         .replication = 1,
+                         .enable_cache = true};
+  if (sharded_metadata) {
+    bscfg.version_manager_nodes = {2, 5, 9, 13};
+    nscfg.shard_nodes = {3, 7, 11, 14};
+    fscfg.lease_ttl_s = 0.25;
+  }
+  blob::BlobSeerCluster blobs(sim, net, bscfg);
+  bsfs::NamespaceManager ns(sim, net, nscfg);
+  bsfs::Bsfs bsfs_fs(sim, net, blobs, ns, fscfg);
   hdfs::Hdfs hdfs_fs(sim, net,
                      hdfs::HdfsConfig{.namenode = {.node = 0,
                                                    .service_time_s = 150e-6,
@@ -191,6 +203,30 @@ TEST(Determinism, LegacySolverBackendIsBitReproducible) {
   const RunResult legacy = run_stack("BSFS", /*legacy_solver=*/true);
   const RunResult incremental = run_stack("BSFS");
   EXPECT_EQ(sorted(legacy.results), sorted(incremental.results));
+}
+
+// Sharded metadata plane (PR 10): distributing the version manager and
+// namespace across ring shards — leases on — must not cost a single bit of
+// reproducibility, and the sharded world must agree with the centralized
+// one on application output (the end-to-end face of the BS_LEGACY_VM
+// oracle; per-blob chain equality is pinned in vm_shard_test).
+TEST(Determinism, ShardedMetadataPlaneIsBitReproducible) {
+  for (const char* backend : {"BSFS", "HDFS"}) {
+    const RunResult a =
+        run_stack(backend, /*legacy_solver=*/false, /*sharded_metadata=*/true);
+    const RunResult b =
+        run_stack(backend, /*legacy_solver=*/false, /*sharded_metadata=*/true);
+    EXPECT_TRUE(a == b) << backend;
+    EXPECT_GT(a.events, 0u) << backend;
+  }
+  auto sorted = [](std::vector<std::pair<std::string, std::string>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  const RunResult sharded =
+      run_stack("BSFS", /*legacy_solver=*/false, /*sharded_metadata=*/true);
+  const RunResult central = run_stack("BSFS");
+  EXPECT_EQ(sorted(sharded.results), sorted(central.results));
 }
 
 TEST(Determinism, BackendsDifferButAgreeOnResults) {
